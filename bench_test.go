@@ -1,0 +1,195 @@
+package omxsim
+
+// One benchmark per table/figure of the paper's evaluation, plus
+// ablation benches for the design choices DESIGN.md calls out. Each
+// reports the figure's headline values through b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the full evaluation and prints the numbers EXPERIMENTS.md
+// records. The simulations are deterministic: variance across b.N
+// iterations is zero by construction.
+
+import (
+	"testing"
+
+	"omxsim/figures"
+	"omxsim/metrics"
+)
+
+func report(b *testing.B, t *metrics.Table, series string, atBytes float64, metric string) {
+	b.Helper()
+	s := t.Get(series)
+	if s == nil {
+		b.Fatalf("series %q missing", series)
+	}
+	v, ok := s.At(atBytes)
+	if !ok {
+		b.Fatalf("series %q has no point at %v", series, atBytes)
+	}
+	b.ReportMetric(v, metric)
+}
+
+// BenchmarkMicroNumbers regenerates the Section IV-A microbenchmarks
+// (submission cost, copy rates, offload break-even sizes).
+func BenchmarkMicroNumbers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := figures.MicroNumbers()
+		b.ReportMetric(m.SubmitNs, "submit-ns")
+		b.ReportMetric(m.MemcpyColdGiBps, "memcpy-GiB/s")
+		b.ReportMetric(m.IOAT4kGiBps, "ioat4k-GiB/s")
+		b.ReportMetric(float64(m.BreakEvenColdB), "breakeven-B")
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3 (ping-pong: MX vs Open-MX vs the
+// no-BH-copy prediction) and reports the 4 MiB points.
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := figures.Fig3()
+		report(b, t, "MX", 4<<20, "MX-MiB/s")
+		report(b, t, "Open-MX", 4<<20, "OMX-MiB/s")
+		report(b, t, "Open-MX ignoring BH receive copy", 4<<20, "nocopy-MiB/s")
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7 (memcpy vs I/OAT by chunk size)
+// and reports the 1 MiB streaming rates.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := figures.Fig7()
+		report(b, t, "I/OAT Copy - 4kB chunks (page)", 1<<20, "ioat4k-MiB/s")
+		report(b, t, "Memcpy - 4kB chunks (page)", 1<<20, "memcpy4k-MiB/s")
+		report(b, t, "I/OAT Copy - 256B chunks", 1<<20, "ioat256-MiB/s")
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8 (ping-pong with I/OAT receive
+// offload) and reports the 4 MiB points.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := figures.Fig8()
+		report(b, t, "Open-MX with DMA copy in BH receive", 4<<20, "ioat-MiB/s")
+		report(b, t, "Open-MX", 4<<20, "plain-MiB/s")
+	}
+}
+
+// BenchmarkFig9 regenerates Figure 9 (receive-side CPU usage) and
+// reports the 16 MiB totals.
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mem, ioat := figures.Fig9()
+		b.ReportMetric(mem[len(mem)-1].Total(), "memcpy-CPU%")
+		b.ReportMetric(ioat[len(ioat)-1].Total(), "ioat-CPU%")
+	}
+}
+
+// BenchmarkFig10 regenerates Figure 10 (shared-memory ping-pong) and
+// reports the 16 MiB points of the three curves.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := figures.Fig10()
+		report(b, t, "Memcpy on the same dual-core subchip", 16<<20, "sameL2-MiB/s")
+		report(b, t, "Memcpy between different processor sockets", 16<<20, "xsocket-MiB/s")
+		report(b, t, "I/OAT offloaded synchronous copy", 16<<20, "ioat-MiB/s")
+	}
+}
+
+// BenchmarkFig11 regenerates Figure 11 (IMB PingPong with I/OAT and
+// regcache on/off) and reports the 16 MiB points.
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := figures.Fig11()
+		report(b, t, "MX", 16<<20, "MX-MiB/s")
+		report(b, t, "Open-MX I/OAT", 16<<20, "ioat-MiB/s")
+		report(b, t, "Open-MX", 16<<20, "plain-MiB/s")
+		report(b, t, "Open-MX w/o regcache", 16<<20, "noRC-MiB/s")
+	}
+}
+
+// BenchmarkFig12_128k and BenchmarkFig12_4M regenerate the four panels
+// of Figure 12 (all IMB tests normalized to MXoE) and report the
+// per-panel averages.
+func BenchmarkFig12_128k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, ppn := range []int{1, 2} {
+			p := figures.Fig12(128<<10, ppn)
+			omx, ioat := p.Averages()
+			suffix := "1ppn"
+			if ppn == 2 {
+				suffix = "2ppn"
+			}
+			b.ReportMetric(omx, "omx-"+suffix+"-%")
+			b.ReportMetric(ioat, "ioat-"+suffix+"-%")
+		}
+	}
+}
+
+func BenchmarkFig12_4M(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, ppn := range []int{1, 2} {
+			p := figures.Fig12(4<<20, ppn)
+			omx, ioat := p.Averages()
+			suffix := "1ppn"
+			if ppn == 2 {
+				suffix = "2ppn"
+			}
+			b.ReportMetric(omx, "omx-"+suffix+"-%")
+			b.ReportMetric(ioat, "ioat-"+suffix+"-%")
+		}
+	}
+}
+
+// BenchmarkNASIS regenerates the Section IV-D NAS IS observation.
+func BenchmarkNASIS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs := figures.NASIS(1<<16, 2)
+		var omx, ioat float64
+		for _, r := range rs {
+			switch r.Stack {
+			case "Open-MX":
+				omx = r.TimeMs
+			case "Open-MX I/OAT":
+				ioat = r.TimeMs
+			}
+		}
+		b.ReportMetric(omx, "omx-ms")
+		b.ReportMetric(ioat, "ioat-ms")
+		b.ReportMetric((omx/ioat-1)*100, "gain-%")
+	}
+}
+
+// --- Ablations (design choices DESIGN.md calls out) ---
+
+func BenchmarkAblationMinFrag(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := figures.AblateMinFrag()
+		report(b, t, "Open-MX I/OAT", 1024, "frag1k-MiB/s")
+		report(b, t, "Open-MX I/OAT", 16384, "frag16k-MiB/s")
+	}
+}
+
+func BenchmarkAblationPullWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := figures.AblatePullWindow()
+		report(b, t, "8 frags/block", 1, "1blk-MiB/s")
+		report(b, t, "8 frags/block", 2, "2blk-MiB/s")
+	}
+}
+
+func BenchmarkAblationIRQSteering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := figures.AblateIRQSteering()
+		report(b, t, "Open-MX", 0, "dedicated-MiB/s")
+		report(b, t, "Open-MX", 1, "shared-MiB/s")
+	}
+}
+
+// BenchmarkTimeline regenerates the Figure 5/6 traces (cost sanity
+// for the tracing hooks).
+func BenchmarkTimeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = figures.Timeline(false)
+		_ = figures.Timeline(true)
+	}
+}

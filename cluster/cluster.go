@@ -1,0 +1,172 @@
+// Package cluster is the public entry point for building simulated
+// testbeds: hosts (dual quad-core Clovertown machines with I/OAT and a
+// 10 GbE NIC), back-to-back links or a switch, payload buffers, and
+// simulated processes.
+//
+// A minimal two-node setup:
+//
+//	c := cluster.New(nil) // Clovertown defaults
+//	a := c.NewHost("node0")
+//	b := c.NewHost("node1")
+//	cluster.Link(a, b)
+//	// ... attach openmx/mxoe stacks, spawn processes ...
+//	c.Go("app", func(p *sim.Proc) { ... })
+//	c.Run()
+package cluster
+
+import (
+	"fmt"
+
+	"omxsim/internal/host"
+	"omxsim/internal/hostmem"
+	"omxsim/internal/wire"
+	"omxsim/platform"
+	"omxsim/sim"
+)
+
+// Cluster owns the simulation engine and the simulated machines.
+type Cluster struct {
+	E *sim.Engine
+	P *platform.Platform
+
+	hosts map[string]*Host
+}
+
+// New returns an empty cluster. A nil platform selects the paper's
+// Clovertown testbed.
+func New(p *platform.Platform) *Cluster {
+	if p == nil {
+		p = platform.Clovertown()
+	}
+	return &Cluster{E: sim.New(), P: p, hosts: make(map[string]*Host)}
+}
+
+// Host is one simulated machine.
+type Host struct {
+	C    *Cluster
+	Name string
+	m    *host.Host
+}
+
+// NewHost adds a machine to the cluster. Host names are the network
+// addresses of their NICs and must be unique.
+func (c *Cluster) NewHost(name string) *Host {
+	if _, dup := c.hosts[name]; dup {
+		panic(fmt.Sprintf("cluster: duplicate host %q", name))
+	}
+	h := &Host{C: c, Name: name, m: host.New(c.E, c.P, name)}
+	c.hosts[name] = h
+	return h
+}
+
+// Host returns a host by name, or nil.
+func (c *Cluster) Host(name string) *Host { return c.hosts[name] }
+
+// Machine exposes the underlying simulated hardware. It is used by
+// the protocol packages in this module; external callers should treat
+// it as opaque.
+func (h *Host) Machine() *host.Host { return h.m }
+
+// Link connects two hosts back to back with a full-duplex 10 GbE
+// cable, like the paper's switchless testbed.
+func Link(a, b *Host) {
+	ab, ba := wire.Connect(a.C.E, a.C.P, a.m.NIC, b.m.NIC)
+	a.m.NIC.SetHose(ab)
+	b.m.NIC.SetHose(ba)
+}
+
+// LossyLink connects two hosts and installs the given frame-drop
+// predicates on the a→b and b→a directions (nil means no loss). Used
+// by retransmission experiments.
+func LossyLink(a, b *Host, dropAB, dropBA func(any) bool) {
+	ab, ba := wire.Connect(a.C.E, a.C.P, a.m.NIC, b.m.NIC)
+	if dropAB != nil {
+		ab.Drop = func(f *wire.Frame) bool { return dropAB(f.Msg) }
+	}
+	if dropBA != nil {
+		ba.Drop = func(f *wire.Frame) bool { return dropBA(f.Msg) }
+	}
+	a.m.NIC.SetHose(ab)
+	b.m.NIC.SetHose(ba)
+}
+
+// Switch is a store-and-forward Ethernet switch.
+type Switch struct {
+	c  *Cluster
+	sw *wire.Switch
+}
+
+// NewSwitch adds a switch to the cluster.
+func (c *Cluster) NewSwitch() *Switch {
+	return &Switch{c: c, sw: wire.NewSwitch(c.E, c.P)}
+}
+
+// Attach plugs a host into the switch.
+func (s *Switch) Attach(h *Host) {
+	h.m.NIC.SetHose(s.sw.Attach(h.m.NIC))
+}
+
+// Buffer is an application payload buffer in a host's memory. It
+// carries real bytes end to end through the simulated stacks.
+type Buffer struct {
+	H *Host
+	b *hostmem.Buffer
+}
+
+// Alloc allocates a zeroed buffer of n bytes on the host.
+func (h *Host) Alloc(n int) *Buffer {
+	return &Buffer{H: h, b: h.m.Alloc(n)}
+}
+
+// Bytes gives direct access to the payload.
+func (b *Buffer) Bytes() []byte { return b.b.Data }
+
+// Size reports the buffer length.
+func (b *Buffer) Size() int { return b.b.Size() }
+
+// Fill writes a deterministic test pattern.
+func (b *Buffer) Fill(seed byte) { b.b.Fill(seed) }
+
+// Equal reports whether two buffers hold the same bytes.
+func Equal(a, b *Buffer) bool { return hostmem.Equal(a.b, b.b) }
+
+// Produce marks the buffer as freshly written by the application on
+// the given core (its cache becomes warm there). Benchmarks call this
+// before each send to model the application producing the payload —
+// the placement-dependent curves of Figure 10 depend on it.
+func (b *Buffer) Produce(core int) { b.b.Touch(core, b.b.Size()) }
+
+// Raw exposes the underlying buffer for in-module protocol packages.
+func (b *Buffer) Raw() *hostmem.Buffer { return b.b }
+
+// Go spawns a simulated process.
+func (c *Cluster) Go(name string, fn func(p *sim.Proc)) { c.E.Go(name, fn) }
+
+// Run drains the simulation and returns the number of processes still
+// blocked (protocol deadlocks; NIC bottom-half service loops are
+// excluded from the count).
+func (c *Cluster) Run() int {
+	blocked := c.E.Run()
+	return blocked - c.bhLoops()
+}
+
+// RunFor advances the simulation by d.
+func (c *Cluster) RunFor(d sim.Duration) { c.E.RunUntil(c.E.Now() + d) }
+
+// Now returns the current simulated time.
+func (c *Cluster) Now() sim.Time { return c.E.Now() }
+
+// Close tears down all simulated processes (for tests).
+func (c *Cluster) Close() { c.E.Close() }
+
+// bhLoops counts the per-NIC bottom-half service processes, which
+// legitimately never exit.
+func (c *Cluster) bhLoops() int {
+	n := 0
+	for _, name := range c.E.BlockedProcs() {
+		if len(name) >= 3 && name[:3] == "bh:" {
+			n++
+		}
+	}
+	return n
+}

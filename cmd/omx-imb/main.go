@@ -1,0 +1,103 @@
+// Command omx-imb runs the Intel-MPI-Benchmarks-style suite over the
+// simulated stacks, like the paper's Section IV-D evaluation.
+//
+//	omx-imb -test PingPong -transport openmx -ioat
+//	omx-imb -test Alltoall -ppn 2 -sizes 128k,4m
+//	omx-imb -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"omxsim/cluster"
+	"omxsim/imb"
+	"omxsim/mpi"
+	"omxsim/mxoe"
+	"omxsim/openmx"
+)
+
+func main() {
+	var (
+		test      = flag.String("test", "PingPong", "IMB test name")
+		transport = flag.String("transport", "openmx", "openmx or mxoe")
+		ioat      = flag.Bool("ioat", false, "enable I/OAT offload (openmx)")
+		regcache  = flag.Bool("regcache", true, "enable the registration cache")
+		ppn       = flag.Int("ppn", 1, "processes per node (1 or 2)")
+		sizesFlag = flag.String("sizes", "16,1k,64k,1m,4m", "comma-separated message sizes (k/m suffixes)")
+		list      = flag.Bool("list", false, "list available tests")
+	)
+	flag.Parse()
+	if *list {
+		for _, t := range imb.Tests() {
+			fmt.Println(t)
+		}
+		return
+	}
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	c := cluster.New(nil)
+	n0, n1 := c.NewHost("node0"), c.NewHost("node1")
+	cluster.Link(n0, n1)
+	open := func(h *cluster.Host) openmx.Transport {
+		if *transport == "mxoe" {
+			return mxoe.Attach(h, mxoe.Config{RegCache: *regcache})
+		}
+		return openmx.Attach(h, openmx.Config{IOAT: *ioat, IOATShm: *ioat, RegCache: *regcache})
+	}
+	t0, t1 := open(n0), open(n1)
+	w := mpi.NewWorld(c)
+	cores := []int{2, 4}
+	for r := 0; r < 2**ppn; r++ {
+		node, slot, tr := n0, r, t0
+		if r >= *ppn {
+			node, slot, tr = n1, r-*ppn, t1
+		}
+		w.AddRank(tr.Open(slot, cores[slot]), node, cores[slot])
+	}
+	runner := &imb.Runner{C: c, W: w}
+	results := runner.Run(*test, sizes)
+	fmt.Printf("# %s, %s%s, %d process(es) per node\n", *test, *transport, ioatSuffix(*transport, *ioat), *ppn)
+	fmt.Printf("%12s %14s %14s\n", "bytes", "t[usec]", "MiB/s")
+	for _, r := range results {
+		bw := "-"
+		if r.MiBps > 0 {
+			bw = fmt.Sprintf("%14.1f", r.MiBps)
+		}
+		fmt.Printf("%12d %14.2f %14s\n", r.Bytes, r.TimeUsec, bw)
+	}
+}
+
+func ioatSuffix(transport string, ioat bool) string {
+	if transport == "openmx" && ioat {
+		return "+ioat"
+	}
+	return ""
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(strings.ToLower(part))
+		mult := 1
+		switch {
+		case strings.HasSuffix(part, "k"):
+			mult, part = 1024, strings.TrimSuffix(part, "k")
+		case strings.HasSuffix(part, "m"):
+			mult, part = 1<<20, strings.TrimSuffix(part, "m")
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, v*mult)
+	}
+	return out, nil
+}

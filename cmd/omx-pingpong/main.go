@@ -1,0 +1,85 @@
+// Command omx-pingpong runs a configurable two-node ping-pong on the
+// simulated testbed and reports latency and throughput — the tool
+// behind the paper's Figures 3 and 8.
+//
+//	omx-pingpong -transport openmx -ioat -size 1048576 -iters 10
+//	omx-pingpong -transport mxoe -size 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"omxsim/cluster"
+	"omxsim/mxoe"
+	"omxsim/openmx"
+	"omxsim/sim"
+)
+
+func main() {
+	var (
+		transport = flag.String("transport", "openmx", "openmx or mxoe")
+		size      = flag.Int("size", 1<<20, "message size in bytes")
+		iters     = flag.Int("iters", 10, "measured round trips")
+		ioat      = flag.Bool("ioat", false, "enable I/OAT copy offload (openmx)")
+		regcache  = flag.Bool("regcache", true, "enable the registration cache")
+		skipBH    = flag.Bool("skip-bh-copy", false, "model knob: zero-cost BH copies (Fig. 3 prediction)")
+	)
+	flag.Parse()
+
+	c := cluster.New(nil)
+	n0, n1 := c.NewHost("node0"), c.NewHost("node1")
+	cluster.Link(n0, n1)
+
+	var e0, e1 openmx.Endpoint
+	switch *transport {
+	case "openmx":
+		cfg := openmx.Config{IOAT: *ioat, RegCache: *regcache, SkipBHCopy: *skipBH}
+		e0 = openmx.Attach(n0, cfg).Open(0, 2)
+		e1 = openmx.Attach(n1, cfg).Open(0, 2)
+	case "mxoe":
+		e0 = mxoe.Attach(n0, mxoe.Config{RegCache: *regcache}).Open(0, 2)
+		e1 = mxoe.Attach(n1, mxoe.Config{RegCache: *regcache}).Open(0, 2)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown transport %q\n", *transport)
+		os.Exit(2)
+	}
+
+	b0, b1 := n0.Alloc(*size), n1.Alloc(*size)
+	b0.Fill(1)
+	var t0, t1 sim.Time
+	c.Go("pong", func(p *sim.Proc) {
+		for i := 0; i <= *iters; i++ {
+			r := e1.IRecv(p, 1, ^uint64(0), b1, 0, *size)
+			e1.Wait(p, r)
+			s := e1.ISend(p, e0.Addr(), 2, b1, 0, *size)
+			e1.Wait(p, s)
+		}
+	})
+	c.Go("ping", func(p *sim.Proc) {
+		for i := 0; i <= *iters; i++ {
+			if i == 1 {
+				t0 = p.Now()
+			}
+			s := e0.ISend(p, e1.Addr(), 1, b0, 0, *size)
+			e0.Wait(p, s)
+			r := e0.IRecv(p, 2, ^uint64(0), b0, 0, *size)
+			e0.Wait(p, r)
+		}
+		t1 = p.Now()
+	})
+	if blocked := c.Run(); blocked != 0 {
+		fmt.Fprintln(os.Stderr, "deadlock: ping-pong did not complete")
+		os.Exit(1)
+	}
+	if !cluster.Equal(b0, b1) {
+		fmt.Fprintln(os.Stderr, "payload corrupted")
+		os.Exit(1)
+	}
+	half := float64(t1-t0) / float64(2**iters)
+	mibps := float64(*size) / 1024 / 1024 / (half / 1e9)
+	fmt.Printf("transport=%s size=%d iters=%d\n", *transport, *size, *iters)
+	fmt.Printf("half round trip: %10.2f µs\n", half/1000)
+	fmt.Printf("throughput:      %10.1f MiB/s\n", mibps)
+}

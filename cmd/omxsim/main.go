@@ -1,0 +1,131 @@
+// Command omxsim regenerates the paper's tables and figures on the
+// simulated testbed.
+//
+// Usage:
+//
+//	omxsim micro            Section IV-A microbenchmark numbers
+//	omxsim fig3             Fig. 3  ping-pong vs the no-copy prediction
+//	omxsim fig7             Fig. 7  memcpy vs I/OAT by chunk size
+//	omxsim fig8             Fig. 8  ping-pong with I/OAT offload
+//	omxsim fig9             Fig. 9  receive-side CPU usage
+//	omxsim fig10            Fig. 10 shared-memory ping-pong
+//	omxsim fig11            Fig. 11 IMB PingPong, I/OAT × regcache
+//	omxsim fig12            Fig. 12 all IMB tests normalized to MXoE
+//	omxsim timeline         Figs. 5/6 receive timelines (ASCII)
+//	omxsim nasis            NAS IS proxy comparison
+//	omxsim all              everything above
+//
+// Flags:
+//
+//	-plot   also draw ASCII plots of the curves
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"omxsim/figures"
+	"omxsim/metrics"
+)
+
+var plot = flag.Bool("plot", false, "draw ASCII plots of curve figures")
+
+func main() {
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	ran := false
+	for _, c := range commands {
+		if c.name == cmd || cmd == "all" {
+			fmt.Printf("==> %s\n", c.desc)
+			c.run()
+			fmt.Println()
+			ran = true
+		}
+	}
+	if !ran {
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: omxsim [-plot] <command>")
+	for _, c := range commands {
+		fmt.Fprintf(os.Stderr, "  %-9s %s\n", c.name, c.desc)
+	}
+	fmt.Fprintln(os.Stderr, "  all       run everything")
+}
+
+var commands = []struct {
+	name string
+	desc string
+	run  func()
+}{
+	{"micro", "Section IV-A microbenchmarks", runMicro},
+	{"fig3", "Fig. 3: ping-pong vs no-copy prediction", func() { table(figures.Fig3()) }},
+	{"fig7", "Fig. 7: memcpy vs I/OAT copy by chunk size", func() { table(figures.Fig7()) }},
+	{"fig8", "Fig. 8: ping-pong with I/OAT receive offload", func() { table(figures.Fig8()) }},
+	{"fig9", "Fig. 9: receive-side CPU usage", runFig9},
+	{"fig10", "Fig. 10: shared-memory ping-pong", func() { table(figures.Fig10()) }},
+	{"fig11", "Fig. 11: IMB PingPong, I/OAT x regcache", func() { table(figures.Fig11()) }},
+	{"fig12", "Fig. 12: IMB suite normalized to MXoE", runFig12},
+	{"timeline", "Figs. 5/6: receive timelines", runTimeline},
+	{"nasis", "NAS IS proxy", runNASIS},
+	{"ablate", "ablations: thresholds, pull window, IRQ steering, extensions", runAblate},
+}
+
+func table(t *metrics.Table) {
+	fmt.Print(t.Render())
+	if *plot {
+		fmt.Print(t.ASCIIPlot(100, 20))
+	}
+}
+
+func runMicro() {
+	m := figures.MicroNumbers()
+	fmt.Printf("I/OAT submission (1 descriptor):   %6.0f ns   (paper: ~350 ns)\n", m.SubmitNs)
+	fmt.Printf("memcpy, uncached:                  %6.2f GiB/s (paper: ~1.6 GiB/s)\n", m.MemcpyColdGiBps)
+	fmt.Printf("memcpy, cache-resident:            %6.2f GiB/s (paper: up to 12 GiB/s)\n", m.MemcpyCachedGiBps)
+	fmt.Printf("I/OAT streaming, 4 kiB chunks:     %6.2f GiB/s (paper: ~2.4 GiB/s)\n", m.IOAT4kGiBps)
+	fmt.Printf("offload break-even, uncached:      %6d B    (paper: ~600 B)\n", m.BreakEvenColdB)
+	fmt.Printf("offload break-even, cached:        %6d B    (paper: ~2 kB)\n", m.BreakEvenCachedB)
+}
+
+func runFig9() {
+	mem, ioat := figures.Fig9Tables()
+	fmt.Print(mem.Render())
+	fmt.Println()
+	fmt.Print(ioat.Render())
+}
+
+func runFig12() {
+	for _, panel := range figures.Fig12All() {
+		fmt.Print(panel.Render())
+		fmt.Println()
+	}
+}
+
+func runTimeline() {
+	fmt.Print(figures.Timeline(false))
+	fmt.Println()
+	fmt.Print(figures.Timeline(true))
+}
+
+func runNASIS() {
+	fmt.Print(figures.RenderNASIS(figures.NASIS(1<<17, 3)))
+}
+
+func runAblate() {
+	fmt.Print(figures.AblateMinFrag().Render())
+	fmt.Println()
+	fmt.Print(figures.AblatePullWindow().Render())
+	fmt.Println()
+	fmt.Print(figures.AblateIRQSteering().Render())
+	fmt.Println()
+	fmt.Print(figures.AblateExtensions())
+}

@@ -1,0 +1,19 @@
+// Package omxsim is a full reproduction, as a deterministic
+// discrete-event simulation in pure Go, of
+//
+//	Brice Goglin, "Improving Message Passing over Ethernet with
+//	I/OAT Copy Offload in Open-MX", IEEE Cluster 2008.
+//
+// The module implements the complete Open-MX stack (user library +
+// kernel driver with eager, rendezvous-pull and one-copy local paths,
+// retransmission and a registration cache), the I/OAT DMA engine, the
+// Linux generic-Ethernet receive path (skbuff rings, interrupts, NAPI
+// bottom halves), a 10 GbE wire, the native MXoE baseline it is
+// wire-compatible with, an MPI layer and the Intel MPI Benchmarks —
+// everything needed to regenerate the paper's Figures 3 and 5–12 and
+// its Section IV-A microbenchmark numbers.
+//
+// Start with package cluster to build a testbed, package openmx (or
+// mxoe) for endpoints, and package figures to regenerate the paper's
+// evaluation. See README.md, DESIGN.md and EXPERIMENTS.md.
+package omxsim

@@ -1,0 +1,52 @@
+// Quickstart: build a two-node 10 GbE testbed, attach Open-MX with
+// I/OAT copy offload, and exchange a message.
+package main
+
+import (
+	"fmt"
+
+	"omxsim/cluster"
+	"omxsim/openmx"
+	"omxsim/sim"
+)
+
+func main() {
+	// Two dual quad-core Clovertown hosts, back to back (no switch),
+	// exactly like the paper's testbed.
+	c := cluster.New(nil)
+	n0, n1 := c.NewHost("node0"), c.NewHost("node1")
+	cluster.Link(n0, n1)
+
+	// Open-MX on both, with asynchronous I/OAT copy offload on the
+	// receive path.
+	cfg := openmx.Config{IOAT: true, RegCache: true}
+	s0, s1 := openmx.Attach(n0, cfg), openmx.Attach(n1, cfg)
+	e0, e1 := s0.Open(0, 2), s1.Open(0, 2)
+
+	const size = 1 << 20
+	src, dst := n0.Alloc(size), n1.Alloc(size)
+	src.Fill(42)
+
+	var received sim.Time
+	c.Go("receiver", func(p *sim.Proc) {
+		r := e1.IRecv(p, 0xC0FFEE, ^uint64(0), dst, 0, size)
+		e1.Wait(p, r)
+		received = p.Now()
+		fmt.Printf("receiver: got %d bytes from %s/%d (match %#x)\n",
+			r.Len(), r.Sender().Host, r.Sender().EP, r.Match())
+	})
+	c.Go("sender", func(p *sim.Proc) {
+		r := e0.ISend(p, e1.Addr(), 0xC0FFEE, src, 0, size)
+		e0.Wait(p, r)
+		fmt.Printf("sender:   send completed at %v\n", p.Now())
+	})
+	if blocked := c.Run(); blocked != 0 {
+		panic("deadlock")
+	}
+
+	fmt.Printf("payload intact: %v\n", cluster.Equal(src, dst))
+	fmt.Printf("1 MiB delivered in %v → %.0f MiB/s\n",
+		received, float64(size)/1024/1024/received.Seconds())
+	fmt.Printf("receiver I/OAT descriptors submitted: %d\n", s1.Stats().IOATSubmits)
+	fmt.Printf("skbuffs freed by the cleanup routine: %d\n", s1.Stats().CleanupFrees)
+}

@@ -1,0 +1,47 @@
+package figures
+
+import "testing"
+
+func TestAblateMinFragShape(t *testing.T) {
+	tab := AblateMinFrag()
+	s := tab.Get("Open-MX I/OAT")
+	at1k, _ := s.At(1024)
+	at16k, _ := s.At(16384)
+	// The paper's 1 kB threshold offloads everything (8 kiB wire
+	// fragments); raising it past the fragment size disables offload
+	// and falls back to the ≈800 MiB/s memcpy plateau.
+	if at1k < 1050 {
+		t.Errorf("minfrag=1k: %.0f MiB/s, want I/OAT-level throughput", at1k)
+	}
+	if at16k > 900 {
+		t.Errorf("minfrag=16k: %.0f MiB/s, want memcpy-level (offload disabled)", at16k)
+	}
+}
+
+func TestAblatePullWindowShape(t *testing.T) {
+	tab := AblatePullWindow()
+	s := tab.Get("8 frags/block")
+	one, _ := s.At(1)
+	two, _ := s.At(2)
+	four, _ := s.At(4)
+	// A single outstanding block stalls the pipeline between blocks;
+	// the paper's two pipelined blocks already saturate.
+	if two < one*1.2 {
+		t.Errorf("2 blocks (%.0f) not clearly better than 1 (%.0f)", two, one)
+	}
+	if four < two*0.95 || four > two*1.05 {
+		t.Errorf("4 blocks (%.0f) should match 2 (%.0f): window already covers the pipe", four, two)
+	}
+}
+
+func TestAblateIRQSteeringShape(t *testing.T) {
+	tab := AblateIRQSteering()
+	s := tab.Get("Open-MX")
+	dedicated, _ := s.At(0)
+	shared, _ := s.At(1)
+	// Sharing the application's core with the bottom half costs
+	// throughput on the eager path (library copies contend with BH).
+	if shared >= dedicated {
+		t.Errorf("shared-core steering (%.0f) not slower than dedicated (%.0f)", shared, dedicated)
+	}
+}

@@ -1,0 +1,89 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"omxsim/imb"
+	"omxsim/openmx"
+)
+
+// Fig12Result is one panel of Figure 12: every IMB test at one
+// message size and process count, with Open-MX performance (with and
+// without I/OAT) normalized to native MXoE.
+type Fig12Result struct {
+	Bytes int
+	PPN   int
+	Tests []string
+	// Percent of MXoE performance (MXoE time / Open-MX time × 100;
+	// higher is better, 100 = parity).
+	OMXPct     []float64
+	OMXIOATPct []float64
+}
+
+// Fig12Sizes are the two message sizes of the paper's panels.
+func Fig12Sizes() []int { return []int{128 << 10, 4 << 20} }
+
+// Fig12 regenerates one panel.
+func Fig12(bytes, ppn int) Fig12Result {
+	res := Fig12Result{Bytes: bytes, PPN: ppn, Tests: imb.Tests()}
+	iters := func(int) int { return 4 }
+	stacks := []Stack{
+		{Kind: "mxoe", MXRegCache: true},
+		{Kind: "openmx", OMX: openmx.Config{RegCache: true}},
+		{Kind: "openmx", OMX: openmx.Config{RegCache: true, IOAT: true, IOATShm: true}},
+	}
+	for _, test := range res.Tests {
+		var times [3]float64
+		for i, s := range stacks {
+			rs := runIMB(s, ppn, test, []int{bytes}, iters)
+			times[i] = rs[0].TimeUsec
+		}
+		res.OMXPct = append(res.OMXPct, 100*times[0]/times[1])
+		res.OMXIOATPct = append(res.OMXIOATPct, 100*times[0]/times[2])
+	}
+	return res
+}
+
+// Fig12All regenerates all four panels (128 kB and 4 MB, 1 and 2
+// processes per node).
+func Fig12All() []Fig12Result {
+	var out []Fig12Result
+	for _, size := range Fig12Sizes() {
+		for _, ppn := range []int{1, 2} {
+			out = append(out, Fig12(size, ppn))
+		}
+	}
+	return out
+}
+
+// Averages reports the mean percentage across tests for both curves.
+func (r Fig12Result) Averages() (omx, omxIOAT float64) {
+	for i := range r.Tests {
+		omx += r.OMXPct[i]
+		omxIOAT += r.OMXIOATPct[i]
+	}
+	n := float64(len(r.Tests))
+	return omx / n, omxIOAT / n
+}
+
+// Render formats the panel like the paper's bar chart, as text.
+func (r Fig12Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Fig. 12 panel: %s messages, %d process(es) per node (%% of MXoE)\n",
+		sizeName(r.Bytes), r.PPN)
+	fmt.Fprintf(&b, "%-14s %12s %18s\n", "test", "Open-MX", "Open-MX+I/OAT")
+	for i, test := range r.Tests {
+		fmt.Fprintf(&b, "%-14s %11.0f%% %17.0f%%\n", test, r.OMXPct[i], r.OMXIOATPct[i])
+	}
+	a, ai := r.Averages()
+	fmt.Fprintf(&b, "%-14s %11.0f%% %17.0f%%\n", "average", a, ai)
+	return b.String()
+}
+
+func sizeName(b int) string {
+	if b >= 1<<20 {
+		return fmt.Sprintf("%dMB", b>>20)
+	}
+	return fmt.Sprintf("%dkB", b>>10)
+}

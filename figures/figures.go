@@ -1,0 +1,183 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (Section IV): the I/OAT microbenchmarks, the ping-pong
+// curves of Figures 3 and 8, the CPU-usage breakdown of Figure 9, the
+// shared-memory curves of Figure 10, the IMB PingPong comparison of
+// Figure 11, the full IMB sweep of Figure 12, and the NAS-IS-style
+// workload mentioned in Section IV-D.
+//
+// Each Fig* function builds a fresh simulated testbed (two dual
+// quad-core Clovertown hosts back to back, as in the paper), runs the
+// workload, and returns the data as metrics tables whose series names
+// match the paper's legends. The cmd/omxsim tool prints them; the
+// figure tests assert their qualitative claims; bench_test.go wraps
+// them as testing.B benchmarks.
+package figures
+
+import (
+	"fmt"
+
+	"omxsim/cluster"
+	"omxsim/imb"
+	"omxsim/metrics"
+	"omxsim/mpi"
+	"omxsim/mxoe"
+	"omxsim/openmx"
+)
+
+// Stack selects a protocol stack for a benchmark run.
+type Stack struct {
+	// Kind is "openmx" or "mxoe".
+	Kind string
+	// OMX configures the Open-MX stack (Kind "openmx").
+	OMX openmx.Config
+	// MXRegCache configures the native stack (Kind "mxoe").
+	MXRegCache bool
+}
+
+// Name returns the paper-style legend label for the stack.
+func (s Stack) Name() string {
+	switch s.Kind {
+	case "mxoe":
+		return "MX"
+	case "openmx":
+		n := "Open-MX"
+		if s.OMX.SkipBHCopy {
+			n += " ignoring BH receive copy"
+		} else if s.OMX.IOAT {
+			n += " with DMA copy in BH receive"
+		}
+		if !s.OMX.RegCache {
+			n += " w/o regcache"
+		}
+		return n
+	}
+	return s.Kind
+}
+
+// testbed is a two-node world with ppn ranks per node (block
+// placement, as MPICH used).
+type testbed struct {
+	c *cluster.Cluster
+	w *mpi.World
+}
+
+// rankCores places up to two ranks per node on cores 2 and 4: distinct
+// L2 domains and distinct sockets, so the 2-ppn shared-memory traffic
+// crosses sockets (the situation the paper's I/OAT shm path wins in).
+var rankCores = []int{2, 4}
+
+// newTestbed builds the 2-node testbed over the given stack.
+func newTestbed(s Stack, ppn int) *testbed {
+	c := cluster.New(nil)
+	n0, n1 := c.NewHost("node0"), c.NewHost("node1")
+	cluster.Link(n0, n1)
+	open := func(h *cluster.Host) openmx.Transport {
+		switch s.Kind {
+		case "mxoe":
+			return mxoe.Attach(h, mxoe.Config{RegCache: s.MXRegCache})
+		case "openmx":
+			return openmx.Attach(h, s.OMX)
+		}
+		panic(fmt.Sprintf("figures: unknown stack kind %q", s.Kind))
+	}
+	t0, t1 := open(n0), open(n1)
+	w := mpi.NewWorld(c)
+	for r := 0; r < 2*ppn; r++ {
+		node, slot, tr := n0, r, t0
+		if r >= ppn {
+			node, slot, tr = n1, r-ppn, t1
+		}
+		w.AddRank(tr.Open(slot, rankCores[slot]), node, rankCores[slot])
+	}
+	return &testbed{c: c, w: w}
+}
+
+// runIMB runs one IMB test over a fresh testbed and returns its
+// results.
+func runIMB(s Stack, ppn int, test string, sizes []int, iters func(int) int) []imb.Result {
+	tb := newTestbed(s, ppn)
+	r := &imb.Runner{C: tb.c, W: tb.w, Iters: iters}
+	return r.Run(test, sizes)
+}
+
+// PingPongSizes is the 16 B – 4 MiB sweep of Figures 3 and 8.
+func PingPongSizes() []int { return imb.StandardSizes(16, 4<<20) }
+
+// WideSizes is the 16 B – 16 MiB sweep of Figures 10 and 11.
+func WideSizes() []int { return imb.StandardSizes(16, 16<<20) }
+
+// pingPongCurve measures IMB PingPong throughput (MiB/s) per size,
+// labelled with the paper's legend text.
+func pingPongCurve(name string, s Stack, sizes []int) *metrics.Series {
+	out := &metrics.Series{Name: name}
+	for _, res := range runIMB(s, 1, "PingPong", sizes, nil) {
+		out.Add(float64(res.Bytes), res.MiBps)
+	}
+	return out
+}
+
+// Fig3 regenerates Figure 3: native MX versus Open-MX versus the
+// prediction with the bottom-half receive copy ignored.
+func Fig3() *metrics.Table {
+	t := metrics.NewTable(
+		"Fig. 3: Expected Open-MX improvement when removing the BH receive copy",
+		"msgsize", "MiB/s")
+	sizes := PingPongSizes()
+	curves := []struct {
+		name string
+		s    Stack
+	}{
+		{"MX", Stack{Kind: "mxoe", MXRegCache: true}},
+		{"Open-MX ignoring BH receive copy", Stack{Kind: "openmx", OMX: openmx.Config{SkipBHCopy: true, RegCache: true}}},
+		{"Open-MX", Stack{Kind: "openmx", OMX: openmx.Config{RegCache: true}}},
+	}
+	for _, c := range curves {
+		t.Series = append(t.Series, pingPongCurve(c.name, c.s, sizes))
+	}
+	return t
+}
+
+// Fig8 regenerates Figure 8: Figure 3 plus the I/OAT overlapped-copy
+// curve.
+func Fig8() *metrics.Table {
+	t := metrics.NewTable(
+		"Fig. 8: Ping-pong improvement using I/OAT vs the no-copy prediction",
+		"msgsize", "MiB/s")
+	sizes := PingPongSizes()
+	curves := []struct {
+		name string
+		s    Stack
+	}{
+		{"MX", Stack{Kind: "mxoe", MXRegCache: true}},
+		{"Open-MX ignoring BH receive copy", Stack{Kind: "openmx", OMX: openmx.Config{SkipBHCopy: true, RegCache: true}}},
+		{"Open-MX with DMA copy in BH receive", Stack{Kind: "openmx", OMX: openmx.Config{IOAT: true, RegCache: true}}},
+		{"Open-MX", Stack{Kind: "openmx", OMX: openmx.Config{RegCache: true}}},
+	}
+	for _, c := range curves {
+		t.Series = append(t.Series, pingPongCurve(c.name, c.s, sizes))
+	}
+	return t
+}
+
+// Fig11 regenerates Figure 11: IMB PingPong over MXoE and Open-MX,
+// with I/OAT and the registration cache enabled or not.
+func Fig11() *metrics.Table {
+	t := metrics.NewTable(
+		"Fig. 11: IMB PingPong with I/OAT and registration cache on/off",
+		"msgsize", "MiB/s")
+	sizes := WideSizes()
+	curves := []struct {
+		name string
+		s    Stack
+	}{
+		{"MX", Stack{Kind: "mxoe", MXRegCache: true}},
+		{"Open-MX I/OAT", Stack{Kind: "openmx", OMX: openmx.Config{IOAT: true, RegCache: true}}},
+		{"Open-MX", Stack{Kind: "openmx", OMX: openmx.Config{RegCache: true}}},
+		{"Open-MX I/OAT w/o regcache", Stack{Kind: "openmx", OMX: openmx.Config{IOAT: true}}},
+		{"Open-MX w/o regcache", Stack{Kind: "openmx", OMX: openmx.Config{}}},
+	}
+	for _, c := range curves {
+		t.Series = append(t.Series, pingPongCurve(c.name, c.s, sizes))
+	}
+	return t
+}

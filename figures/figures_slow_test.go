@@ -1,0 +1,81 @@
+package figures
+
+import "testing"
+
+// Slow guardrails for the IMB-based figures (skipped in -short runs).
+
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tab := Fig11()
+	const big = 16 << 20
+	mx, _ := tab.Get("MX").At(big)
+	ioat, _ := tab.Get("Open-MX I/OAT").At(big)
+	plain, _ := tab.Get("Open-MX").At(big)
+	ioatNoRC, _ := tab.Get("Open-MX I/OAT w/o regcache").At(big)
+	plainNoRC, _ := tab.Get("Open-MX w/o regcache").At(big)
+
+	// Paper: Open-MX+I/OAT reaches MX's large-message performance.
+	if ioat < mx*0.95 {
+		t.Errorf("16MB: ioat=%.0f below MX=%.0f", ioat, mx)
+	}
+	// I/OAT matters more than the registration cache: the regcache
+	// delta is smaller than the I/OAT delta.
+	regcacheDelta := plain - plainNoRC
+	ioatDelta := ioat - plain
+	if regcacheDelta >= ioatDelta {
+		t.Errorf("regcache delta %.0f ≥ I/OAT delta %.0f; paper says I/OAT dominates",
+			regcacheDelta, ioatDelta)
+	}
+	// Both no-regcache variants must not beat their cached versions.
+	if plainNoRC > plain*1.02 || ioatNoRC > ioat*1.02 {
+		t.Errorf("regcache-off beats regcache-on: %.0f vs %.0f / %.0f vs %.0f",
+			plainNoRC, plain, ioatNoRC, ioat)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// 4 MB, 1 ppn: paper reports a 32 % average improvement, reaching
+	// 90 % of MXoE.
+	p1 := Fig12(4<<20, 1)
+	omxAvg, ioatAvg := p1.Averages()
+	improvement := ioatAvg/omxAvg - 1
+	if improvement < 0.20 || improvement > 0.45 {
+		t.Errorf("4MB 1ppn improvement = %.0f%%, paper ≈32%%", improvement*100)
+	}
+	if ioatAvg < 80 || ioatAvg > 100 {
+		t.Errorf("4MB 1ppn I/OAT average = %.0f%% of MXoE, paper ≈90%%", ioatAvg)
+	}
+	// Every test must improve with I/OAT at 4 MB.
+	for i, test := range p1.Tests {
+		if p1.OMXIOATPct[i] < p1.OMXPct[i] {
+			t.Errorf("4MB 1ppn %s: I/OAT (%.0f%%) below plain (%.0f%%)",
+				test, p1.OMXIOATPct[i], p1.OMXPct[i])
+		}
+	}
+
+	// 4 MB, 2 ppn: the shared-memory I/OAT path makes the average
+	// improvement even larger (paper: 41 % vs 32 %).
+	p2 := Fig12(4<<20, 2)
+	omxAvg2, ioatAvg2 := p2.Averages()
+	improvement2 := ioatAvg2/omxAvg2 - 1
+	if improvement2 <= improvement {
+		t.Errorf("2ppn improvement %.0f%% not larger than 1ppn %.0f%%",
+			improvement2*100, improvement*100)
+	}
+	// "Open-MX is now able to even pass the native MXoE performance
+	// on several IMB tests."
+	passed := 0
+	for i := range p2.Tests {
+		if p2.OMXIOATPct[i] >= 100 {
+			passed++
+		}
+	}
+	if passed < 2 {
+		t.Errorf("only %d tests pass MXoE at 4MB 2ppn; paper reports several", passed)
+	}
+}

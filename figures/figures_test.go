@@ -1,0 +1,196 @@
+package figures
+
+import (
+	"testing"
+)
+
+// The tests in this file are the reproduction guardrails: each figure
+// must show the paper's qualitative result (who wins, where the
+// crossovers fall, roughly what factors) or the reproduction is
+// broken.
+
+func TestMicroNumbersMatchPaper(t *testing.T) {
+	m := MicroNumbers()
+	if m.SubmitNs != 350 {
+		t.Errorf("submission = %.0f ns, paper: ≈350", m.SubmitNs)
+	}
+	if m.MemcpyColdGiBps < 1.4 || m.MemcpyColdGiBps > 1.8 {
+		t.Errorf("cold memcpy = %.2f GiB/s, paper: ≈1.6", m.MemcpyColdGiBps)
+	}
+	if m.IOAT4kGiBps < 2.2 || m.IOAT4kGiBps > 2.6 {
+		t.Errorf("I/OAT 4k chunks = %.2f GiB/s, paper: ≈2.4", m.IOAT4kGiBps)
+	}
+	if m.BreakEvenColdB < 400 || m.BreakEvenColdB > 800 {
+		t.Errorf("cold break-even = %d B, paper: ≈600", m.BreakEvenColdB)
+	}
+	if m.BreakEvenCachedB < 1200 || m.BreakEvenCachedB > 3000 {
+		t.Errorf("cached break-even = %d B, paper: ≈2k", m.BreakEvenCachedB)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	tab := Fig7()
+	const big = 1 << 20
+	m4, _ := tab.Get("Memcpy - 4kB chunks (page)").At(big)
+	i4, _ := tab.Get("I/OAT Copy - 4kB chunks (page)").At(big)
+	i1, _ := tab.Get("I/OAT Copy - 1kB chunks").At(big)
+	i256, _ := tab.Get("I/OAT Copy - 256B chunks").At(big)
+	m256, _ := tab.Get("Memcpy - 256B chunks").At(big)
+	// Paper: with 4 kB chunks I/OAT sustains ≈2.4 GiB/s vs memcpy
+	// ≈1.5; at 1 kB they are comparable; at 256 B I/OAT is far worse.
+	if i4 < m4*1.4 || i4 < 2200 {
+		t.Errorf("1MB/4k: ioat=%.0f memcpy=%.0f, want ioat ≈2400 ≈1.6× memcpy", i4, m4)
+	}
+	if i1 < m4*0.75 || i1 > m4*1.25 {
+		t.Errorf("1MB/1k: ioat=%.0f vs memcpy=%.0f, want comparable", i1, m4)
+	}
+	if i256 > m256*0.6 {
+		t.Errorf("1MB/256B: ioat=%.0f vs memcpy=%.0f, want ioat well below", i256, m256)
+	}
+	// Small total sizes should not favour I/OAT at all.
+	iSmall, _ := tab.Get("I/OAT Copy - 4kB chunks (page)").At(1024)
+	mSmall, _ := tab.Get("Memcpy - 4kB chunks (page)").At(1024)
+	if iSmall > mSmall {
+		t.Errorf("1kB total: ioat=%.0f above memcpy=%.0f", iSmall, mSmall)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	tab := Fig3()
+	const big = 4 << 20
+	mx, _ := tab.Get("MX").At(big)
+	omx, _ := tab.Get("Open-MX").At(big)
+	nocopy, _ := tab.Get("Open-MX ignoring BH receive copy").At(big)
+	// Paper: MX ≈1140, Open-MX saturates near 800, prediction ≈ line rate.
+	if mx < 1080 || mx > 1190 {
+		t.Errorf("MX large = %.0f MiB/s, want ≈1140", mx)
+	}
+	if omx < 700 || omx > 900 {
+		t.Errorf("Open-MX large = %.0f MiB/s, want ≈800", omx)
+	}
+	if nocopy < 1100 {
+		t.Errorf("no-copy prediction = %.0f MiB/s, want ≈line rate", nocopy)
+	}
+	// MX must beat Open-MX across the sweep (it does everywhere in
+	// the paper's Figure 3).
+	for _, pt := range tab.Get("Open-MX").Points {
+		if mxv, ok := tab.Get("MX").At(pt.X); ok && pt.Y > mxv*1.05 {
+			t.Errorf("at %s Open-MX (%.0f) beats MX (%.0f)", sizeName(int(pt.X)), pt.Y, mxv)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	tab := Fig8()
+	ioat := tab.Get("Open-MX with DMA copy in BH receive")
+	plain := tab.Get("Open-MX")
+	nocopy := tab.Get("Open-MX ignoring BH receive copy")
+	// Paper: ≥50 % gain for >32 kB messages; I/OAT stays below the
+	// prediction at mid sizes but approaches line rate at multi-MB.
+	for _, pt := range ioat.Points {
+		size := int(pt.X)
+		pv, _ := plain.At(pt.X)
+		nv, _ := nocopy.At(pt.X)
+		if size > 64*1024 && pt.Y < pv*1.2 {
+			t.Errorf("at %s: ioat=%.0f < 1.2× plain=%.0f", sizeName(size), pt.Y, pv)
+		}
+		if pt.Y > nv*1.05 {
+			t.Errorf("at %s: ioat=%.0f beats the no-copy bound %.0f", sizeName(size), pt.Y, nv)
+		}
+	}
+	big, _ := ioat.At(4 << 20)
+	if big < 1020 {
+		t.Errorf("ioat multi-MB = %.0f MiB/s, want ≥ ≈1100 (paper: 1114)", big)
+	}
+	// Below the rendezvous threshold I/OAT must not change anything.
+	sm, _ := ioat.At(4096)
+	pm, _ := plain.At(4096)
+	if sm < pm*0.9 || sm > pm*1.1 {
+		t.Errorf("4kB: ioat=%.0f vs plain=%.0f, want unchanged", sm, pm)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	mem, ioat := Fig9()
+	last := len(mem) - 1
+	// Paper: memcpy path saturates ≈95 % of a core at multi-MB sizes;
+	// I/OAT drops the total to ≈60 %.
+	if mem[last].Total() < 85 {
+		t.Errorf("memcpy 16MB total CPU = %.0f%%, want ≈95%%", mem[last].Total())
+	}
+	if ioat[last].Total() > mem[last].Total()-20 {
+		t.Errorf("ioat 16MB total CPU = %.0f%% vs memcpy %.0f%%, want big drop",
+			ioat[last].Total(), mem[last].Total())
+	}
+	if ioat[last].Total() < 40 || ioat[last].Total() > 75 {
+		t.Errorf("ioat 16MB total CPU = %.0f%%, want ≈60%%", ioat[last].Total())
+	}
+	// The drop must come from the bottom half, not the driver.
+	if ioat[last].BHPct >= mem[last].BHPct {
+		t.Errorf("BH share did not drop: %.0f%% -> %.0f%%", mem[last].BHPct, ioat[last].BHPct)
+	}
+	// 64 kB: paper reports ≈50 % (memcpy) vs ≈42 % (I/OAT) — smaller gap.
+	if ioat[0].Total() >= mem[0].Total() {
+		t.Errorf("64kB: ioat %.0f%% not below memcpy %.0f%%", ioat[0].Total(), mem[0].Total())
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tab := Fig10()
+	sameL2 := tab.Get("Memcpy on the same dual-core subchip")
+	cross := tab.Get("Memcpy between different processor sockets")
+	ioat := tab.Get("I/OAT offloaded synchronous copy")
+
+	// Shared-L2 memcpy peaks high (paper: ≈6 GiB/s ≈ 6144 MiB/s) for
+	// cache-resident sizes, then falls off beyond ≈1 MB.
+	peak := sameL2.Max()
+	if peak < 3500 {
+		t.Errorf("shared-L2 peak = %.0f MiB/s, want multi-GiB/s", peak)
+	}
+	at64k, _ := sameL2.At(64 << 10)
+	at16m, _ := sameL2.At(16 << 20)
+	if at16m > at64k/2 {
+		t.Errorf("no cache falloff: 64kB=%.0f vs 16MB=%.0f", at64k, at16m)
+	}
+	// Cross-socket memcpy is ≈1.2 GiB/s for large messages.
+	cr16, _ := cross.At(16 << 20)
+	if cr16 < 900 || cr16 > 1700 {
+		t.Errorf("cross-socket 16MB = %.0f MiB/s, want ≈1200", cr16)
+	}
+	// I/OAT jumps at the 32 kB threshold and sustains ≈2.3 GiB/s
+	// (≈2350 MiB/s), beating cold memcpy by ≈80 %.
+	io16, _ := ioat.At(16 << 20)
+	if io16 < 1900 || io16 > 2600 {
+		t.Errorf("I/OAT shm 16MB = %.0f MiB/s, want ≈2300", io16)
+	}
+	if io16 < cr16*1.5 {
+		t.Errorf("I/OAT (%.0f) not ≈80%% above cross-socket memcpy (%.0f)", io16, cr16)
+	}
+	// Below the threshold the I/OAT config behaves like memcpy.
+	ioSmall, _ := ioat.At(16 << 10)
+	crSmall, _ := cross.At(16 << 10)
+	if ioSmall < crSmall*0.8 || ioSmall > crSmall*1.25 {
+		t.Errorf("below threshold: ioat=%.0f vs memcpy=%.0f, want equal", ioSmall, crSmall)
+	}
+}
+
+func TestNASISShape(t *testing.T) {
+	rs := NASIS(1<<16, 2)
+	var omx, ioat float64
+	for _, r := range rs {
+		switch r.Stack {
+		case "Open-MX":
+			omx = r.TimeMs
+		case "Open-MX I/OAT":
+			ioat = r.TimeMs
+		}
+	}
+	gain := omx/ioat - 1
+	// Paper: "up to 10 % performance increase ... especially on IS".
+	if gain < 0.02 {
+		t.Errorf("IS proxy I/OAT gain = %.1f%%, want a clear improvement", gain*100)
+	}
+	if gain > 0.45 {
+		t.Errorf("IS proxy I/OAT gain = %.1f%% looks implausibly large", gain*100)
+	}
+}

@@ -1,0 +1,146 @@
+package figures
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"omxsim/mpi"
+	"omxsim/openmx"
+	"omxsim/sim"
+)
+
+// The NAS Integer Sort proxy (Section IV-D: "We also observed up to
+// 10 % performance increase on the NAS parallel benchmarks,
+// especially on IS which relies on large messages").
+//
+// Each rank owns keysPerRank uint32 keys; one iteration bins the keys
+// by owner range (local compute), exchanges the bins with Alltoallv
+// (large messages — the path I/OAT accelerates), and sorts the
+// received keys (local compute). The keys really move and the final
+// distribution is verified, so this doubles as a cross-stack
+// integrity test.
+
+// NASISResult is the runtime of the IS proxy on one stack.
+type NASISResult struct {
+	Stack  string
+	TimeMs float64
+}
+
+// RunNASIS runs the IS proxy (iterations × bin/exchange/sort) over
+// the given stack on 2 nodes × 2 processes and reports the measured
+// loop time. keysPerRank of 1<<18 gives ≈1 MiB per rank per exchange.
+func RunNASIS(s Stack, name string, keysPerRank, iterations int) NASISResult {
+	tb := newTestbed(s, 2)
+	p := tb.w.Size()
+	perRank := keysPerRank * 4 // bytes
+	var elapsed sim.Duration
+	ok := true
+	tb.w.Spawn(func(r *mpi.Rank) {
+		// Deterministic key generation (keys in [0, 1<<20)).
+		keys := make([]uint32, keysPerRank)
+		st := uint32(r.ID*2654435761 + 12345)
+		for i := range keys {
+			st = st*1664525 + 1013904223
+			keys[i] = st % (1 << 20)
+		}
+		sbuf := r.Host.Alloc(perRank)
+		rbuf := r.Host.Alloc(perRank * p) // worst-case skew headroom
+		r.Barrier()
+		t0 := r.Now()
+		var recvKeys []uint32
+		for it := 0; it < iterations; it++ {
+			// Bin keys by owning rank (range partitioning).
+			r.Compute(perRank) // histogram + scatter pass
+			bins := make([][]uint32, p)
+			for _, k := range keys {
+				owner := int(k) * p / (1 << 20)
+				bins[owner] = append(bins[owner], k)
+			}
+			soffs, scounts := make([]int, p), make([]int, p)
+			off := 0
+			for dst := 0; dst < p; dst++ {
+				soffs[dst] = off
+				scounts[dst] = 4 * len(bins[dst])
+				for i, k := range bins[dst] {
+					binary.LittleEndian.PutUint32(sbuf.Bytes()[off+4*i:], k)
+				}
+				off += scounts[dst]
+			}
+			// Exchange bin sizes, then the keys themselves.
+			countBuf := r.Host.Alloc(8 * p)
+			countOut := r.Host.Alloc(8 * p)
+			for dst := 0; dst < p; dst++ {
+				binary.LittleEndian.PutUint64(countBuf.Bytes()[8*dst:], uint64(scounts[dst]))
+			}
+			r.Alltoall(countBuf, 8, countOut)
+			roffs, rcounts := make([]int, p), make([]int, p)
+			off = 0
+			for src := 0; src < p; src++ {
+				rcounts[src] = int(binary.LittleEndian.Uint64(countOut.Bytes()[8*src:]))
+				roffs[src] = off
+				off += rcounts[src]
+			}
+			r.Alltoallv(sbuf, soffs, scounts, rbuf, roffs, rcounts)
+			// Local sort of received keys.
+			total := off / 4
+			recvKeys = recvKeys[:0]
+			for i := 0; i < total; i++ {
+				recvKeys = append(recvKeys, binary.LittleEndian.Uint32(rbuf.Bytes()[4*i:]))
+			}
+			sort.Slice(recvKeys, func(a, b int) bool { return recvKeys[a] < recvKeys[b] })
+			r.Compute(off * 2) // counting-sort pass over received keys
+		}
+		r.Barrier()
+		if r.ID == 0 {
+			elapsed = r.Now() - t0
+		}
+		// Verify: every received key belongs to this rank's range.
+		lo := uint32(r.ID * (1 << 20) / p)
+		hi := uint32((r.ID + 1) * (1 << 20) / p)
+		for _, k := range recvKeys {
+			if k < lo || k >= hi {
+				ok = false
+			}
+		}
+	})
+	if blocked := tb.c.Run(); blocked != 0 {
+		panic("figures: NAS IS deadlocked")
+	}
+	if !ok {
+		panic("figures: NAS IS key distribution incorrect")
+	}
+	return NASISResult{Stack: name, TimeMs: float64(elapsed) / 1e6}
+}
+
+// NASIS compares the IS proxy across the three stacks of Section IV.
+func NASIS(keysPerRank, iterations int) []NASISResult {
+	return []NASISResult{
+		RunNASIS(Stack{Kind: "mxoe", MXRegCache: true}, "MXoE", keysPerRank, iterations),
+		RunNASIS(Stack{Kind: "openmx", OMX: omxCfg(false)}, "Open-MX", keysPerRank, iterations),
+		RunNASIS(Stack{Kind: "openmx", OMX: omxCfg(true)}, "Open-MX I/OAT", keysPerRank, iterations),
+	}
+}
+
+func omxCfg(ioat bool) openmx.Config {
+	return openmx.Config{RegCache: true, IOAT: ioat, IOATShm: ioat}
+}
+
+// RenderNASIS formats the comparison.
+func RenderNASIS(rs []NASISResult) string {
+	out := "# NAS IS proxy (bucket exchange, 2 nodes x 2 ppn)\n"
+	var base float64
+	for _, r := range rs {
+		if r.Stack == "Open-MX" {
+			base = r.TimeMs
+		}
+	}
+	for _, r := range rs {
+		rel := ""
+		if base > 0 && r.Stack != "Open-MX" {
+			rel = fmt.Sprintf("  (%+.0f%% vs Open-MX)", (base/r.TimeMs-1)*100)
+		}
+		out += fmt.Sprintf("%-14s %8.2f ms%s\n", r.Stack, r.TimeMs, rel)
+	}
+	return out
+}

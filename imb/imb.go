@@ -1,0 +1,272 @@
+// Package imb reimplements the Intel MPI Benchmarks patterns the
+// paper's Figures 11 and 12 report: PingPong, PingPing, SendRecv,
+// Exchange, Allreduce, Reduce, ReduceScatter, Allgather, Allgatherv,
+// Alltoall and Bcast, with IMB's timing conventions (barrier, warm-up
+// round, time = max across ranks averaged over iterations).
+package imb
+
+import (
+	"fmt"
+	"sort"
+
+	"omxsim/cluster"
+	"omxsim/mpi"
+	"omxsim/sim"
+)
+
+// Tests lists the benchmark names in the paper's Figure 12 order.
+func Tests() []string {
+	return []string{
+		"PingPong", "PingPing", "SendRecv", "Exchange",
+		"Allreduce", "Reduce", "ReduceScatter",
+		"Allgather", "Allgatherv", "Alltoall", "Bcast",
+	}
+}
+
+// Result is one (test, size) measurement.
+type Result struct {
+	Test  string
+	Bytes int
+	// TimeUsec is the IMB time metric: for PingPong, half the round
+	// trip; otherwise the per-iteration time (max across ranks).
+	TimeUsec float64
+	// MiBps is the bandwidth metric for the point-to-point tests
+	// (bytes×factor / time); zero for collectives.
+	MiBps float64
+}
+
+// Runner executes benchmarks on a world. Create one per (cluster,
+// world) pair.
+type Runner struct {
+	C *cluster.Cluster
+	W *mpi.World
+	// Iterations per size; nil selects a default schedule that keeps
+	// simulations fast while averaging out transients.
+	Iters func(bytes int) int
+}
+
+// DefaultIters is the default iteration schedule.
+func DefaultIters(bytes int) int {
+	switch {
+	case bytes <= 4*1024:
+		return 12
+	case bytes <= 256*1024:
+		return 6
+	default:
+		return 3
+	}
+}
+
+func (r *Runner) iters(bytes int) int {
+	if r.Iters != nil {
+		return r.Iters(bytes)
+	}
+	return DefaultIters(bytes)
+}
+
+// bandwidthFactor is IMB's bytes-moved multiplier per test.
+func bandwidthFactor(test string) float64 {
+	switch test {
+	case "PingPong", "PingPing":
+		return 1
+	case "SendRecv":
+		return 2
+	case "Exchange":
+		return 4
+	default:
+		return 0
+	}
+}
+
+// Run executes one benchmark across the given message sizes and
+// returns a result per size. It spawns the rank processes and drives
+// the cluster to completion.
+func (r *Runner) Run(test string, sizes []int) []Result {
+	p := r.W.Size()
+	elapsed := make([]map[int]sim.Duration, p) // per rank: size → time
+	for i := range elapsed {
+		elapsed[i] = make(map[int]sim.Duration)
+	}
+	body, bufSizer := r.pattern(test)
+	// Pre-allocate buffers outside the ranks (sizes are shared).
+	maxSize := 0
+	for _, s := range sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	bufs := make([]benchBufs, p)
+	for i := 0; i < p; i++ {
+		sb, rb := bufSizer(maxSize, p)
+		h := r.W.Rank(i).Host
+		bufs[i] = benchBufs{s: h.Alloc(sb), r: h.Alloc(rb)}
+		bufs[i].s.Fill(byte(i + 1))
+	}
+	r.W.Spawn(func(rk *mpi.Rank) {
+		for _, size := range sizes {
+			iters := r.iters(size)
+			rk.Barrier()
+			body(rk, size, bufs[rk.ID]) // warm-up round
+			rk.Barrier()
+			t0 := rk.Now()
+			for it := 0; it < iters; it++ {
+				body(rk, size, bufs[rk.ID])
+			}
+			elapsed[rk.ID][size] = (rk.Now() - t0) / sim.Duration(iters)
+			rk.Barrier()
+		}
+	})
+	if blocked := r.C.Run(); blocked != 0 {
+		panic(fmt.Sprintf("imb: %s deadlocked with %d ranks blocked", test, blocked))
+	}
+	var out []Result
+	for _, size := range sizes {
+		var worst sim.Duration
+		for i := 0; i < p; i++ {
+			if elapsed[i][size] > worst {
+				worst = elapsed[i][size]
+			}
+		}
+		res := Result{Test: test, Bytes: size, TimeUsec: float64(worst) / 1000}
+		if test == "PingPong" {
+			res.TimeUsec /= 2 // IMB reports half the round trip
+		}
+		if f := bandwidthFactor(test); f > 0 && res.TimeUsec > 0 {
+			res.MiBps = float64(size) * f / 1024 / 1024 / (res.TimeUsec / 1e6)
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+type benchBufs struct {
+	s, r *cluster.Buffer
+}
+
+// pattern returns the per-iteration body of a test and its buffer
+// sizing rule (send bytes, recv bytes) for world size p.
+func (r *Runner) pattern(test string) (func(rk *mpi.Rank, n int, b benchBufs), func(maxSize, p int) (int, int)) {
+	plain := func(m, p int) (int, int) { return m, m }
+	scaled := func(m, p int) (int, int) { return m * p, m * p }
+	switch test {
+	case "PingPong":
+		// Ranks 0 and 1 bounce a message; everyone else idles at the
+		// surrounding barriers (IMB semantics for >2 ranks).
+		return func(rk *mpi.Rank, n int, b benchBufs) {
+			const tag = 77
+			switch rk.ID {
+			case 0:
+				rk.Produce(b.s)
+				rk.Send(1, tag, b.s, 0, n)
+				rk.Recv(1, tag, b.r, 0, n)
+			case 1:
+				rk.Recv(0, tag, b.r, 0, n)
+				rk.Produce(b.s)
+				rk.Send(0, tag, b.s, 0, n)
+			}
+		}, plain
+	case "PingPing":
+		return func(rk *mpi.Rank, n int, b benchBufs) {
+			const tag = 78
+			if rk.ID > 1 {
+				return
+			}
+			peer := 1 - rk.ID
+			rk.Produce(b.s)
+			sreq := rk.Isend(peer, tag, b.s, 0, n)
+			rk.Recv(peer, tag, b.r, 0, n)
+			rk.Wait(sreq)
+		}, plain
+	case "SendRecv":
+		// Chain: receive from the left, send to the right.
+		return func(rk *mpi.Rank, n int, b benchBufs) {
+			const tag = 79
+			p := rk.Size()
+			right, left := (rk.ID+1)%p, (rk.ID-1+p)%p
+			rk.Produce(b.s)
+			rk.SendRecv(right, tag, b.s, 0, n, left, tag, b.r, 0, n)
+		}, plain
+	case "Exchange":
+		return func(rk *mpi.Rank, n int, b benchBufs) {
+			const tag = 80
+			p := rk.Size()
+			right, left := (rk.ID+1)%p, (rk.ID-1+p)%p
+			rk.Produce(b.s)
+			s1 := rk.Isend(left, tag, b.s, 0, n)
+			s2 := rk.Isend(right, tag, b.s, 0, n)
+			rk.Recv(left, tag, b.r, 0, n)
+			rk.Recv(right, tag, b.r, 0, n)
+			rk.Wait(s1)
+			rk.Wait(s2)
+		}, plain
+	case "Allreduce":
+		return func(rk *mpi.Rank, n int, b benchBufs) {
+			rk.Produce(b.s)
+			rk.Allreduce(b.s, b.r, n)
+		}, plain
+	case "Reduce":
+		return func(rk *mpi.Rank, n int, b benchBufs) {
+			rk.Produce(b.s)
+			rk.Reduce(0, b.s, b.r, n)
+		}, plain
+	case "ReduceScatter":
+		// IMB: total reduced vector of n bytes, n/p per rank.
+		return func(rk *mpi.Rank, n int, b benchBufs) {
+			p := rk.Size()
+			chunk := n / p
+			if chunk == 0 {
+				chunk = 1
+			}
+			rk.Produce(b.s)
+			rk.ReduceScatter(b.s, b.r, chunk)
+		}, plain
+	case "Allgather":
+		return func(rk *mpi.Rank, n int, b benchBufs) {
+			rk.Produce(b.s)
+			rk.Allgather(b.s, n, b.r)
+		}, scaled
+	case "Allgatherv":
+		return func(rk *mpi.Rank, n int, b benchBufs) {
+			sizes := make([]int, rk.Size())
+			for i := range sizes {
+				sizes[i] = n
+			}
+			rk.Produce(b.s)
+			rk.Allgatherv(b.s, n, b.r, sizes)
+		}, scaled
+	case "Alltoall":
+		return func(rk *mpi.Rank, n int, b benchBufs) {
+			rk.Produce(b.s)
+			rk.Alltoall(b.s, n, b.r)
+		}, scaled
+	case "Bcast":
+		return func(rk *mpi.Rank, n int, b benchBufs) {
+			if rk.ID == 0 {
+				rk.Produce(b.s)
+			}
+			rk.Bcast(0, b.s, 0, n)
+		}, plain
+	default:
+		panic(fmt.Sprintf("imb: unknown test %q", test))
+	}
+}
+
+// StandardSizes returns the power-of-two sweep from lo to hi bytes.
+func StandardSizes(lo, hi int) []int {
+	var out []int
+	for s := lo; s <= hi; s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// SortResults orders results by test name then size (stable output
+// for tables).
+func SortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Test != rs[j].Test {
+			return rs[i].Test < rs[j].Test
+		}
+		return rs[i].Bytes < rs[j].Bytes
+	})
+}

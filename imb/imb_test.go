@@ -1,0 +1,115 @@
+package imb
+
+import (
+	"testing"
+
+	"omxsim/cluster"
+	"omxsim/mpi"
+	"omxsim/openmx"
+)
+
+func newRunner(t *testing.T, ppn int) *Runner {
+	t.Helper()
+	c := cluster.New(nil)
+	n0, n1 := c.NewHost("n0"), c.NewHost("n1")
+	cluster.Link(n0, n1)
+	cfg := openmx.Config{RegCache: true}
+	t0, t1 := openmx.Attach(n0, cfg), openmx.Attach(n1, cfg)
+	w := mpi.NewWorld(c)
+	cores := []int{2, 4}
+	for r := 0; r < 2*ppn; r++ {
+		node, slot, tr := n0, r, openmx.Transport(t0)
+		if r >= ppn {
+			node, slot, tr = n1, r-ppn, t1
+		}
+		w.AddRank(tr.Open(slot, cores[slot]), node, cores[slot])
+	}
+	t.Cleanup(c.Close)
+	return &Runner{C: c, W: w, Iters: func(int) int { return 3 }}
+}
+
+func TestTestsListMatchesFigure12(t *testing.T) {
+	ts := Tests()
+	if len(ts) != 11 {
+		t.Fatalf("%d tests, want the paper's 11", len(ts))
+	}
+	if ts[0] != "PingPong" || ts[10] != "Bcast" {
+		t.Fatalf("order wrong: %v", ts)
+	}
+}
+
+func TestStandardSizes(t *testing.T) {
+	s := StandardSizes(16, 128)
+	want := []int{16, 32, 64, 128}
+	if len(s) != len(want) {
+		t.Fatalf("sizes = %v", s)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("sizes = %v", s)
+		}
+	}
+}
+
+func TestPingPongResultSanity(t *testing.T) {
+	r := newRunner(t, 1)
+	res := r.Run("PingPong", []int{1024, 65536})
+	if len(res) != 2 {
+		t.Fatalf("%d results", len(res))
+	}
+	for _, x := range res {
+		if x.TimeUsec <= 0 || x.MiBps <= 0 {
+			t.Fatalf("bad result %+v", x)
+		}
+	}
+	// Larger messages must have higher bandwidth here.
+	if res[1].MiBps <= res[0].MiBps {
+		t.Fatalf("bandwidth not increasing: %v", res)
+	}
+}
+
+func TestCollectiveHasTimeNoBandwidth(t *testing.T) {
+	r := newRunner(t, 2)
+	res := r.Run("Allreduce", []int{4096})
+	if res[0].MiBps != 0 || res[0].TimeUsec <= 0 {
+		t.Fatalf("collective metrics wrong: %+v", res[0])
+	}
+}
+
+func TestEveryTestRunsOn2PPN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, test := range Tests() {
+		r := newRunner(t, 2)
+		res := r.Run(test, []int{8192})
+		if len(res) != 1 || res[0].TimeUsec <= 0 {
+			t.Fatalf("%s: bad result %+v", test, res)
+		}
+	}
+}
+
+func TestBandwidthFactors(t *testing.T) {
+	if bandwidthFactor("PingPong") != 1 || bandwidthFactor("SendRecv") != 2 ||
+		bandwidthFactor("Exchange") != 4 || bandwidthFactor("Bcast") != 0 {
+		t.Fatal("IMB bandwidth factors wrong")
+	}
+}
+
+func TestSortResults(t *testing.T) {
+	rs := []Result{{Test: "B", Bytes: 2}, {Test: "A", Bytes: 9}, {Test: "B", Bytes: 1}}
+	SortResults(rs)
+	if rs[0].Test != "A" || rs[1].Bytes != 1 || rs[2].Bytes != 2 {
+		t.Fatalf("sorted = %v", rs)
+	}
+}
+
+func TestUnknownTestPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	r := newRunner(t, 1)
+	r.Run("NotATest", []int{16})
+}

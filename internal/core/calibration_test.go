@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"omxsim/sim"
+)
+
+// pingpongMiBps measures the paper's ping-pong throughput metric:
+// message size divided by half the round-trip time, averaged over
+// iters warm round trips (after one warm-up).
+func pingpongMiBps(t *testing.T, pr *pair, n, iters int) float64 {
+	t.Helper()
+	bufA := pr.sa.H.Alloc(n)
+	bufB := pr.sb.H.Alloc(n)
+	bufA.Fill(1)
+	var t0, t1 sim.Time
+	pr.e.Go("rankB", func(p *sim.Proc) {
+		for i := 0; i <= iters; i++ {
+			r := pr.epB.IRecv(p, 1, ^uint64(0), bufB, 0, n)
+			pr.epB.Wait(p, r)
+			s := pr.epB.ISend(p, pr.epA.Addr(), 2, bufB, 0, n)
+			pr.epB.Wait(p, s)
+		}
+	})
+	pr.e.Go("rankA", func(p *sim.Proc) {
+		for i := 0; i <= iters; i++ {
+			if i == 1 {
+				t0 = p.Now() // after warm-up round
+			}
+			s := pr.epA.ISend(p, pr.epB.Addr(), 1, bufA, 0, n)
+			pr.epA.Wait(p, s)
+			r := pr.epA.IRecv(p, 2, ^uint64(0), bufA, 0, n)
+			pr.epA.Wait(p, r)
+		}
+		t1 = p.Now()
+	})
+	pr.e.RunUntil(pr.e.Now() + 30*sim.Second)
+	if t1 == 0 {
+		t.Fatalf("ping-pong (n=%d) did not finish; blocked: %v", n, pr.e.BlockedProcs())
+	}
+	half := (t1 - t0).Seconds() / float64(2*iters)
+	return float64(n) / 1024 / 1024 / half
+}
+
+// The three headline curves of Figures 3 and 8 at multi-megabyte
+// sizes: plain Open-MX saturates near 800 MiB/s, the no-BH-copy
+// prediction reaches the ≈1186 MiB/s line rate, and I/OAT offload
+// comes within a few percent of it (paper: 1114 MiB/s).
+func TestCalibrationLargePingPong(t *testing.T) {
+	const n, iters = 4 << 20, 4
+
+	plain := pingpongMiBps(t, newPair(t, Config{RegCache: true}, Config{RegCache: true}), n, iters)
+	if plain < 700 || plain > 900 {
+		t.Errorf("plain Open-MX = %.0f MiB/s, want ≈800", plain)
+	}
+
+	nocopy := pingpongMiBps(t, newPair(t,
+		Config{SkipBHCopy: true, RegCache: true}, Config{SkipBHCopy: true, RegCache: true}), n, iters)
+	if nocopy < 1100 || nocopy > 1190 {
+		t.Errorf("no-BH-copy prediction = %.0f MiB/s, want ≈1160+", nocopy)
+	}
+
+	ioat := pingpongMiBps(t, newPair(t,
+		Config{IOAT: true, RegCache: true}, Config{IOAT: true, RegCache: true}), n, iters)
+	if ioat < 1020 || ioat > 1190 {
+		t.Errorf("I/OAT Open-MX = %.0f MiB/s, want ≈1114", ioat)
+	}
+
+	if !(plain < ioat && ioat <= nocopy*1.01) {
+		t.Errorf("ordering violated: plain=%.0f ioat=%.0f nocopy=%.0f", plain, ioat, nocopy)
+	}
+	t.Logf("4 MiB ping-pong: plain=%.0f MiB/s ioat=%.0f MiB/s nocopy=%.0f MiB/s", plain, ioat, nocopy)
+}
+
+// At 256 kB the paper reports I/OAT more than 20 % above plain but
+// still well below the no-copy prediction (I/OAT management cost).
+func TestCalibrationMidSizeGap(t *testing.T) {
+	const n, iters = 256 * 1024, 6
+	plain := pingpongMiBps(t, newPair(t, Config{RegCache: true}, Config{RegCache: true}), n, iters)
+	ioat := pingpongMiBps(t, newPair(t,
+		Config{IOAT: true, RegCache: true}, Config{IOAT: true, RegCache: true}), n, iters)
+	if ioat < plain*1.1 {
+		t.Errorf("256 kB: ioat=%.0f not >10%% above plain=%.0f", ioat, plain)
+	}
+	t.Logf("256 kiB ping-pong: plain=%.0f MiB/s ioat=%.0f MiB/s (+%.0f%%)", plain, ioat, (ioat/plain-1)*100)
+}
+
+// Small-message latency sanity: Open-MX one-way ≈8–12 µs in 2008.
+func TestCalibrationSmallLatency(t *testing.T) {
+	pr := newPair(t, Config{}, Config{})
+	mibps := pingpongMiBps(t, pr, 16, 10)
+	halfRTT := 16.0 / 1024 / 1024 / mibps * 1e9 // ns
+	if halfRTT < 4000 || halfRTT > 15000 {
+		t.Errorf("small-message half-RTT = %.0f ns, want 4–15 µs", halfRTT)
+	}
+	t.Logf("16 B half-RTT: %.1f µs", halfRTT/1000)
+}

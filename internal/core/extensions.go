@@ -1,0 +1,132 @@
+package core
+
+import (
+	"omxsim/internal/cpu"
+	"omxsim/internal/hostmem"
+	"omxsim/internal/ioat"
+	"omxsim/platform"
+	"omxsim/sim"
+)
+
+// This file implements the paper's Section V/VI "future work" items,
+// each behind a Config knob so the ablation benchmarks can quantify
+// them:
+//
+//   - threshold auto-tuning from startup microbenchmarks (AutoTune);
+//   - copying the head of a large message with memcpy to warm the
+//     target application's cache before switching to I/OAT
+//     (Config.HybridWarmupBytes);
+//   - predicting synchronous copy completion and sleeping instead of
+//     busy-polling (Config.PredictiveSleep), applicable in process
+//     context (the shared-memory path — bottom halves cannot sleep);
+//   - striping one local copy across multiple DMA channels
+//     (Config.StripeChannels; the paper's reference [22] reports
+//     ≈+40 % from using all four channels).
+
+// AutoTune derives the I/OAT offload thresholds from the platform's
+// copy models, the way Section VI proposes running microbenchmarks at
+// startup: the minimum fragment size is where an offloaded chunk
+// beats the uncached memcpy of the same chunk, and the minimum
+// message size is where the submission overhead of a fragment is
+// amortized several times over by the freed CPU time.
+func AutoTune(p *platform.Platform) (minFrag, minMsg int) {
+	memcpyNs := func(n int) float64 {
+		return float64(p.MemcpyCallCost) + float64(n)/float64(p.MemcpyColdRate)/p.DMAColdPenalty
+	}
+	ioatNs := func(n int) float64 {
+		return float64(p.IOATDescSetup) + float64(n)/float64(p.IOATEngineRate)
+	}
+	submitNs := float64(p.IOATDoorbellCost + p.IOATPerDescSubmit)
+
+	// Smallest chunk the engine moves at least as fast as the CPU
+	// would, and whose submission costs less CPU than the copy.
+	minFrag = 256
+	for ; minFrag <= 64*1024; minFrag *= 2 {
+		if ioatNs(minFrag) <= memcpyNs(minFrag) && submitNs < memcpyNs(minFrag) {
+			break
+		}
+	}
+	// Offload pays once a message saves at least ~16 fragment copies
+	// worth of CPU (amortizing rendezvous and tracking overheads).
+	fragSave := memcpyNs(8192) - submitNs
+	const targetSaveNs = 100_000 // ≈100 µs of freed CPU per message
+	frags := int(targetSaveNs/fragSave) + 1
+	minMsg = frags * 8192
+	return minFrag, minMsg
+}
+
+// AutoTuned returns a configuration whose offload thresholds come
+// from AutoTune instead of the paper's empirical constants.
+func AutoTuned(p *platform.Platform) Config {
+	cfg := Defaults()
+	cfg.IOAT = true
+	cfg.RegCache = true
+	cfg.IOATMinFrag, cfg.IOATMinMsg = AutoTune(p)
+	return cfg
+}
+
+// predictIOAT estimates how long the engine will take to retire a
+// batch of chunk lengths on one idle channel: the Section VI idea of
+// benchmarking the hardware to predict completion times.
+func (s *Stack) predictIOAT(chunks []int) sim.Duration {
+	p := s.H.P
+	ns := float64(p.IOATStartLatency)
+	for _, c := range chunks {
+		ns += float64(p.IOATDescSetup) + float64(c)/float64(p.IOATEngineRate)
+	}
+	return sim.Duration(ns)
+}
+
+// stripedSubmit distributes page chunks of one copy over k channels
+// round-robin and returns the per-channel completion sequences.
+func (s *Stack) stripedSubmit(dst *hostmem.Buffer, dstOff int, src *hostmem.Buffer, srcOff int, chunks []int, k int) map[*ioat.Channel]uint64 {
+	if k < 1 {
+		k = 1
+	}
+	if k > s.H.IOAT.Channels() {
+		k = s.H.IOAT.Channels()
+	}
+	chans := make([]*ioat.Channel, k)
+	reqs := make([][]ioat.CopyReq, k)
+	for i := range chans {
+		chans[i] = s.H.IOAT.PickChannel()
+	}
+	o := 0
+	for i, c := range chunks {
+		w := i % k
+		reqs[w] = append(reqs[w], ioat.CopyReq{Dst: dst, DstOff: dstOff + o, Src: src, SrcOff: srcOff + o, N: c})
+		o += c
+	}
+	out := make(map[*ioat.Channel]uint64)
+	for i, ch := range chans {
+		if len(reqs[i]) == 0 {
+			continue
+		}
+		s.Stats.IOATSubmits += int64(len(reqs[i]))
+		out[ch] = ch.Submit(reqs[i]...)
+	}
+	return out
+}
+
+// waitStriped blocks the process until every channel's batch retires.
+// With PredictiveSleep the process sleeps for the predicted duration
+// (CPU idle — the whole point of Section VI's proposal) and only
+// busy-polls the residue; otherwise it busy-polls throughout, like
+// the paper's implementation.
+func (ep *Endpoint) waitStriped(p *sim.Proc, cat cpu.Category, seqs map[*ioat.Channel]uint64, predicted sim.Duration) {
+	s := ep.S
+	if s.Cfg.PredictiveSleep && predicted > 0 {
+		p.Sleep(predicted)
+	}
+	for ch, seq := range seqs {
+		ch, seq := ch, seq
+		if ch.Completed() >= seq {
+			// One cookie read to observe the completion.
+			ep.core().RunOn(p, cat, s.H.IOAT.PollCost())
+			continue
+		}
+		ep.core().RunOnDyn(p, cat, func(finish func(extra sim.Duration)) {
+			ch.NotifyAt(seq, func() { finish(s.H.IOAT.PollCost()) })
+		})
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"omxsim/internal/cpu"
+	"omxsim/internal/hostmem"
+	"omxsim/internal/proto"
+	"omxsim/sim"
+)
+
+// Intra-node communication (Section III-C, Figure 10).
+//
+// Open-MX routes local messages through the driver with the same
+// command/event interface as network messages — the library does not
+// even know the peer is local. The transfer itself is ONE copy,
+// performed inside a system call directly from the source process's
+// pages to the destination process's pages, once the receiver has
+// matched. The copy is either a processor memcpy (whose rate depends
+// on cache sharing between the two processes — the three curves of
+// Figure 10) or, with Config.IOATShm and beyond ShmIOATThreshold, a
+// blocking I/OAT copy: submit page descriptors, then busy-poll the
+// engine, since the hardware cannot raise a completion interrupt.
+
+// localMsg is a pending intra-node send registered with the driver.
+type localMsg struct {
+	srcEP   *Endpoint
+	srcAddr proto.Addr
+	match   uint64
+	buf     *hostmem.Buffer
+	off, n  int
+	sendReq *Request
+}
+
+// localSend registers the message with the driver and reports it to
+// the destination endpoint's event queue. The send completes when the
+// receiver's one-copy finishes.
+func (ep *Endpoint) localSend(p *sim.Proc, r *Request) {
+	s := ep.S
+	dst := s.endpoints[r.dst.EP]
+	if dst == nil {
+		panic(fmt.Sprintf("openmx: local send to unopened endpoint %d on %s", r.dst.EP, s.H.Name))
+	}
+	ep.core().RunOn(p, cpu.DriverCmd, sim.Duration(s.H.P.SyscallCost+s.H.P.OMXEventCost))
+	lm := &localMsg{
+		srcEP: ep, srcAddr: ep.Addr(), match: r.MatchInfo,
+		buf: r.buf, off: r.off, n: r.n, sendReq: r,
+	}
+	s.Stats.LocalMsgs++
+	dst.pushEvent(&event{kind: evLocalMsg, lm: lm})
+}
+
+// localPull performs the one-copy transfer in the receiving process's
+// system-call context, then completes both sides.
+func (ep *Endpoint) localPull(p *sim.Proc, r *Request, lm *localMsg) {
+	s := ep.S
+	n := min(lm.n, r.n)
+	ep.core().RunOn(p, cpu.DriverCmd, sim.Duration(s.H.P.SyscallCost))
+
+	if s.Cfg.IOATShm && n >= s.Cfg.ShmIOATThreshold {
+		// Blocking I/OAT copy: page-chunk descriptors, then wait.
+		// The paper's implementation uses one channel and busy-polls
+		// ("we rely on busy polling of the I/OAT hardware with no
+		// overlap for now", Section IV-C); Config.StripeChannels and
+		// Config.PredictiveSleep enable its Section V/VI extensions.
+		chunks := pageChunks(r.off, n, s.H.P.PageSize)
+		ep.core().RunOn(p, cpu.DriverCmd, s.H.IOAT.SubmitCost(len(chunks)))
+		k := max(1, s.Cfg.StripeChannels)
+		seqs := s.stripedSubmit(r.buf, r.off, lm.buf, lm.off, chunks, k)
+		s.Stats.LocalIOATCopies++
+		var predicted sim.Duration
+		if s.Cfg.PredictiveSleep {
+			// Predict the longest channel's batch (chunk i goes to
+			// channel i%k, so channel 0 carries the most work).
+			var mine []int
+			for i := 0; i < len(chunks); i += k {
+				mine = append(mine, chunks[i])
+			}
+			predicted = s.predictIOAT(mine)
+		}
+		ep.waitStriped(p, cpu.DriverCmd, seqs, predicted)
+	} else if n > 0 {
+		d := s.H.Copy.Memcpy(r.buf, r.off, lm.buf, lm.off, n, ep.Core)
+		ep.core().RunOn(p, cpu.DriverCmd, d)
+	}
+
+	ep.completeRecv(r, lm.srcAddr, lm.match, n)
+	// Completion event back to the sender's endpoint.
+	ep.core().RunOn(p, cpu.DriverCmd, sim.Duration(s.H.P.OMXEventCost))
+	lm.srcEP.pushEvent(&event{kind: evLocalDone, req: lm.sendReq})
+}

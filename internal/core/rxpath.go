@@ -1,0 +1,497 @@
+package core
+
+import (
+	"omxsim/internal/cpu"
+	"omxsim/internal/ioat"
+	"omxsim/internal/nic"
+	"omxsim/internal/proto"
+	"omxsim/platform"
+	"omxsim/sim"
+)
+
+// rxCallback is the Open-MX receive callback, invoked by the NIC's
+// bottom half for every incoming frame (the paper's Figure 2/5/6
+// context). It runs in softirq context on the interrupt core; all CPU
+// it consumes is accounted as BHProc/BHCopy.
+func (s *Stack) rxCallback(p *sim.Proc, core *cpu.Core, skb *nic.Skb) {
+	t0 := p.Now()
+	core.RunOn(p, cpu.BHProc, sim.Duration(s.H.P.OMXRecvCallbackCost))
+	if s.Trace != nil {
+		if m, ok := skb.Frame.Msg.(*proto.LargeFrag); ok {
+			s.Trace(TraceEvent{Kind: "process", Frag: m.FragID, Start: t0, End: p.Now()})
+		}
+	}
+	switch m := skb.Frame.Msg.(type) {
+	case *proto.Eager:
+		s.rxEager(p, core, skb, m)
+	case *proto.Ack:
+		s.applyAck(p, core, m.Src.EP, m.Dst, m.AckSeq)
+		skb.Free()
+	case *proto.RndvRequest:
+		s.rxRndv(p, core, skb, m)
+	case *proto.Pull:
+		s.rxPull(p, core, skb, m)
+	case *proto.LargeFrag:
+		s.rxLargeFrag(p, core, skb, m)
+	case *proto.RndvAck:
+		s.rxRndvAck(p, core, skb, m)
+	default:
+		skb.Free()
+	}
+}
+
+// chargeEvent accounts the cost of writing one completion event to the
+// user-visible ring.
+func (s *Stack) chargeEvent(p *sim.Proc, core *cpu.Core) {
+	core.RunOn(p, cpu.BHProc, sim.Duration(s.H.P.OMXEventCost))
+}
+
+// applyAck advances a tx channel's cumulative ack (from an explicit
+// ack frame or a piggybacked AckSeq) and hands completed sends to the
+// library.
+func (s *Stack) applyAck(p *sim.Proc, core *cpu.Core, epID int, from proto.Addr, ackSeq uint32) {
+	ep := s.endpoints[epID]
+	if ep == nil || ackSeq == 0 {
+		return
+	}
+	tc := ep.txChans[from]
+	if tc == nil || ackSeq <= tc.ackedSeq {
+		return
+	}
+	tc.ackedSeq = ackSeq
+	var done []*Request
+	var keep []*eagerSend
+	for _, es := range tc.unacked {
+		if es.seq <= ackSeq {
+			done = append(done, es.req)
+		} else {
+			keep = append(keep, es)
+		}
+	}
+	tc.unacked = keep
+	if len(tc.unacked) == 0 && tc.rtx != nil {
+		tc.rtx.Stop()
+		tc.rtx = nil
+	}
+	if len(done) > 0 {
+		s.chargeEvent(p, core)
+		ep.pushEvent(&event{kind: evEagerAcked, reqs: done})
+	}
+}
+
+// rxEager handles a tiny/small/medium fragment: copy it into the
+// endpoint's statically pinned receive ring (first copy of Figure 2) —
+// by memcpy, or synchronously through I/OAT when IOATSyncMedium is set
+// (the paper's measured regression) — then report a per-fragment event.
+func (s *Stack) rxEager(p *sim.Proc, core *cpu.Core, skb *nic.Skb, m *proto.Eager) {
+	defer skb.Free()
+	s.applyAck(p, core, m.Dst.EP, m.Src, m.AckSeq)
+	ep := s.endpoints[m.Dst.EP]
+	if ep == nil {
+		return
+	}
+	// Driver-level duplicate suppression: retransmissions of messages
+	// the stack has already fully received are dropped here (no ring
+	// slot, no event) and the ack is refreshed — the sender clearly
+	// never saw it. This must not depend on the application calling
+	// into the library: acks are a transport responsibility.
+	ch := ep.rxChan(m.Src)
+	if m.Seq <= ch.completeSeq || ch.completedSet[m.Seq] {
+		s.Stats.DupFrags++
+		ep.forceAck(ch)
+		return
+	}
+	n := len(skb.Buf.Data)
+	ev := &event{
+		kind: evEagerFrag, src: m.Src, match: m.Match, seq: m.Seq,
+		msgLen: m.MsgLen, fragID: m.FragID, fragCnt: m.FragCount,
+		offset: m.Offset, slot: -1, dataLen: n,
+	}
+	switch {
+	case m.MsgLen <= proto.TinyMax && m.FragCount == 1:
+		// Tiny: payload rides inline in the event; the copy is the
+		// event write itself.
+		if n > 0 {
+			ev.inline = append([]byte(nil), skb.Buf.Data...)
+			if !s.Cfg.SkipBHCopy {
+				core.RunOn(p, cpu.BHCopy, s.H.Copy.RawTime(n, bhTinyRate(s)))
+			}
+		}
+	default:
+		slot := ep.allocSlot()
+		if slot < 0 {
+			s.Stats.RingDrops++
+			return // dropped; sender retransmission recovers
+		}
+		ev.slot = slot
+		off := ep.slotOff(slot)
+		switch {
+		case s.Cfg.SkipBHCopy:
+			copy(ep.ring.Data[off:off+n], skb.Buf.Data)
+		case s.Cfg.IOATSyncMedium && n >= s.Cfg.IOATMinFrag:
+			// Synchronous offload: submit, then busy-poll completion.
+			// All fragment copies of small/medium messages must be
+			// synchronous because each fragment raises its own event
+			// (Section III-C).
+			s.ioatSyncCopy(p, core, cpu.BHCopy, ep, slot, skb, n)
+		default:
+			d := s.H.Copy.Memcpy(ep.ring, off, skb.Buf, 0, n, core.ID)
+			core.RunOn(p, cpu.BHCopy, d)
+		}
+	}
+	s.chargeEvent(p, core)
+	ep.pushEvent(ev)
+}
+
+// bhTinyRate is the effective tiny-copy rate in the bottom half
+// (cold memcpy with the DMA snoop penalty).
+func bhTinyRate(s *Stack) platform.Rate {
+	return platform.Rate(float64(s.H.P.MemcpyColdRate) * s.H.P.DMAColdPenalty)
+}
+
+// ioatSyncCopy performs one synchronous (blocking) I/OAT copy of a
+// fragment into a receive-ring slot: submission cost, then the CPU
+// busy-polls until the engine retires the descriptors.
+func (s *Stack) ioatSyncCopy(p *sim.Proc, core *cpu.Core, cat cpu.Category, ep *Endpoint, slot int, skb *nic.Skb, n int) {
+	off := ep.slotOff(slot)
+	chunks := pageChunks(off, n, s.H.P.PageSize)
+	ch := s.H.IOAT.PickChannel()
+	var reqs []ioat.CopyReq
+	so := 0
+	for _, c := range chunks {
+		reqs = append(reqs, ioat.CopyReq{Dst: ep.ring, DstOff: off + so, Src: skb.Buf, SrcOff: so, N: c})
+		so += c
+	}
+	core.RunOn(p, cat, s.H.IOAT.SubmitCost(len(reqs)))
+	s.Stats.IOATSubmits += int64(len(reqs))
+	seq := ch.Submit(reqs...)
+	core.RunOnDyn(p, cat, func(finish func(extra sim.Duration)) {
+		ch.NotifyAt(seq, func() { finish(s.H.IOAT.PollCost()) })
+	})
+}
+
+// rxRndv handles a rendezvous request: deduplicate, then report it to
+// the library for matching.
+func (s *Stack) rxRndv(p *sim.Proc, core *cpu.Core, skb *nic.Skb, m *proto.RndvRequest) {
+	defer skb.Free()
+	s.applyAck(p, core, m.Dst.EP, m.Src, m.AckSeq)
+	ep := s.endpoints[m.Dst.EP]
+	if ep == nil {
+		return
+	}
+	key := rndvKey{src: m.Src, dst: m.Dst.EP, seq: m.Seq}
+	if st := s.rndvSeen[key]; st != nil {
+		if st.done {
+			// We finished but our ack was lost: re-ack.
+			s.transmit(m.Src, &proto.RndvAck{Src: ep.Addr(), Dst: m.Src, SenderHandle: st.sender}, nil)
+		}
+		return // duplicate; pull timers drive recovery otherwise
+	}
+	s.rndvSeen[key] = &rndvState{handle: -1, sender: m.SenderHandle}
+	s.chargeEvent(p, core)
+	ep.pushEvent(&event{
+		kind: evRndv, src: m.Src, match: m.Match, seq: m.Seq,
+		msgLen: m.MsgLen, handle: m.SenderHandle,
+	})
+}
+
+// rxPull runs on the data sender: build the requested fragments as
+// zero-copy skbuffs referencing the pinned user pages, and transmit.
+func (s *Stack) rxPull(p *sim.Proc, core *cpu.Core, skb *nic.Skb, m *proto.Pull) {
+	defer skb.Free()
+	ls := s.sends[m.SenderHandle]
+	if ls == nil {
+		return // stale pull for a finished send
+	}
+	ls.pulled = true
+	count := 0
+	for i := 0; i < m.FragCount; i++ {
+		if m.NeedMask&(1<<uint(i)) != 0 {
+			count++
+		}
+	}
+	if count == 0 {
+		return
+	}
+	core.RunOn(p, cpu.BHProc, sim.Duration(int64(count)*s.H.P.OMXTxBuildCost))
+	for i := 0; i < m.FragCount; i++ {
+		if m.NeedMask&(1<<uint(i)) == 0 {
+			continue
+		}
+		fragID := m.FirstFrag + i
+		fo := fragID * proto.LargeFragSize
+		fl := min(proto.LargeFragSize, ls.n-fo)
+		if fl <= 0 {
+			continue
+		}
+		payload := make([]byte, fl)
+		copy(payload, ls.buf.Data[ls.off+fo:ls.off+fo+fl])
+		s.transmit(m.Src, &proto.LargeFrag{
+			Src: ls.ep.Addr(), Dst: m.Src,
+			RecvHandle: m.RecvHandle, Block: m.Block,
+			FragID: fragID, Offset: fo, MsgLen: ls.n,
+		}, payload)
+		s.Stats.LargeFragsSent++
+	}
+}
+
+// rxLargeFrag is the heart of the paper: a large-message fragment
+// arrives and must be copied into the (pinned) destination buffer.
+// Without I/OAT the bottom half memcpys and only then releases the
+// CPU (Figure 5). With I/OAT it submits asynchronous copies and
+// releases the CPU immediately; only the last fragment of the message
+// waits for the engine (Figure 6).
+func (s *Stack) rxLargeFrag(p *sim.Proc, core *cpu.Core, skb *nic.Skb, m *proto.LargeFrag) {
+	lp := s.pulls[m.RecvHandle]
+	if lp == nil || lp.done {
+		skb.Free()
+		return
+	}
+	blk := lp.blocks[m.Block]
+	if blk == nil {
+		s.Stats.DupFrags++
+		skb.Free()
+		return
+	}
+	bit := uint64(1) << uint(m.FragID-blk.firstFrag)
+	if blk.gotMask&bit != 0 {
+		s.Stats.DupFrags++
+		skb.Free()
+		return
+	}
+	blk.gotMask |= bit
+	lp.received++
+
+	n := len(skb.Buf.Data)
+	dstOff := lp.off + m.Offset
+	last := lp.received == lp.frags
+
+	switch {
+	case s.Cfg.SkipBHCopy:
+		copy(lp.buf.Data[dstOff:dstOff+n], skb.Buf.Data)
+		skb.Free()
+	case lp.useIOAT:
+		// Optional hybrid: memcpy the head of the message to warm the
+		// consumer's cache, offload the rest (Section V/VI).
+		so := 0
+		if warm := s.Cfg.HybridWarmupBytes; warm > 0 && m.Offset < warm {
+			head := min(n, warm-m.Offset)
+			d := s.H.Copy.Memcpy(lp.buf, dstOff, skb.Buf, 0, head, core.ID)
+			core.RunOn(p, cpu.BHCopy, d)
+			so = head
+		}
+		if so == n {
+			skb.Free()
+			break
+		}
+		// Asynchronous submission; the skbuff joins the pending pool
+		// until the cleanup routine observes its copies retired.
+		chunks := pageChunks(dstOff+so, n-so, s.H.P.PageSize)
+		var reqs []ioat.CopyReq
+		for _, c := range chunks {
+			reqs = append(reqs, ioat.CopyReq{Dst: lp.buf, DstOff: dstOff + so, Src: skb.Buf, SrcOff: so, N: c})
+			so += c
+		}
+		t1 := p.Now()
+		core.RunOn(p, cpu.BHCopy, s.H.IOAT.SubmitCost(len(reqs)))
+		if s.Trace != nil {
+			s.Trace(TraceEvent{Kind: "submit", Frag: m.FragID, Start: t1, End: p.Now()})
+			subEnd := p.Now()
+			frag := m.FragID
+			reqs[len(reqs)-1].OnDone = func() {
+				s.Trace(TraceEvent{Kind: "dma-copy", Frag: frag, Start: subEnd, End: s.H.E.Now()})
+			}
+		}
+		s.Stats.IOATSubmits += int64(len(reqs))
+		seq := lp.ch.Submit(reqs...)
+		lp.lastSeq = seq
+		lp.pending = append(lp.pending, pendingCopy{skb: skb, seq: seq})
+	default:
+		t1 := p.Now()
+		d := s.H.Copy.Memcpy(lp.buf, dstOff, skb.Buf, 0, n, core.ID)
+		core.RunOn(p, cpu.BHCopy, d)
+		if s.Trace != nil {
+			s.Trace(TraceEvent{Kind: "memcpy", Frag: m.FragID, Start: t1, End: p.Now()})
+		}
+		skb.Free()
+	}
+
+	if blk.complete() {
+		if blk.timer != nil {
+			blk.timer.Stop()
+		}
+		delete(lp.blocks, m.Block)
+		if lp.nextBlock < lp.numBlocks {
+			// "A resource cleanup routine is invoked when a new
+			// request is sent" (Section III-B).
+			core.RunOn(p, cpu.BHProc, sim.Duration(s.H.P.OMXTxBuildCost))
+			s.sendPullBlock(lp, lp.nextBlock, 0)
+			lp.nextBlock++
+			s.cleanup(p, core, lp)
+		}
+	}
+
+	if last {
+		if lp.useIOAT {
+			// The last fragment's callback waits for the completion of
+			// all asynchronous copies of this message (Figure 6), then
+			// releases every pending skbuff.
+			seq := lp.lastSeq
+			tw := p.Now()
+			core.RunOnDyn(p, cpu.BHCopy, func(finish func(extra sim.Duration)) {
+				lp.ch.NotifyAt(seq, func() { finish(s.H.IOAT.PollCost()) })
+			})
+			if s.Trace != nil {
+				s.Trace(TraceEvent{Kind: "wait", Frag: m.FragID, Start: tw, End: p.Now()})
+			}
+			s.freeRetired(lp)
+		}
+		lp.done = true
+		delete(s.pulls, lp.handle)
+		s.markRndvDone(lp)
+		lp.req.Len = lp.n
+		tn := p.Now()
+		s.chargeEvent(p, core)
+		if s.Trace != nil {
+			s.Trace(TraceEvent{Kind: "notify", Frag: m.FragID, Start: tn, End: p.Now()})
+		}
+		lp.ep.pushEvent(&event{kind: evLargeDone, req: lp.req})
+		s.transmit(lp.src, &proto.RndvAck{Src: lp.ep.Addr(), Dst: lp.src, SenderHandle: lp.senderHandle}, nil)
+	}
+}
+
+// markRndvDone flags the rendezvous as complete so duplicate requests
+// get re-acked instead of restarting the transfer.
+func (s *Stack) markRndvDone(lp *largePull) {
+	if st := s.rndvSeen[lp.key]; st != nil {
+		st.done = true
+	}
+}
+
+// cleanup is the paper's Section III-B routine: poll the DMA engine's
+// completion cookie once and release every skbuff whose copies have
+// retired, bounding the pending pool.
+func (s *Stack) cleanup(p *sim.Proc, core *cpu.Core, lp *largePull) {
+	if !lp.useIOAT || len(lp.pending) == 0 {
+		return
+	}
+	core.RunOn(p, cpu.BHProc, s.H.IOAT.PollCost())
+	s.freeRetired(lp)
+}
+
+// freeRetired releases pending skbuffs whose I/OAT sequence has been
+// retired by the channel.
+func (s *Stack) freeRetired(lp *largePull) {
+	completed := lp.ch.Completed()
+	var keep []pendingCopy
+	for _, pc := range lp.pending {
+		if pc.seq <= completed {
+			pc.skb.Free()
+			s.Stats.CleanupFrees++
+		} else {
+			keep = append(keep, pc)
+		}
+	}
+	lp.pending = keep
+}
+
+// rxRndvAck completes a large send.
+func (s *Stack) rxRndvAck(p *sim.Proc, core *cpu.Core, skb *nic.Skb, m *proto.RndvAck) {
+	defer skb.Free()
+	ls := s.sends[m.SenderHandle]
+	if ls == nil {
+		return
+	}
+	ls.finished = true
+	if ls.rtx != nil {
+		ls.rtx.Stop()
+		ls.rtx = nil
+	}
+	delete(s.sends, ls.handle)
+	s.chargeEvent(p, core)
+	ls.ep.pushEvent(&event{kind: evSendDone, req: ls.req})
+}
+
+// sendPullBlock transmits one pull request. mask == 0 means "all
+// fragments of the block"; nonzero masks are retransmissions. It arms
+// (or re-arms) the block's retransmission timer.
+func (s *Stack) sendPullBlock(lp *largePull, blockIdx int, mask uint64) {
+	firstFrag := blockIdx * s.Cfg.PullBlockFrags
+	count := min(s.Cfg.PullBlockFrags, lp.frags-firstFrag)
+	blk := lp.blocks[blockIdx]
+	if blk == nil {
+		blk = &pullBlock{idx: blockIdx, firstFrag: firstFrag, fragCount: count}
+		lp.blocks[blockIdx] = blk
+	}
+	if mask == 0 {
+		mask = blk.fullMask()
+	}
+	s.transmit(lp.src, &proto.Pull{
+		Src: lp.ep.Addr(), Dst: lp.src,
+		SenderHandle: lp.senderHandle, RecvHandle: lp.handle,
+		Block: blockIdx, FirstFrag: firstFrag, FragCount: count,
+		NeedMask: mask,
+	}, nil)
+	s.Stats.PullsSent++
+	s.armBlockTimer(lp, blk)
+}
+
+// armBlockTimer (re)arms a pull block's retransmission timer: on
+// expiry, re-request the missing fragments and run the cleanup routine
+// (Section III-B: "this routine is also invoked when the
+// retransmission timeout expires").
+func (s *Stack) armBlockTimer(lp *largePull, blk *pullBlock) {
+	if blk.timer != nil {
+		blk.timer.Stop()
+	}
+	blk.timer = s.H.E.Schedule(s.Cfg.RetransmitTimeout, func() {
+		if lp.done || blk.complete() {
+			return
+		}
+		s.Stats.PullRetransmits++
+		need := ^blk.gotMask & blk.fullMask()
+		irq := s.H.Sys.Core(s.H.NIC.IRQCore)
+		irq.Exec(cpu.BHProc, sim.Duration(s.H.P.OMXTxBuildCost), func() {
+			if lp.done || blk.complete() {
+				return
+			}
+			s.sendPullBlock(lp, blk.idx, need)
+			// Cleanup on retransmission timeout, per the paper.
+			if lp.useIOAT && len(lp.pending) > 0 {
+				s.freeRetired(lp)
+			}
+		})
+	})
+}
+
+// scheduleAck arms the deferred explicit-ack timer for a channel
+// (piggybacking on reverse traffic usually wins the race and disarms
+// it via takeAck).
+func (ep *Endpoint) scheduleAck(c *rxChan) {
+	if c.completeSeq == c.lastAckSent || c.ackTimer != nil {
+		return
+	}
+	ep.armAckTimer(c, false)
+}
+
+// forceAck re-arms the ack timer even when the cumulative ack was
+// already sent once: a duplicate frame proves the sender lost it.
+func (ep *Endpoint) forceAck(c *rxChan) {
+	if c.ackTimer != nil {
+		return
+	}
+	ep.armAckTimer(c, true)
+}
+
+func (ep *Endpoint) armAckTimer(c *rxChan, force bool) {
+	s := ep.S
+	c.ackTimer = s.H.E.Schedule(s.Cfg.DeferredAckDelay, func() {
+		c.ackTimer = nil
+		if !force && c.completeSeq == c.lastAckSent {
+			return
+		}
+		c.lastAckSent = c.completeSeq
+		s.transmit(c.src, &proto.Ack{Src: c.src, Dst: ep.Addr(), AckSeq: c.completeSeq}, nil)
+		s.Stats.AcksSent++
+	})
+}

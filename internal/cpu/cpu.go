@@ -1,0 +1,237 @@
+// Package cpu models processor cores as serial, non-preemptive work
+// queues with two priority levels (softirq work runs ahead of process
+// context) and per-category busy-time accounting.
+//
+// The accounting categories mirror Figure 9 of the paper: user-library
+// time, driver command-processing time (system calls, pinning) and
+// bottom-half receive time (further split into protocol processing and
+// data copying so the copy-offload effect is directly visible).
+package cpu
+
+import (
+	"fmt"
+
+	"omxsim/platform"
+	"omxsim/sim"
+)
+
+// Category classifies busy time for accounting.
+type Category int
+
+// Accounting categories.
+const (
+	UserLib   Category = iota // user-space library work
+	DriverCmd                 // driver work in syscall context (incl. pinning)
+	BHProc                    // bottom-half protocol processing
+	BHCopy                    // bottom-half data copies (memcpy or I/OAT submit/wait)
+	Other                     // anything else (MX firmware emulation, benchmarks)
+	numCategories
+)
+
+var categoryNames = [...]string{"user-lib", "driver", "bh-proc", "bh-copy", "other"}
+
+func (c Category) String() string {
+	if c < 0 || int(c) >= len(categoryNames) {
+		return fmt.Sprintf("cat(%d)", int(c))
+	}
+	return categoryNames[c]
+}
+
+// Priority of queued work. Softirq-level work preempts (in queue order,
+// not mid-task) process-level work.
+type priority int
+
+const (
+	prioSoftirq priority = iota
+	prioProcess
+)
+
+func priorityOf(c Category) priority {
+	switch c {
+	case BHProc, BHCopy:
+		return prioSoftirq
+	default:
+		return prioProcess
+	}
+}
+
+// task is one unit of queued work.
+type task struct {
+	cat Category
+	dur sim.Duration // fixed duration (dyn == nil)
+	fn  func()       // completion callback
+	dyn func(finish func(extra sim.Duration))
+}
+
+// Core is one processor core: a serial resource executing tasks.
+type Core struct {
+	sys     *System
+	ID      int
+	busy    bool
+	queues  [2][]*task
+	busyNs  [numCategories]sim.Duration
+	totalNs sim.Duration
+	started sim.Time // start of current task, for dyn accounting
+}
+
+// System is the set of cores of one host.
+type System struct {
+	E     *sim.Engine
+	P     *platform.Platform
+	Cores []*Core
+}
+
+// NewSystem builds the core set described by p.
+func NewSystem(e *sim.Engine, p *platform.Platform) *System {
+	s := &System{E: e, P: p}
+	for i := 0; i < p.NumCores(); i++ {
+		s.Cores = append(s.Cores, &Core{sys: s, ID: i})
+	}
+	return s
+}
+
+// Core returns core i.
+func (s *System) Core(i int) *Core { return s.Cores[i] }
+
+// ResetAccounting zeroes all busy counters on all cores.
+func (s *System) ResetAccounting() {
+	for _, c := range s.Cores {
+		c.busyNs = [numCategories]sim.Duration{}
+		c.totalNs = 0
+	}
+}
+
+// BusyByCategory sums busy nanoseconds per category across all cores.
+func (s *System) BusyByCategory() map[Category]sim.Duration {
+	out := make(map[Category]sim.Duration)
+	for _, c := range s.Cores {
+		for cat := Category(0); cat < numCategories; cat++ {
+			if c.busyNs[cat] != 0 {
+				out[cat] += c.busyNs[cat]
+			}
+		}
+	}
+	return out
+}
+
+// TotalBusy sums busy nanoseconds across all cores.
+func (s *System) TotalBusy() sim.Duration {
+	var t sim.Duration
+	for _, c := range s.Cores {
+		t += c.totalNs
+	}
+	return t
+}
+
+// Busy reports whether the core is currently executing a task.
+func (c *Core) Busy() bool { return c.busy }
+
+// QueueLen reports the number of queued (not yet started) tasks.
+func (c *Core) QueueLen() int { return len(c.queues[0]) + len(c.queues[1]) }
+
+// BusyNs reports accumulated busy time for one category.
+func (c *Core) BusyNs(cat Category) sim.Duration { return c.busyNs[cat] }
+
+// Exec queues work of a fixed duration on the core. fn (may be nil)
+// runs in engine context when the work completes. Work of softirq
+// priority runs before process-priority work but never interrupts a
+// task in progress.
+func (c *Core) Exec(cat Category, d sim.Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("cpu: negative duration %d", d))
+	}
+	c.enqueue(&task{cat: cat, dur: d, fn: fn})
+}
+
+// ExecDyn queues work whose duration is not known in advance: when the
+// task reaches the head of the queue, run is invoked (in engine
+// context) and the core stays busy until run calls finish. The elapsed
+// wall time plus extra is accounted to cat. This models busy-polling a
+// completion whose arrival time depends on other simulated hardware.
+func (c *Core) ExecDyn(cat Category, run func(finish func(extra sim.Duration))) {
+	c.enqueue(&task{cat: cat, dyn: run})
+}
+
+func (c *Core) enqueue(t *task) {
+	p := priorityOf(t.cat)
+	c.queues[p] = append(c.queues[p], t)
+	if !c.busy {
+		c.dispatch()
+	}
+}
+
+// dispatch starts the next queued task, if any.
+func (c *Core) dispatch() {
+	var t *task
+	for p := range c.queues {
+		if len(c.queues[p]) > 0 {
+			t = c.queues[p][0]
+			copy(c.queues[p], c.queues[p][1:])
+			c.queues[p] = c.queues[p][:len(c.queues[p])-1]
+			break
+		}
+	}
+	if t == nil {
+		return
+	}
+	c.busy = true
+	c.started = c.sys.E.Now()
+	if t.dyn != nil {
+		finished := false
+		t.dyn(func(extra sim.Duration) {
+			if finished {
+				panic("cpu: finish called twice")
+			}
+			finished = true
+			if extra > 0 {
+				c.sys.E.Schedule(extra, func() { c.finish(t) })
+			} else {
+				c.finish(t)
+			}
+		})
+		return
+	}
+	c.sys.E.Schedule(t.dur, func() { c.finish(t) })
+}
+
+func (c *Core) finish(t *task) {
+	elapsed := c.sys.E.Now() - c.started
+	c.busyNs[t.cat] += elapsed
+	c.totalNs += elapsed
+	c.busy = false
+	if t.fn != nil {
+		t.fn()
+	}
+	if !c.busy { // fn may have queued and started new work synchronously
+		c.dispatch()
+	}
+}
+
+// RunOn executes fixed-duration work on the core from process context:
+// the calling Proc blocks until the work completes (including any queue
+// wait). This is how user processes spend CPU time.
+func (c *Core) RunOn(p *sim.Proc, cat Category, d sim.Duration) {
+	done := sim.NewSignal()
+	fin := false
+	c.Exec(cat, d, func() { fin = true; done.Broadcast() })
+	p.WaitFor(done, func() bool { return fin })
+}
+
+// RunOnDyn executes dynamic-duration work (see ExecDyn) from process
+// context, blocking the calling Proc until it completes. It models a
+// process busy-polling some hardware condition: the core is occupied
+// (and accounted) for the full duration.
+func (c *Core) RunOnDyn(p *sim.Proc, cat Category, run func(finish func(extra sim.Duration))) {
+	done := sim.NewSignal()
+	fin := false
+	c.ExecDyn(cat, func(finish func(extra sim.Duration)) {
+		run(func(extra sim.Duration) {
+			// finish(extra) keeps the core busy (and accounted) for
+			// extra; our wake is scheduled for the same instant but
+			// strictly after the core retires the task.
+			finish(extra)
+			c.sys.E.Schedule(extra, func() { fin = true; done.Broadcast() })
+		})
+	})
+	p.WaitFor(done, func() bool { return fin })
+}

@@ -1,0 +1,42 @@
+// Package host bundles the simulated hardware of one machine: cores,
+// memory and caches, the memcpy model, the I/OAT DMA engine and a NIC.
+// Protocol stacks (internal/core, internal/mxoe) attach to a Host.
+package host
+
+import (
+	"omxsim/internal/cpu"
+	"omxsim/internal/hostmem"
+	"omxsim/internal/ioat"
+	"omxsim/internal/memmodel"
+	"omxsim/internal/nic"
+	"omxsim/platform"
+	"omxsim/sim"
+)
+
+// Host is one simulated machine.
+type Host struct {
+	E    *sim.Engine
+	P    *platform.Platform
+	Name string
+
+	Sys  *cpu.System
+	Mem  *hostmem.Memory
+	Copy *memmodel.Model
+	IOAT *ioat.Engine
+	NIC  *nic.NIC
+}
+
+// New builds a host with the paper's dual quad-core topology, an I/OAT
+// engine and one NIC named after the host.
+func New(e *sim.Engine, p *platform.Platform, name string) *Host {
+	h := &Host{E: e, P: p, Name: name}
+	h.Sys = cpu.NewSystem(e, p)
+	h.Mem = hostmem.New(p)
+	h.Copy = memmodel.New(p)
+	h.IOAT = ioat.NewEngine(e, p)
+	h.NIC = nic.New(e, p, h.Sys, h.Mem, name)
+	return h
+}
+
+// Alloc allocates a buffer in this host's memory.
+func (h *Host) Alloc(size int) *hostmem.Buffer { return h.Mem.Alloc(size) }

@@ -1,0 +1,31 @@
+package host
+
+import (
+	"testing"
+
+	"omxsim/platform"
+	"omxsim/sim"
+)
+
+func TestHostWiring(t *testing.T) {
+	e := sim.New()
+	p := platform.Clovertown()
+	h := New(e, p, "box")
+	defer e.Close()
+	if h.Sys == nil || h.Mem == nil || h.Copy == nil || h.IOAT == nil || h.NIC == nil {
+		t.Fatal("host subsystem missing")
+	}
+	if len(h.Sys.Cores) != p.NumCores() {
+		t.Fatalf("cores = %d", len(h.Sys.Cores))
+	}
+	if h.IOAT.Channels() != p.IOATChannels {
+		t.Fatalf("channels = %d", h.IOAT.Channels())
+	}
+	if h.NIC.Address() != "box" {
+		t.Fatalf("NIC address = %q", h.NIC.Address())
+	}
+	b := h.Alloc(100)
+	if b.Size() != 100 {
+		t.Fatal("alloc broken")
+	}
+}

@@ -1,0 +1,180 @@
+// Package hostmem models host memory: buffers that carry real payload
+// bytes, page pinning state, and a cache-warmth tracker.
+//
+// Warmth is tracked with a streaming-LRU approximation: every L2 cache
+// domain (and every core's L1) has a monotonically increasing byte
+// clock advanced by each access. A buffer is warm in a cache if the
+// traffic since its last touch, plus its own footprint, still fits in
+// that cache. This one-line model reproduces the cache falloffs the
+// paper observes (e.g. the shared-memory ping-pong of Fig. 10 drops off
+// beyond 1 MiB messages: four buffers of that size stream through one
+// 4 MiB L2).
+package hostmem
+
+import (
+	"fmt"
+
+	"omxsim/platform"
+)
+
+// Memory is the physical memory and cache state of one host.
+type Memory struct {
+	P *platform.Platform
+
+	nextAddr  int64
+	l2Clocks  []int64 // per L2 domain
+	l1Clocks  []int64 // per core
+	allocated int64
+}
+
+// New returns the memory system for a host described by p.
+func New(p *platform.Platform) *Memory {
+	return &Memory{
+		P:        p,
+		nextAddr: 0x1000,
+		l2Clocks: make([]int64, p.L2Domains()),
+		l1Clocks: make([]int64, p.NumCores()),
+	}
+}
+
+// Allocated reports total bytes allocated so far.
+func (m *Memory) Allocated() int64 { return m.allocated }
+
+// Buffer is a contiguous, addressable region of host memory holding
+// real bytes. Buffers remember which core last touched them (for
+// warmth and cross-socket decisions), whether a device DMA produced
+// their current contents, and their pin refcount.
+type Buffer struct {
+	Mem  *Memory
+	Addr int64
+	Data []byte
+
+	pinRef int
+
+	lastCore    int   // -1 until first touch
+	l1TouchMark int64 // core L1 clock at last touch
+	l2TouchMark int64 // domain L2 clock at last touch
+	dmaCold     bool  // contents were just written by device DMA
+}
+
+// Alloc returns a new zeroed buffer of the given size.
+func (m *Memory) Alloc(size int) *Buffer {
+	if size < 0 {
+		panic(fmt.Sprintf("hostmem: negative alloc %d", size))
+	}
+	b := &Buffer{Mem: m, Addr: m.nextAddr, Data: make([]byte, size), lastCore: -1}
+	m.nextAddr += int64(size) + int64(m.P.PageSize) // pad to keep addresses distinct
+	m.allocated += int64(size)
+	return b
+}
+
+// Size reports the buffer length in bytes.
+func (b *Buffer) Size() int { return len(b.Data) }
+
+// Pages reports the number of pages the buffer spans (for pin costs).
+func (b *Buffer) Pages() int {
+	ps := b.Mem.P.PageSize
+	return (len(b.Data) + ps - 1) / ps
+}
+
+// Pin increments the pin refcount and reports whether this call
+// actually pinned the pages (refcount went 0→1), i.e. whether the
+// caller must pay the pinning cost.
+func (b *Buffer) Pin() bool {
+	b.pinRef++
+	return b.pinRef == 1
+}
+
+// Unpin decrements the pin refcount. It panics on underflow.
+func (b *Buffer) Unpin() {
+	if b.pinRef == 0 {
+		panic("hostmem: unpin of unpinned buffer")
+	}
+	b.pinRef--
+}
+
+// Pinned reports whether the buffer is currently pinned.
+func (b *Buffer) Pinned() bool { return b.pinRef > 0 }
+
+// Touch records an access of n bytes by the given core, updating the
+// warmth clocks. Use n = the bytes actually read or written.
+func (b *Buffer) Touch(core int, n int) {
+	m := b.Mem
+	dom := m.P.L2DomainOf(core)
+	m.l2Clocks[dom] += int64(n)
+	m.l1Clocks[core] += int64(n)
+	b.lastCore = core
+	b.l2TouchMark = m.l2Clocks[dom]
+	b.l1TouchMark = m.l1Clocks[core]
+	b.dmaCold = false
+}
+
+// WrittenByDMA marks the buffer's contents as produced by device DMA:
+// cold to every cache and carrying the snoop penalty on first read.
+func (b *Buffer) WrittenByDMA() {
+	b.lastCore = -1
+	b.dmaCold = true
+}
+
+// DMACold reports whether the buffer was last written by device DMA.
+func (b *Buffer) DMACold() bool { return b.dmaCold }
+
+// LastCore reports the core that last touched the buffer (-1 if none).
+func (b *Buffer) LastCore() int { return b.lastCore }
+
+// WarmL2 reports whether the buffer is still resident in the L2 cache
+// reachable from the given core.
+func (b *Buffer) WarmL2(core int) bool {
+	if b.lastCore < 0 {
+		return false
+	}
+	m := b.Mem
+	if !m.P.SameL2(core, b.lastCore) {
+		return false
+	}
+	dom := m.P.L2DomainOf(core)
+	traffic := m.l2Clocks[dom] - b.l2TouchMark
+	return traffic+int64(len(b.Data)) <= m.P.L2Size
+}
+
+// WarmL1 reports whether the buffer is still resident in the given
+// core's L1 cache.
+func (b *Buffer) WarmL1(core int) bool {
+	if b.lastCore != core {
+		return false
+	}
+	m := b.Mem
+	traffic := m.l1Clocks[core] - b.l1TouchMark
+	return traffic+int64(len(b.Data)) <= m.P.L1Size
+}
+
+// RemoteSocket reports whether the buffer's data was last touched by a
+// core on a different socket than the given core (triggering FSB
+// coherence traffic on Clovertown).
+func (b *Buffer) RemoteSocket(core int) bool {
+	if b.lastCore < 0 {
+		return false
+	}
+	return !b.Mem.P.SameSocket(core, b.lastCore)
+}
+
+// Fill writes a deterministic pattern derived from seed into the
+// buffer (test and example helper; does not touch warmth clocks).
+func (b *Buffer) Fill(seed byte) {
+	for i := range b.Data {
+		b.Data[i] = seed + byte(i*131)
+	}
+}
+
+// Equal reports whether two buffers hold identical bytes.
+func Equal(a, b *Buffer) bool {
+	if len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,139 @@
+package hostmem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"omxsim/platform"
+)
+
+func mem() (*platform.Platform, *Memory) {
+	p := platform.Clovertown()
+	return p, New(p)
+}
+
+func TestAllocDistinctAddresses(t *testing.T) {
+	_, m := mem()
+	a, b := m.Alloc(100), m.Alloc(100)
+	if a.Addr == b.Addr {
+		t.Fatal("overlapping addresses")
+	}
+	if m.Allocated() != 200 {
+		t.Fatalf("allocated = %d", m.Allocated())
+	}
+}
+
+func TestFillAndEqual(t *testing.T) {
+	_, m := mem()
+	a, b := m.Alloc(1000), m.Alloc(1000)
+	a.Fill(3)
+	if Equal(a, b) {
+		t.Fatal("different contents reported equal")
+	}
+	copy(b.Data, a.Data)
+	if !Equal(a, b) {
+		t.Fatal("identical contents reported unequal")
+	}
+	if Equal(a, m.Alloc(999)) {
+		t.Fatal("different lengths reported equal")
+	}
+}
+
+func TestWarmthBasics(t *testing.T) {
+	_, m := mem()
+	b := m.Alloc(64 * 1024)
+	if b.WarmL2(0) || b.WarmL1(0) {
+		t.Fatal("fresh buffer warm")
+	}
+	b.Touch(0, b.Size())
+	if !b.WarmL2(0) || !b.WarmL2(1) {
+		t.Fatal("not warm in shared L2 after touch")
+	}
+	if b.WarmL2(2) {
+		t.Fatal("warm in another subchip's L2")
+	}
+	if b.WarmL1(0) {
+		t.Fatal("64 kiB buffer cannot fit a 32 kiB L1")
+	}
+	small := m.Alloc(4096)
+	small.Touch(0, small.Size())
+	if !small.WarmL1(0) || small.WarmL1(1) {
+		t.Fatal("L1 warmth wrong (own core only)")
+	}
+}
+
+func TestDMAColdSemantics(t *testing.T) {
+	_, m := mem()
+	b := m.Alloc(4096)
+	b.Touch(0, 4096)
+	b.WrittenByDMA()
+	if !b.DMACold() || b.WarmL2(0) {
+		t.Fatal("DMA write should clear warmth")
+	}
+	b.Touch(1, 4096)
+	if b.DMACold() {
+		t.Fatal("touch should clear DMA-cold")
+	}
+	if b.LastCore() != 1 {
+		t.Fatalf("last core = %d", b.LastCore())
+	}
+}
+
+func TestRemoteSocket(t *testing.T) {
+	_, m := mem()
+	b := m.Alloc(100)
+	if b.RemoteSocket(0) {
+		t.Fatal("untouched buffer cannot be remote")
+	}
+	b.Touch(4, 100) // socket 1
+	if !b.RemoteSocket(0) || b.RemoteSocket(5) {
+		t.Fatal("remote-socket detection wrong")
+	}
+}
+
+func TestOversizeBufferNeverWarm(t *testing.T) {
+	p, m := mem()
+	b := m.Alloc(int(p.L2Size) + 1)
+	b.Touch(0, b.Size())
+	if b.WarmL2(0) {
+		t.Fatal("buffer larger than L2 reported warm")
+	}
+}
+
+// Property: warmth monotonically decays — once traffic evicts a
+// buffer it never becomes warm again without a touch.
+func TestPropertyEvictionIsPermanent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, m := mem()
+		b := m.Alloc(rng.Intn(1<<20) + 1)
+		b.Touch(0, b.Size())
+		evicted := false
+		for i := 0; i < 20; i++ {
+			tr := m.Alloc(rng.Intn(int(p.L2Size)))
+			tr.Touch(rng.Intn(2), tr.Size()) // same L2 domain
+			warm := b.WarmL2(0)
+			if evicted && warm {
+				return false
+			}
+			if !warm {
+				evicted = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeAllocPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	_, m := mem()
+	m.Alloc(-1)
+}

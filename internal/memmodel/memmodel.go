@@ -1,0 +1,95 @@
+// Package memmodel implements the processor memcpy cost model.
+//
+// A copy's rate depends on where its operands currently live (the
+// hostmem warmth tracker), on whether the source was just written by
+// device DMA (snoop penalty: no Direct Cache Access on the modelled
+// chipset), and on whether the data has to cross the front-side bus
+// between sockets. Rates are the calibrated platform constants.
+//
+// Memcpy really moves the payload bytes, so every higher layer can be
+// integrity-checked end to end.
+package memmodel
+
+import (
+	"fmt"
+
+	"omxsim/internal/hostmem"
+	"omxsim/platform"
+	"omxsim/sim"
+)
+
+// Model computes memcpy durations for one host.
+type Model struct {
+	P *platform.Platform
+}
+
+// New returns a model using p's constants.
+func New(p *platform.Platform) *Model { return &Model{P: p} }
+
+// RateFor reports the copy rate the model would use right now for a
+// copy of n bytes from src to dst executed on the given core, before
+// any warmth update. Exposed for diagnostics and tests.
+func (m *Model) RateFor(dst, src *hostmem.Buffer, n, core int) platform.Rate {
+	p := m.P
+	if src.DMACold() {
+		// Freshly device-DMA'd source: every line must be snooped and
+		// fetched from memory, which dominates the copy no matter how
+		// warm the destination is. This is the bottom-half receive
+		// copy rate at the heart of the paper.
+		return platform.Rate(float64(p.MemcpyColdRate) * p.DMAColdPenalty)
+	}
+	// A copy bigger than half the L2 evicts its own working set as it
+	// streams, so cache warmth cannot be exploited.
+	big := int64(n) > p.L2Size/2
+	var rate platform.Rate
+	switch {
+	case src.RemoteSocket(core):
+		// Data lives on the other socket: coherence traffic over the
+		// FSB dominates; Clovertown has no fast cache-to-cache path.
+		if !big && src.WarmL2(src.LastCore()) {
+			rate = p.MemcpyCrossSocketWarm
+		} else {
+			rate = p.MemcpyCrossSocketCold
+		}
+	case !big && src.WarmL1(core) && dst.WarmL1(core):
+		rate = p.MemcpyL1Rate
+	case !big && src.WarmL2(core) && dst.WarmL2(core):
+		rate = p.MemcpyL2Rate
+	case !big && (src.WarmL2(core) || dst.WarmL2(core)):
+		rate = p.MemcpyHalfWarmRate
+	default:
+		rate = p.MemcpyColdRate
+	}
+	if big && rate > p.MemcpyBigRate {
+		rate = p.MemcpyBigRate
+	}
+	return rate
+}
+
+// CopyTime reports the duration of copying n bytes from src to dst on
+// the given core without performing the copy or updating warmth.
+func (m *Model) CopyTime(dst, src *hostmem.Buffer, n, core int) sim.Duration {
+	if n < 0 {
+		panic(fmt.Sprintf("memmodel: negative copy size %d", n))
+	}
+	rate := m.RateFor(dst, src, n, core)
+	return sim.Duration(m.P.MemcpyCallCost) + sim.Duration(float64(n)/float64(rate))
+}
+
+// Memcpy copies n bytes from src[srcOff:] to dst[dstOff:], updates the
+// warmth clocks, and returns the simulated duration of the copy. The
+// caller is responsible for charging that duration to a CPU core.
+func (m *Model) Memcpy(dst *hostmem.Buffer, dstOff int, src *hostmem.Buffer, srcOff, n, core int) sim.Duration {
+	d := m.CopyTime(dst, src, n, core)
+	copy(dst.Data[dstOff:dstOff+n], src.Data[srcOff:srcOff+n])
+	src.Touch(core, n)
+	dst.Touch(core, n)
+	return d
+}
+
+// RawTime reports the duration of copying n bytes at a fixed rate plus
+// the per-call overhead. Used by microbenchmarks that control cache
+// state explicitly.
+func (m *Model) RawTime(n int, rate platform.Rate) sim.Duration {
+	return sim.Duration(m.P.MemcpyCallCost) + sim.Duration(float64(n)/float64(rate))
+}

@@ -1,0 +1,221 @@
+// Package nic models a 10 Gbit/s Ethernet NIC and its driver's receive
+// path, in two personalities:
+//
+//   - Generic mode reproduces the Linux receive path the paper's
+//     Open-MX runs on: incoming frames are DMA'd into the next skbuff
+//     of a circular receive ring ("the driver cannot predict which
+//     packet will arrive next"), an interrupt schedules a bottom half,
+//     and a NAPI-style loop drains pending skbuffs on one core, calling
+//     the registered protocol receive handler for each. Ring overflow
+//     drops frames (exercised by the retransmission tests).
+//
+//   - Firmware mode models Myricom's native MXoE personality: frames
+//     are handled entirely by NIC firmware with no host interrupt, no
+//     skbuff and no bottom half; the registered firmware handler runs
+//     at frame arrival and performs its own DMA timing.
+//
+// The bottom half is a simulated kernel process (softirq priority) so
+// its CPU time lands in the accounting that Figure 9 reports.
+package nic
+
+import (
+	"fmt"
+
+	"omxsim/internal/cpu"
+	"omxsim/internal/hostmem"
+	"omxsim/internal/wire"
+	"omxsim/platform"
+	"omxsim/sim"
+)
+
+// Skb is a socket buffer holding one received frame.
+type Skb struct {
+	Buf   *hostmem.Buffer // payload bytes, freshly DMA'd (cache-cold)
+	Frame *wire.Frame
+	nic   *NIC
+	freed bool
+}
+
+// Len reports the payload length.
+func (s *Skb) Len() int { return len(s.Buf.Data) }
+
+// Free releases the skbuff. Freeing twice panics (use-after-free guard
+// for the driver's resource tracking).
+func (s *Skb) Free() {
+	if s.freed {
+		panic("nic: double free of skbuff")
+	}
+	s.freed = true
+	s.nic.skbsLive--
+}
+
+// RxHandler is the protocol receive callback, invoked in bottom-half
+// context. It must charge its own CPU costs through p and core, and it
+// owns the skbuff (must eventually Free it).
+type RxHandler func(p *sim.Proc, core *cpu.Core, skb *Skb)
+
+// FirmwareHandler receives raw frames in firmware mode, at wire
+// arrival time, with no host CPU involvement.
+type FirmwareHandler func(f *wire.Frame)
+
+// NIC is one network interface.
+type NIC struct {
+	E    *sim.Engine
+	P    *platform.Platform
+	Sys  *cpu.System
+	Mem  *hostmem.Memory
+	Name string
+
+	hose *wire.Hose // transmit side, set via SetHose
+
+	// Receive configuration.
+	handler  RxHandler
+	firmware FirmwareHandler
+	// IRQCore is the core that receives this NIC's interrupts and runs
+	// its bottom half (the paper: "the NIC may send interrupts to any
+	// core"; steering is fixed per run, the common production setup).
+	IRQCore int
+
+	// Receive state (generic mode).
+	pending  []*Skb
+	inflight int // frames being DMA'd into ring skbuffs
+	bhSig    *sim.Signal
+	bhBusy   bool
+
+	// Transmit state.
+	txQueue  []*wire.Frame
+	txActive bool
+
+	// Stats.
+	RxFrames  int64
+	RxDrops   int64
+	TxFrames  int64
+	BHRuns    int64
+	skbsLive  int
+	SkbsAlloc int64
+}
+
+// New returns a NIC attached to the given host resources.
+func New(e *sim.Engine, p *platform.Platform, sys *cpu.System, mem *hostmem.Memory, name string) *NIC {
+	n := &NIC{E: e, P: p, Sys: sys, Mem: mem, Name: name, bhSig: sim.NewSignal()}
+	e.Go("bh:"+name, n.bhLoop)
+	return n
+}
+
+// Address implements wire.Port.
+func (n *NIC) Address() string { return n.Name }
+
+// SetHose attaches the transmit hose (created by wire.Connect or a
+// switch).
+func (n *NIC) SetHose(h *wire.Hose) { n.hose = h }
+
+// Hose returns the transmit hose.
+func (n *NIC) Hose() *wire.Hose { return n.hose }
+
+// SetRxHandler selects generic mode with the given protocol callback.
+func (n *NIC) SetRxHandler(h RxHandler) {
+	n.handler = h
+	n.firmware = nil
+}
+
+// SetFirmware selects firmware mode with the given handler.
+func (n *NIC) SetFirmware(h FirmwareHandler) {
+	n.firmware = h
+	n.handler = nil
+}
+
+// SkbsLive reports skbuffs delivered to the protocol and not yet freed
+// (the "pool of skbuffs being queued for copy" the paper's resource
+// tracking bounds).
+func (n *NIC) SkbsLive() int { return n.skbsLive }
+
+// Transmit queues a frame for transmission: a host-to-NIC DMA read,
+// then wire serialization. The sending CPU costs (building the skbuff,
+// the syscall) are the protocol's business and must be charged before
+// calling Transmit.
+func (n *NIC) Transmit(f *wire.Frame) {
+	f.SrcAddr = n.Name
+	n.txQueue = append(n.txQueue, f)
+	if !n.txActive {
+		n.txActive = true
+		n.txNext()
+	}
+}
+
+func (n *NIC) txNext() {
+	if len(n.txQueue) == 0 {
+		n.txActive = false
+		return
+	}
+	f := n.txQueue[0]
+	n.txQueue = n.txQueue[1:]
+	dma := sim.Duration(n.P.NICFixedLatency) + sim.Duration(float64(f.WireLen)/float64(n.P.NICDMARate))
+	n.E.Schedule(dma, func() {
+		n.TxFrames++
+		if n.hose == nil {
+			panic(fmt.Sprintf("nic %s: transmit with no hose attached", n.Name))
+		}
+		n.hose.Send(f)
+		n.txNext()
+	})
+}
+
+// Arrive implements wire.Port: a frame's last bit has arrived.
+func (n *NIC) Arrive(f *wire.Frame) {
+	if n.firmware != nil {
+		n.firmware(f)
+		return
+	}
+	if n.handler == nil {
+		panic(fmt.Sprintf("nic %s: frame arrived with no handler", n.Name))
+	}
+	// Ring occupancy: frames being DMA'd plus frames waiting for the
+	// bottom half. When the ring is exhausted the NIC has nowhere to
+	// put the frame and drops it.
+	if n.inflight+len(n.pending) >= n.P.RxRingSize {
+		n.RxDrops++
+		return
+	}
+	n.inflight++
+	dma := sim.Duration(n.P.NICFixedLatency) + sim.Duration(float64(f.WireLen)/float64(n.P.NICDMARate))
+	n.E.Schedule(dma, func() {
+		n.inflight--
+		n.RxFrames++
+		buf := n.Mem.Alloc(len(f.Data))
+		copy(buf.Data, f.Data)
+		buf.WrittenByDMA()
+		n.SkbsAlloc++
+		n.skbsLive++
+		n.pending = append(n.pending, &Skb{Buf: buf, Frame: f, nic: n})
+		n.bhSig.Broadcast()
+	})
+}
+
+// bhLoop is the NAPI-style bottom half: one kernel process per NIC.
+func (n *NIC) bhLoop(p *sim.Proc) {
+	for {
+		p.WaitFor(n.bhSig, func() bool { return len(n.pending) > 0 })
+		// Interrupt delivery + hard-irq handler before softirq work.
+		p.Sleep(sim.Duration(n.P.IRQLatency))
+		n.BHRuns++
+		n.bhBusy = true
+		core := n.Sys.Core(n.IRQCore)
+		for len(n.pending) > 0 {
+			budget := n.P.NAPIBudget
+			for budget > 0 && len(n.pending) > 0 {
+				skb := n.pending[0]
+				n.pending = n.pending[1:]
+				// Generic driver + skbuff handling for this frame.
+				core.RunOn(p, cpu.BHProc, sim.Duration(n.P.SkbPerFrameCost))
+				n.handler(p, core, skb)
+				budget--
+			}
+			// Budget exhausted with frames still pending: NAPI yields
+			// the softirq and immediately re-polls (no new interrupt).
+			if len(n.pending) > 0 {
+				p.Yield()
+			}
+		}
+		n.bhBusy = false
+	}
+}

@@ -1,0 +1,73 @@
+package proto
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSizeClassConstants(t *testing.T) {
+	// The MX wire geometry the whole stack is built around.
+	if TinyMax != 32 || SmallMax != 128 || MediumFragSize != 4096 || LargeFragSize != 8192 {
+		t.Fatal("size classes drifted from the MX wire format")
+	}
+}
+
+func TestFragsOf(t *testing.T) {
+	cases := map[int]int{
+		0:     1,
+		1:     1,
+		8192:  1,
+		8193:  2,
+		65536: 8,
+		65537: 9,
+	}
+	for n, want := range cases {
+		if got := FragsOf(n); got != want {
+			t.Fatalf("FragsOf(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestMediumFragsOf(t *testing.T) {
+	cases := map[int]int{
+		0:     1,
+		128:   1, // small: single frame regardless
+		129:   1,
+		4096:  1,
+		4097:  2,
+		32768: 8,
+	}
+	for n, want := range cases {
+		if got := MediumFragsOf(n); got != want {
+			t.Fatalf("MediumFragsOf(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// Property: fragment counts always cover the message with no excess
+// fragment.
+func TestPropertyFragCoverage(t *testing.T) {
+	f := func(n uint32) bool {
+		size := int(n % (64 << 20))
+		frags := FragsOf(size)
+		if size == 0 {
+			return frags == 1
+		}
+		return (frags-1)*LargeFragSize < size && size <= frags*LargeFragSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrComparable(t *testing.T) {
+	a := Addr{Host: "n0", EP: 1}
+	b := Addr{Host: "n0", EP: 1}
+	if a != b {
+		t.Fatal("identical addrs differ")
+	}
+	m := map[Addr]int{a: 7}
+	if m[b] != 7 {
+		t.Fatal("addr not usable as map key")
+	}
+}

@@ -1,0 +1,173 @@
+// Package wire models Ethernet links: FIFO serialization at the
+// signalling rate, per-frame framing overhead, propagation delay,
+// deterministic loss injection, and a small store-and-forward switch.
+//
+// Frames carry a snapshot of their real payload bytes (taken when the
+// sending NIC's DMA engine read them from host memory), so data
+// integrity can be checked end to end, plus a decoded protocol message
+// standing in for the on-wire header (whose size is accounted for in
+// the timing via WireLen).
+package wire
+
+import (
+	"fmt"
+
+	"omxsim/platform"
+	"omxsim/sim"
+)
+
+// Frame is one Ethernet frame in flight.
+type Frame struct {
+	// Data is the payload byte snapshot (may be nil for pure control
+	// messages whose few bytes ride in Msg).
+	Data []byte
+	// WireLen is the accounted payload length in bytes, including the
+	// protocol header but excluding Ethernet framing (which the link
+	// adds from the platform constants).
+	WireLen int
+	// Msg is the decoded protocol message (header fields).
+	Msg any
+	// DstAddr routes the frame through switches. Point-to-point links
+	// ignore it.
+	DstAddr string
+	// SrcAddr identifies the sender.
+	SrcAddr string
+}
+
+// Port is anything that can receive frames from a link: a NIC or a
+// switch port.
+type Port interface {
+	// Arrive delivers a frame at the simulated instant its last bit
+	// arrives at the port.
+	Arrive(f *Frame)
+	// Address is the port's globally unique address.
+	Address() string
+}
+
+// Hose is the transmit side of one link direction: frames Sent on it
+// serialize FIFO at the wire rate and arrive at the peer port after
+// the propagation delay.
+type Hose struct {
+	E *sim.Engine
+	P *platform.Platform
+
+	peer  Port
+	queue []*Frame
+	busy  bool
+
+	// Drop, if non-nil, is consulted for every frame after
+	// serialization; returning true discards the frame (loss
+	// injection for retransmission tests).
+	Drop func(f *Frame) bool
+
+	// Stats.
+	FramesSent    int64
+	BytesSent     int64
+	FramesDropped int64
+}
+
+// NewHose returns a transmit hose towards peer.
+func NewHose(e *sim.Engine, p *platform.Platform, peer Port) *Hose {
+	return &Hose{E: e, P: p, peer: peer}
+}
+
+// Peer returns the receiving port of this hose.
+func (h *Hose) Peer() Port { return h.peer }
+
+// SerializeTime reports the wire occupancy of a frame with the given
+// payload length (adding Ethernet framing overhead).
+func (h *Hose) SerializeTime(wireLen int) sim.Duration {
+	bits := float64(wireLen + h.P.EthFrameOverhead)
+	return sim.Duration(bits / float64(h.P.WireRate))
+}
+
+// Send queues a frame for transmission. The frame arrives at the peer
+// after all previously queued frames serialize, plus this frame's own
+// serialization time, plus propagation.
+func (h *Hose) Send(f *Frame) {
+	if f.WireLen < 0 {
+		panic(fmt.Sprintf("wire: negative frame length %d", f.WireLen))
+	}
+	h.queue = append(h.queue, f)
+	if !h.busy {
+		h.busy = true
+		h.startNext()
+	}
+}
+
+// QueueLen reports frames waiting (including the one serializing).
+func (h *Hose) QueueLen() int { return len(h.queue) }
+
+func (h *Hose) startNext() {
+	if len(h.queue) == 0 {
+		h.busy = false
+		return
+	}
+	f := h.queue[0]
+	h.queue = h.queue[1:]
+	h.E.Schedule(h.SerializeTime(f.WireLen), func() {
+		if h.Drop != nil && h.Drop(f) {
+			h.FramesDropped++
+		} else {
+			h.FramesSent++
+			h.BytesSent += int64(f.WireLen)
+			h.E.Schedule(sim.Duration(h.P.WirePropagation), func() { h.peer.Arrive(f) })
+		}
+		h.startNext()
+	})
+}
+
+// Connect builds a full-duplex point-to-point link between two ports
+// and returns the two transmit hoses (a→b, b→a).
+func Connect(e *sim.Engine, p *platform.Platform, a, b Port) (ab, ba *Hose) {
+	return NewHose(e, p, b), NewHose(e, p, a)
+}
+
+// Switch is a minimal store-and-forward Ethernet switch: each attached
+// port gets a dedicated full-duplex link to the switch; the switch
+// forwards by destination address with one additional serialization on
+// the output link (plus a fixed forwarding latency).
+type Switch struct {
+	E *sim.Engine
+	P *platform.Platform
+	// ForwardLatency is the switch's own cut-through/lookup latency.
+	ForwardLatency sim.Duration
+
+	byAddr map[string]*Hose // dest address → output hose (switch→NIC)
+
+	// FramesForwarded counts successfully routed frames; unroutable
+	// frames are counted in FramesUnknown and discarded.
+	FramesForwarded int64
+	FramesUnknown   int64
+}
+
+// NewSwitch returns an empty switch.
+func NewSwitch(e *sim.Engine, p *platform.Platform) *Switch {
+	return &Switch{E: e, P: p, ForwardLatency: 300, byAddr: make(map[string]*Hose)}
+}
+
+// switchPort is the switch's receive side for one attached device.
+type switchPort struct {
+	sw   *Switch
+	addr string
+}
+
+func (sp *switchPort) Address() string { return sp.addr }
+
+func (sp *switchPort) Arrive(f *Frame) {
+	out, ok := sp.sw.byAddr[f.DstAddr]
+	if !ok {
+		sp.sw.FramesUnknown++
+		return
+	}
+	sp.sw.FramesForwarded++
+	sp.sw.E.Schedule(sp.sw.ForwardLatency, func() { out.Send(f) })
+}
+
+// Attach connects a device port to the switch and returns the hose the
+// device must transmit on (device → switch).
+func (s *Switch) Attach(dev Port) *Hose {
+	s.byAddr[dev.Address()] = NewHose(s.E, s.P, dev)
+	sp := &switchPort{sw: s, addr: "switch:" + dev.Address()}
+	return NewHose(s.E, s.P, sp)
+}

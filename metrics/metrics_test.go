@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := NewTable("demo", "msgsize", "MiB/s")
+	a := t.AddSeries("alpha")
+	a.Add(1024, 100)
+	a.Add(2048, 200)
+	b := t.AddSeries("beta")
+	b.Add(1024, 50)
+	b.Add(4096, 300)
+	return t
+}
+
+func TestSeriesAtAndMax(t *testing.T) {
+	tab := sample()
+	if v, ok := tab.Get("alpha").At(2048); !ok || v != 200 {
+		t.Fatalf("At = %v,%v", v, ok)
+	}
+	if _, ok := tab.Get("alpha").At(999); ok {
+		t.Fatal("missing point reported present")
+	}
+	if m := tab.Get("beta").Max(); m != 300 {
+		t.Fatalf("Max = %v", m)
+	}
+	if tab.Get("nope") != nil {
+		t.Fatal("missing series found")
+	}
+}
+
+func TestRenderContainsAllRowsAndColumns(t *testing.T) {
+	out := sample().Render()
+	for _, want := range []string{"demo", "alpha", "beta", "1kB", "2kB", "4kB", "200.0", "300.0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Missing cells render as "-".
+	if !strings.Contains(out, "-") {
+		t.Fatal("missing-cell marker absent")
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	cases := map[float64]string{
+		16:       "16B",
+		1024:     "1kB",
+		131072:   "128kB",
+		1 << 20:  "1MB",
+		16 << 20: "16MB",
+		1536:     "1.5kB",
+	}
+	for in, want := range cases {
+		if got := SizeLabel(in); got != want {
+			t.Fatalf("SizeLabel(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestASCIIPlotBasics(t *testing.T) {
+	out := sample().ASCIIPlot(60, 10)
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "o=alpha") {
+		t.Fatalf("plot missing header/legend:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 10 {
+		t.Fatal("plot too short")
+	}
+	// Degenerate input must not panic.
+	empty := NewTable("empty", "x", "y").ASCIIPlot(60, 10)
+	if !strings.Contains(empty, "no data") {
+		t.Fatal("empty plot not handled")
+	}
+}
+
+func TestCompareString(t *testing.T) {
+	c := Compare{What: "throughput", Paper: 800, Measured: 824, Unit: "MiB/s"}
+	s := c.String()
+	if !strings.Contains(s, "+3%") || !strings.Contains(s, "throughput") {
+		t.Fatalf("compare rendering: %s", s)
+	}
+}

@@ -1,0 +1,340 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"omxsim/cluster"
+	"omxsim/mxoe"
+	"omxsim/openmx"
+	"omxsim/sim"
+)
+
+// worlds builds a 2-node world with ppn ranks per node over the given
+// transport ("openmx", "openmx-ioat" or "mxoe").
+func world(t *testing.T, transport string, ppn int) (*cluster.Cluster, *World) {
+	t.Helper()
+	c := cluster.New(nil)
+	n0, n1 := c.NewHost("n0"), c.NewHost("n1")
+	cluster.Link(n0, n1)
+	var t0, t1 openmx.Transport
+	switch transport {
+	case "openmx":
+		t0, t1 = openmx.Attach(n0, openmx.Config{}), openmx.Attach(n1, openmx.Config{})
+	case "openmx-ioat":
+		cfg := openmx.Config{IOAT: true, IOATShm: true}
+		t0, t1 = openmx.Attach(n0, cfg), openmx.Attach(n1, cfg)
+	case "mxoe":
+		t0, t1 = mxoe.Attach(n0, mxoe.Config{}), mxoe.Attach(n1, mxoe.Config{})
+	default:
+		t.Fatalf("unknown transport %q", transport)
+	}
+	w := NewWorld(c)
+	cores := []int{2, 4} // two ranks per node on separate L2 domains
+	for r := 0; r < 2*ppn; r++ {
+		node, slot := n0, r
+		tr := t0
+		if r >= ppn { // block placement, like MPICH
+			node, slot, tr = n1, r-ppn, t1
+		}
+		w.AddRank(tr.Open(slot, cores[slot]), node, cores[slot])
+	}
+	t.Cleanup(c.Close)
+	return c, w
+}
+
+func runWorld(t *testing.T, c *cluster.Cluster, w *World, body func(r *Rank)) {
+	t.Helper()
+	w.Spawn(body)
+	if n := c.Run(); n != 0 {
+		t.Fatalf("deadlock: %d ranks blocked", n)
+	}
+}
+
+func putFloats(b *cluster.Buffer, vals ...float64) {
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b.Bytes()[i*8:], math.Float64bits(v))
+	}
+}
+
+func getFloat(b *cluster.Buffer, i int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b.Bytes()[i*8:]))
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	for _, tr := range []string{"openmx", "openmx-ioat", "mxoe"} {
+		t.Run(tr, func(t *testing.T) {
+			c, w := world(t, tr, 1)
+			bufs := map[int]*cluster.Buffer{}
+			for r := 0; r < 2; r++ {
+				bufs[r] = w.Rank(r).Host.Alloc(1 << 16)
+			}
+			runWorld(t, c, w, func(r *Rank) {
+				if r.ID == 0 {
+					bufs[0].Fill(7)
+					r.Send(1, 99, bufs[0], 0, 1<<16)
+				} else {
+					n := r.Recv(0, 99, bufs[1], 0, 1<<16)
+					if n != 1<<16 {
+						t.Errorf("recv len %d", n)
+					}
+				}
+			})
+			if !cluster.Equal(bufs[0], bufs[1]) {
+				t.Fatal("payload corrupted")
+			}
+		})
+	}
+}
+
+func TestAnySource(t *testing.T) {
+	c, w := world(t, "openmx", 1)
+	buf0 := w.Rank(0).Host.Alloc(64)
+	buf1 := w.Rank(1).Host.Alloc(64)
+	var from int
+	runWorld(t, c, w, func(r *Rank) {
+		if r.ID == 1 {
+			buf1.Fill(3)
+			r.Send(0, 5, buf1, 0, 64)
+		} else {
+			req := r.Irecv(AnySource, 5, buf0, 0, 64)
+			r.Wait(req)
+			from = int(req.Match()>>32) - 1
+		}
+	})
+	if from != 1 {
+		t.Fatalf("any-source matched rank %d", from)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	for _, ppn := range []int{1, 2} {
+		c, w := world(t, "openmx", ppn)
+		var after []sim.Time
+		var before sim.Time
+		runWorld(t, c, w, func(r *Rank) {
+			if r.ID == 0 {
+				r.Proc().Sleep(500 * sim.Microsecond) // straggler
+				before = r.Now()
+			}
+			r.Barrier()
+			after = append(after, r.Now())
+		})
+		for _, ti := range after {
+			if ti < before {
+				t.Fatalf("ppn=%d: rank left barrier at %v before straggler at %v", ppn, ti, before)
+			}
+		}
+	}
+}
+
+func TestBcastAllTransportsAllRoots(t *testing.T) {
+	for _, tr := range []string{"openmx", "mxoe"} {
+		for root := 0; root < 4; root++ {
+			c, w := world(t, tr, 2)
+			bufs := make([]*cluster.Buffer, 4)
+			for r := range bufs {
+				bufs[r] = w.Rank(r).Host.Alloc(4096)
+			}
+			rootVal := byte(0x30 + root)
+			runWorld(t, c, w, func(r *Rank) {
+				if r.ID == root {
+					bufs[r.ID].Fill(rootVal)
+				}
+				r.Bcast(root, bufs[r.ID], 0, 4096)
+			})
+			for r := 0; r < 4; r++ {
+				if !cluster.Equal(bufs[root], bufs[r]) {
+					t.Fatalf("%s root=%d: rank %d has wrong data", tr, root, r)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	c, w := world(t, "openmx", 2)
+	sb := make([]*cluster.Buffer, 4)
+	rb := w.Rank(0).Host.Alloc(32)
+	for r := range sb {
+		sb[r] = w.Rank(r).Host.Alloc(32)
+	}
+	runWorld(t, c, w, func(r *Rank) {
+		putFloats(sb[r.ID], float64(r.ID+1), 10*float64(r.ID+1), 0, -1)
+		var out *cluster.Buffer
+		if r.ID == 0 {
+			out = rb
+		}
+		r.Reduce(0, sb[r.ID], out, 32)
+	})
+	if got := getFloat(rb, 0); got != 1+2+3+4 {
+		t.Fatalf("sum[0] = %v, want 10", got)
+	}
+	if got := getFloat(rb, 1); got != 10+20+30+40 {
+		t.Fatalf("sum[1] = %v, want 100", got)
+	}
+	if got := getFloat(rb, 3); got != -4 {
+		t.Fatalf("sum[3] = %v, want -4", got)
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	for _, tr := range []string{"openmx", "openmx-ioat", "mxoe"} {
+		c, w := world(t, tr, 2)
+		sb := make([]*cluster.Buffer, 4)
+		rb := make([]*cluster.Buffer, 4)
+		for r := range sb {
+			sb[r] = w.Rank(r).Host.Alloc(16)
+			rb[r] = w.Rank(r).Host.Alloc(16)
+		}
+		runWorld(t, c, w, func(r *Rank) {
+			putFloats(sb[r.ID], float64(r.ID), 1)
+			r.Allreduce(sb[r.ID], rb[r.ID], 16)
+		})
+		for r := 0; r < 4; r++ {
+			if getFloat(rb[r], 0) != 6 || getFloat(rb[r], 1) != 4 {
+				t.Fatalf("%s: rank %d allreduce = (%v,%v), want (6,4)",
+					tr, r, getFloat(rb[r], 0), getFloat(rb[r], 1))
+			}
+		}
+	}
+}
+
+func TestReduceScatter(t *testing.T) {
+	c, w := world(t, "openmx", 2)
+	const chunk = 16 // 2 floats per rank
+	sb := make([]*cluster.Buffer, 4)
+	rb := make([]*cluster.Buffer, 4)
+	for r := range sb {
+		sb[r] = w.Rank(r).Host.Alloc(chunk * 4)
+		rb[r] = w.Rank(r).Host.Alloc(chunk)
+	}
+	runWorld(t, c, w, func(r *Rank) {
+		for i := 0; i < 8; i++ {
+			binary.LittleEndian.PutUint64(sb[r.ID].Bytes()[i*8:], math.Float64bits(float64(i)))
+		}
+		r.ReduceScatter(sb[r.ID], rb[r.ID], chunk)
+	})
+	// Sum over 4 ranks of identical vectors = 4×value; rank i gets
+	// elements 2i, 2i+1.
+	for r := 0; r < 4; r++ {
+		want0, want1 := 4*float64(2*r), 4*float64(2*r+1)
+		if getFloat(rb[r], 0) != want0 || getFloat(rb[r], 1) != want1 {
+			t.Fatalf("rank %d got (%v,%v), want (%v,%v)",
+				r, getFloat(rb[r], 0), getFloat(rb[r], 1), want0, want1)
+		}
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	for _, tr := range []string{"openmx", "mxoe"} {
+		c, w := world(t, tr, 2)
+		const n = 1024
+		sb := make([]*cluster.Buffer, 4)
+		rb := make([]*cluster.Buffer, 4)
+		for r := range sb {
+			sb[r] = w.Rank(r).Host.Alloc(n)
+			rb[r] = w.Rank(r).Host.Alloc(4 * n)
+		}
+		runWorld(t, c, w, func(r *Rank) {
+			sb[r.ID].Fill(byte(0x10 * (r.ID + 1)))
+			r.Allgather(sb[r.ID], n, rb[r.ID])
+		})
+		for r := 0; r < 4; r++ {
+			for blk := 0; blk < 4; blk++ {
+				want := sb[blk].Bytes()
+				got := rb[r].Bytes()[blk*n : blk*n+n]
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s rank %d block %d byte %d", tr, r, blk, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	c, w := world(t, "openmx", 2)
+	const n = 512
+	sb := make([]*cluster.Buffer, 4)
+	rb := make([]*cluster.Buffer, 4)
+	for r := range sb {
+		sb[r] = w.Rank(r).Host.Alloc(4 * n)
+		rb[r] = w.Rank(r).Host.Alloc(4 * n)
+	}
+	runWorld(t, c, w, func(r *Rank) {
+		for dst := 0; dst < 4; dst++ {
+			for i := 0; i < n; i++ {
+				sb[r.ID].Bytes()[dst*n+i] = byte(16*r.ID + dst)
+			}
+		}
+		r.Alltoall(sb[r.ID], n, rb[r.ID])
+	})
+	for r := 0; r < 4; r++ {
+		for src := 0; src < 4; src++ {
+			want := byte(16*src + r)
+			if got := rb[r].Bytes()[src*n]; got != want {
+				t.Fatalf("rank %d chunk from %d = %#x, want %#x", r, src, got, want)
+			}
+		}
+	}
+}
+
+func TestAllgathervUnevenSizes(t *testing.T) {
+	c, w := world(t, "openmx", 2)
+	sizes := []int{100, 2000, 50, 4096}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	sb := make([]*cluster.Buffer, 4)
+	rb := make([]*cluster.Buffer, 4)
+	for r := range sb {
+		sb[r] = w.Rank(r).Host.Alloc(sizes[r])
+		rb[r] = w.Rank(r).Host.Alloc(total)
+	}
+	runWorld(t, c, w, func(r *Rank) {
+		sb[r.ID].Fill(byte(r.ID + 1))
+		r.Allgatherv(sb[r.ID], sizes[r.ID], rb[r.ID], sizes)
+	})
+	off := 0
+	for blk := 0; blk < 4; blk++ {
+		for r := 0; r < 4; r++ {
+			got := rb[r].Bytes()[off : off+sizes[blk]]
+			want := sb[blk].Bytes()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("rank %d block %d byte %d", r, blk, i)
+				}
+			}
+		}
+		off += sizes[blk]
+	}
+}
+
+func TestCollectiveSequenceIsolation(t *testing.T) {
+	// Back-to-back collectives must not cross-match.
+	c, w := world(t, "openmx", 1)
+	b := make([]*cluster.Buffer, 2)
+	for r := range b {
+		b[r] = w.Rank(r).Host.Alloc(64)
+	}
+	ok := true
+	runWorld(t, c, w, func(r *Rank) {
+		for i := 0; i < 20; i++ {
+			if r.ID == 0 {
+				b[0].Fill(byte(i))
+			}
+			r.Bcast(0, b[r.ID], 0, 64)
+			if b[r.ID].Bytes()[0] != byte(i) {
+				ok = false
+			}
+			r.Barrier()
+		}
+	})
+	if !ok {
+		t.Fatal("collective rounds crossed")
+	}
+}

@@ -1,0 +1,76 @@
+// Package mxoe is the public API of the native Myrinet Express over
+// Ethernet stack — the paper's baseline. It implements the same
+// transport interface as package openmx, so benchmarks and MPI run
+// unchanged over either stack, and it is wire-compatible with Open-MX
+// (the two interoperate over one link, as Open-MX was designed to do).
+package mxoe
+
+import (
+	"omxsim/cluster"
+	"omxsim/internal/mxoe"
+	"omxsim/internal/proto"
+	"omxsim/openmx"
+	"omxsim/sim"
+)
+
+// Config selects native-stack options.
+type Config struct {
+	// RegCache enables the registration cache (more valuable here
+	// than in Open-MX: MX registration updates NIC translation
+	// tables).
+	RegCache bool
+}
+
+// Stack is a native MXoE instance attached to a host (its NIC runs in
+// firmware mode: no interrupts, no bottom halves).
+type Stack struct {
+	h *cluster.Host
+	s *mxoe.Stack
+}
+
+// Attach builds the native stack on a host.
+func Attach(h *cluster.Host, cfg Config) *Stack {
+	return &Stack{h: h, s: mxoe.Attach(h.Machine(), mxoe.Config{RegCache: cfg.RegCache})}
+}
+
+// HostName implements openmx.Transport.
+func (s *Stack) HostName() string { return s.h.Name }
+
+// Open creates endpoint id bound to the given core.
+func (s *Stack) Open(id, coreID int) openmx.Endpoint {
+	return &endpoint{ep: s.s.OpenEndpoint(id, coreID)}
+}
+
+type endpoint struct {
+	ep *mxoe.Endpoint
+}
+
+type request struct {
+	r *mxoe.Request
+}
+
+func (r request) Done() bool { return r.r.Done() }
+func (r request) Len() int   { return r.r.Len }
+func (r request) Sender() openmx.Addr {
+	return openmx.Addr{Host: r.r.SenderAddr.Host, EP: r.r.SenderAddr.EP}
+}
+func (r request) Match() uint64 { return r.r.MatchInfo }
+
+func (e *endpoint) Addr() openmx.Addr {
+	a := e.ep.Addr()
+	return openmx.Addr{Host: a.Host, EP: a.EP}
+}
+
+func (e *endpoint) ISend(p *sim.Proc, dst openmx.Addr, match uint64, buf *cluster.Buffer, off, n int) openmx.Request {
+	return request{e.ep.ISend(p, proto.Addr{Host: dst.Host, EP: dst.EP}, match, buf.Raw(), off, n)}
+}
+
+func (e *endpoint) IRecv(p *sim.Proc, match, mask uint64, buf *cluster.Buffer, off, n int) openmx.Request {
+	return request{e.ep.IRecv(p, match, mask, buf.Raw(), off, n)}
+}
+
+func (e *endpoint) Wait(p *sim.Proc, r openmx.Request) { e.ep.Wait(p, r.(request).r) }
+
+func (e *endpoint) Test(p *sim.Proc, r openmx.Request) bool { return e.ep.Test(p, r.(request).r) }
+
+func (e *endpoint) Progress(p *sim.Proc) bool { return e.ep.Progress(p) }

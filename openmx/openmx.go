@@ -1,0 +1,142 @@
+// Package openmx is the public API of the Open-MX stack: MX-style
+// endpoints with ISend/IRecv/Wait verbs, 64-bit matching, and the
+// paper's configuration knobs (I/OAT copy offload, registration cache,
+// thresholds).
+//
+// It also defines the transport-neutral Endpoint/Request interfaces
+// that the mpi and imb packages program against, so every benchmark
+// runs identically over Open-MX and the native MXoE baseline.
+//
+//	c := cluster.New(nil)
+//	n0, n1 := c.NewHost("n0"), c.NewHost("n1")
+//	cluster.Link(n0, n1)
+//	s0 := openmx.Attach(n0, openmx.Config{IOAT: true})
+//	s1 := openmx.Attach(n1, openmx.Config{IOAT: true})
+//	e0, e1 := s0.Open(0, 2), s1.Open(0, 2)
+//	c.Go("recv", func(p *sim.Proc) {
+//	    r := e1.IRecv(p, 42, ^uint64(0), dst, 0, dst.Size())
+//	    e1.Wait(p, r)
+//	})
+//	c.Go("send", func(p *sim.Proc) {
+//	    e0.Wait(p, e0.ISend(p, e1.Addr(), 42, src, 0, src.Size()))
+//	})
+//	c.Run()
+package openmx
+
+import (
+	"omxsim/cluster"
+	"omxsim/internal/core"
+	"omxsim/internal/proto"
+	"omxsim/platform"
+	"omxsim/sim"
+)
+
+// Addr identifies an endpoint: host name plus endpoint index.
+type Addr struct {
+	Host string
+	EP   int
+}
+
+func (a Addr) internal() proto.Addr  { return proto.Addr{Host: a.Host, EP: a.EP} }
+func fromInternal(a proto.Addr) Addr { return Addr{Host: a.Host, EP: a.EP} }
+
+// Config selects the stack's optimizations and thresholds; it is the
+// Open-MX configuration from the paper (see internal/core.Config for
+// field documentation). The zero value is the plain memcpy stack with
+// the paper's default thresholds.
+type Config = core.Config
+
+// Defaults returns the paper's default thresholds.
+func Defaults() Config { return core.Defaults() }
+
+// AutoTuned returns an I/OAT-enabled configuration whose offload
+// thresholds are derived from startup microbenchmarks of the given
+// platform instead of the paper's empirical constants (the Section VI
+// auto-tuning proposal).
+func AutoTuned(p *platform.Platform) Config { return core.AutoTuned(p) }
+
+// Request is a transport-neutral in-flight operation handle.
+type Request interface {
+	// Done reports completion (driven by Wait/Test/Progress).
+	Done() bool
+	// Len reports the delivered byte count of a completed receive.
+	Len() int
+	// Sender reports the source address of a completed receive.
+	Sender() Addr
+	// Match reports the matched message's 64-bit match value.
+	Match() uint64
+}
+
+// Endpoint is the transport-neutral communication interface
+// implemented by both Open-MX and native MXoE endpoints.
+type Endpoint interface {
+	Addr() Addr
+	ISend(p *sim.Proc, dst Addr, match uint64, buf *cluster.Buffer, off, n int) Request
+	IRecv(p *sim.Proc, match, mask uint64, buf *cluster.Buffer, off, n int) Request
+	Wait(p *sim.Proc, r Request)
+	Test(p *sim.Proc, r Request) bool
+	Progress(p *sim.Proc) bool
+}
+
+// Transport opens endpoints on one host's stack.
+type Transport interface {
+	Open(id, core int) Endpoint
+	HostName() string
+}
+
+// Stack is an Open-MX instance attached to a host.
+type Stack struct {
+	h *cluster.Host
+	s *core.Stack
+}
+
+// Attach builds an Open-MX stack (driver + library) on the host and
+// switches its NIC to the generic Ethernet receive path.
+func Attach(h *cluster.Host, cfg Config) *Stack {
+	return &Stack{h: h, s: core.Attach(h.Machine(), cfg)}
+}
+
+// HostName implements Transport.
+func (s *Stack) HostName() string { return s.h.Name }
+
+// Stats exposes protocol counters (retransmissions, I/OAT submits,
+// cleanup frees, ...) for tests and diagnostics.
+func (s *Stack) Stats() core.Stats { return s.s.Stats }
+
+// Inner exposes the internal stack for in-module tooling (timeline
+// tracing); external callers should treat it as opaque.
+func (s *Stack) Inner() *core.Stack { return s.s }
+
+// Open creates endpoint id bound to the given core and returns it.
+func (s *Stack) Open(id, coreID int) Endpoint {
+	return &endpoint{ep: s.s.OpenEndpoint(id, coreID)}
+}
+
+type endpoint struct {
+	ep *core.Endpoint
+}
+
+type request struct {
+	r *core.Request
+}
+
+func (r request) Done() bool    { return r.r.Done() }
+func (r request) Len() int      { return r.r.Len }
+func (r request) Sender() Addr  { return fromInternal(r.r.SenderAddr) }
+func (r request) Match() uint64 { return r.r.MatchInfo }
+
+func (e *endpoint) Addr() Addr { return fromInternal(e.ep.Addr()) }
+
+func (e *endpoint) ISend(p *sim.Proc, dst Addr, match uint64, buf *cluster.Buffer, off, n int) Request {
+	return request{e.ep.ISend(p, dst.internal(), match, buf.Raw(), off, n)}
+}
+
+func (e *endpoint) IRecv(p *sim.Proc, match, mask uint64, buf *cluster.Buffer, off, n int) Request {
+	return request{e.ep.IRecv(p, match, mask, buf.Raw(), off, n)}
+}
+
+func (e *endpoint) Wait(p *sim.Proc, r Request) { e.ep.Wait(p, r.(request).r) }
+
+func (e *endpoint) Test(p *sim.Proc, r Request) bool { return e.ep.Test(p, r.(request).r) }
+
+func (e *endpoint) Progress(p *sim.Proc) bool { return e.ep.Progress(p) }

@@ -1,0 +1,285 @@
+// Package platform holds the calibrated hardware and kernel cost
+// parameters that drive the simulation.
+//
+// The default parameter set, Clovertown, models the paper's testbed:
+// two quad-core 2.33 GHz Xeon E5345 processors (each socket is two
+// dual-core "subchips" sharing a 4 MiB L2), an Intel 5000X chipset with
+// an I/OAT DMA engine, and Myri-10G NICs used in native 10 Gbit/s
+// Ethernet mode with the myri10ge driver, back to back without a
+// switch, on Linux 2.6.23.
+//
+// Every constant is either taken directly from the paper's Section IV-A
+// microbenchmarks or calibrated so that those microbenchmarks come out
+// right; DESIGN.md section 5 records the derivations.
+package platform
+
+// Rate is a data rate in bytes per simulated nanosecond (i.e. GB/s).
+type Rate float64
+
+// Common rate constructors.
+const (
+	kib = 1024.0
+	mib = 1024.0 * 1024.0
+	gib = 1024.0 * 1024.0 * 1024.0
+)
+
+// GiBps converts gibibytes-per-second into a Rate.
+func GiBps(v float64) Rate { return Rate(v * gib / 1e9) }
+
+// MiBps converts mebibytes-per-second into a Rate.
+func MiBps(v float64) Rate { return Rate(v * mib / 1e9) }
+
+// InGiBps reports the rate in GiB/s (for display).
+func (r Rate) InGiBps() float64 { return float64(r) * 1e9 / gib }
+
+// InMiBps reports the rate in MiB/s (for display).
+func (r Rate) InMiBps() float64 { return float64(r) * 1e9 / mib }
+
+// Platform bundles every cost-model parameter. Fields are grouped per
+// modelled subsystem. All times are in nanoseconds, all rates in
+// bytes/ns.
+type Platform struct {
+	// ---- CPU / topology ----
+
+	// Sockets and CoresPerSocket describe the host. Cores per L2
+	// domain is fixed at 2 (Clovertown subchips).
+	Sockets        int
+	CoresPerSocket int
+
+	// SyscallCost is the entry+exit cost of a system call (the paper
+	// notes ~100 ns on recent Intel processors).
+	SyscallCost int64
+
+	// ---- Memory system ----
+
+	// L1Size and L2Size are per-core and per-subchip cache capacities.
+	L1Size int64
+	L2Size int64
+
+	// MemcpyCallCost is the fixed per-memcpy-call overhead.
+	MemcpyCallCost int64
+
+	// MemcpyColdRate is the sustained processor copy rate when neither
+	// source nor destination is cached (paper: ~1.6 GiB/s).
+	MemcpyColdRate Rate
+	// MemcpyL2Rate applies when the data is warm in a reachable L2
+	// (paper: up to 6 GiB/s for the shared-L2 ping-pong of Fig. 10).
+	MemcpyL2Rate Rate
+	// MemcpyL1Rate applies for data resident in L1 (paper: memcpy "may
+	// reach up to 12 GiB/s" if the data fits in the cache).
+	MemcpyL1Rate Rate
+	// MemcpyHalfWarmRate applies when exactly one side of the copy is
+	// warm in a reachable L2 (e.g. copying a cold skbuff into the
+	// constantly reused, cache-resident receive ring).
+	MemcpyHalfWarmRate Rate
+	// MemcpyCrossSocketCold/Warm apply when source and destination
+	// belong to processes on different sockets (FSB-era coherence
+	// traffic; Fig. 10 shows ~1.2 GiB/s — Clovertown has no fast
+	// cache-to-cache path, so even the "warm" case barely beats RAM).
+	MemcpyCrossSocketCold Rate
+	MemcpyCrossSocketWarm Rate
+	// MemcpyBigRate caps any copy whose size exceeds half the L2: the
+	// copy's own footprint evicts its working set and TLB walks
+	// dominate, which is why both memcpy curves of Fig. 10 converge
+	// to ≈1.2 GiB/s at multi-megabyte sizes.
+	MemcpyBigRate Rate
+	// DMAColdPenalty scales the cold copy rate when the source was
+	// just written by device DMA and no Direct Cache Access warmed it
+	// (every line takes a coherence-snoop miss, dominating the copy
+	// regardless of destination warmth). Applied in the receive
+	// bottom half; calibrated so the BH copies 8 kiB fragments at the
+	// rate that yields the paper's ≈800 MiB/s Open-MX plateau.
+	DMAColdPenalty float64
+
+	// ---- I/OAT DMA engine ----
+
+	// IOATChannels is the number of independent DMA channels (4 on
+	// Intel 5000-series I/OAT).
+	IOATChannels int
+	// IOATDoorbellCost and IOATPerDescSubmit are CPU-side submission
+	// costs: one doorbell write per batch plus per-descriptor setup.
+	// A single-descriptor copy therefore costs ~350 ns to submit,
+	// matching the paper's measurement.
+	IOATDoorbellCost  int64
+	IOATPerDescSubmit int64
+	// IOATDescSetup and IOATEngineRate are hardware-side costs: each
+	// descriptor takes DescSetup plus bytes/EngineRate. With 300 ns +
+	// 3.0 GiB/s this yields ~2.4 GiB/s on 4 kiB page chunks, ~1.5 GiB/s
+	// at 1 kiB and ~0.6 GiB/s at 256 B, matching Fig. 7.
+	IOATDescSetup  int64
+	IOATEngineRate Rate
+	// IOATAggregateRate caps the engine across channels (using all 4
+	// channels buys ~+40 % over one, per the paper's reference [22]).
+	IOATAggregateRate Rate
+	// IOATStartLatency is the delay between ringing the doorbell of an
+	// idle channel and the first descriptor being processed. It is
+	// invisible to overlapped (asynchronous) copies but hurts small
+	// synchronous ones — the reason medium-message synchronous offload
+	// degraded in the paper.
+	IOATStartLatency int64
+	// IOATPollCost is one completion-cookie read ("a simple memory
+	// read", per the paper).
+	IOATPollCost int64
+
+	// ---- Wire / NIC ----
+
+	// WireRate is the raw signalling rate (10 Gbit/s).
+	WireRate Rate
+	// EthFrameOverhead counts preamble+header+FCS+IFG bytes per frame;
+	// OMXHeaderBytes is the Open-MX/MXoE message header inside the
+	// payload. Together they set the 9953 Mbit/s ≈ 1186 MiB/s payload
+	// ceiling the paper quotes for MTU-9000 frames.
+	EthFrameOverhead int
+	OMXHeaderBytes   int
+	// WirePropagation is cable+PHY latency per direction.
+	WirePropagation int64
+	// NICDMARate is host<->NIC PCIe DMA throughput (well above wire
+	// speed; it contributes latency, not bandwidth limits).
+	NICDMARate Rate
+	// NICFixedLatency is per-frame NIC processing (tx or rx).
+	NICFixedLatency int64
+	// RxRingSize is the number of receive skbuffs in the driver ring.
+	RxRingSize int
+	// IRQLatency is interrupt delivery + handler dispatch until the
+	// bottom half starts.
+	IRQLatency int64
+	// NAPIBudget bounds frames drained per bottom-half invocation.
+	NAPIBudget int
+
+	// ---- Kernel / Open-MX software costs ----
+
+	// SkbPerFrameCost is generic driver+skbuff handling per received
+	// frame, before the protocol callback runs.
+	SkbPerFrameCost int64
+	// OMXRecvCallbackCost is Open-MX receive-callback processing per
+	// fragment (header decode, endpoint lookup, state update),
+	// excluding the data copy.
+	OMXRecvCallbackCost int64
+	// OMXEventCost is writing a completion event to the user ring.
+	OMXEventCost int64
+	// OMXLibPickupCost is the user library noticing and decoding an
+	// event from the ring.
+	OMXLibPickupCost int64
+	// OMXTxBuildCost is building+attaching one outgoing skbuff
+	// (zero-copy page attach on the send side).
+	OMXTxBuildCost int64
+	// PinPerPage is Open-MX memory pinning cost per 4 kiB page;
+	// MXPinPerPage is the native MX cost (higher: the NIC's address
+	// translation table must be updated too). UnpinPerPage is the
+	// cheaper deregistration cost, paid only without a registration
+	// cache.
+	PinPerPage   int64
+	MXPinPerPage int64
+	UnpinPerPage int64
+
+	// ---- Native MX (baseline) ----
+
+	// MXPostCost is posting a send/recv to the NIC (OS-bypass PIO).
+	MXPostCost int64
+	// MXFirmwareMatchCost is NIC-firmware matching per message.
+	MXFirmwareMatchCost int64
+	// MXControlOverhead is the fraction of wire time lost to MX
+	// control traffic for large transfers (rendezvous, acks). It
+	// calibrates MX's 1140 MiB/s versus the 1186 MiB/s line rate.
+	MXControlOverhead float64
+
+	// ---- Misc ----
+
+	// PageSize is the virtual memory page size.
+	PageSize int
+	// RetransmitTimeout is the Open-MX per-block retransmission timer.
+	RetransmitTimeout int64
+	// ReduceRate is the computation rate for MPI reduction operators
+	// (sum of float64s), used by the IMB collectives.
+	ReduceRate Rate
+}
+
+// Clovertown returns the parameter set modelling the paper's testbed.
+// See DESIGN.md §5 for how each value was calibrated.
+func Clovertown() *Platform {
+	return &Platform{
+		Sockets:        2,
+		CoresPerSocket: 4,
+		SyscallCost:    100,
+
+		L1Size:                32 * 1024,
+		L2Size:                4 * 1024 * 1024,
+		MemcpyCallCost:        40,
+		MemcpyColdRate:        GiBps(1.6),
+		MemcpyHalfWarmRate:    GiBps(2.0),
+		MemcpyL2Rate:          GiBps(6.0),
+		MemcpyL1Rate:          GiBps(12.0),
+		MemcpyCrossSocketCold: GiBps(1.2),
+		MemcpyCrossSocketWarm: GiBps(1.3),
+		MemcpyBigRate:         GiBps(1.25),
+		DMAColdPenalty:        0.79,
+
+		IOATChannels:      4,
+		IOATDoorbellCost:  180,
+		IOATPerDescSubmit: 170,
+		IOATDescSetup:     300,
+		IOATEngineRate:    GiBps(3.0),
+		IOATAggregateRate: GiBps(3.4),
+		IOATStartLatency:  1600,
+		IOATPollCost:      50,
+
+		WireRate:         Rate(10.0e9 / 8.0 / 1e9), // 10 Gbit/s
+		EthFrameOverhead: 38,
+		OMXHeaderBytes:   32,
+		WirePropagation:  300,
+		NICDMARate:       GiBps(2.0),
+		NICFixedLatency:  500,
+		RxRingSize:       512,
+		IRQLatency:       1500,
+		NAPIBudget:       64,
+
+		SkbPerFrameCost:     1100,
+		OMXRecvCallbackCost: 2200,
+		OMXEventCost:        100,
+		OMXLibPickupCost:    250,
+		OMXTxBuildCost:      400,
+		PinPerPage:          350,
+		MXPinPerPage:        600,
+		UnpinPerPage:        100,
+
+		MXPostCost:          300,
+		MXFirmwareMatchCost: 400,
+		MXControlOverhead:   0.04,
+
+		PageSize:          4096,
+		RetransmitTimeout: 50 * 1000 * 1000, // 50 ms
+		ReduceRate:        GiBps(1.5),
+	}
+}
+
+// NumCores reports the total core count.
+func (p *Platform) NumCores() int { return p.Sockets * p.CoresPerSocket }
+
+// CoresPerL2 is the number of cores sharing one L2 cache (Clovertown
+// dual-core subchips).
+const CoresPerL2 = 2
+
+// L2Domains reports the number of distinct L2 cache domains.
+func (p *Platform) L2Domains() int { return p.NumCores() / CoresPerL2 }
+
+// L2DomainOf maps a core index to its L2 cache domain.
+func (p *Platform) L2DomainOf(core int) int { return core / CoresPerL2 }
+
+// SocketOf maps a core index to its socket.
+func (p *Platform) SocketOf(core int) int { return core / p.CoresPerSocket }
+
+// SameL2 reports whether two cores share an L2 cache.
+func (p *Platform) SameL2(a, b int) bool { return p.L2DomainOf(a) == p.L2DomainOf(b) }
+
+// SameSocket reports whether two cores are on the same socket.
+func (p *Platform) SameSocket(a, b int) bool { return p.SocketOf(a) == p.SocketOf(b) }
+
+// LineRateMiBps reports the achievable payload rate in MiB/s for the
+// given payload size per frame, accounting for Ethernet framing and the
+// Open-MX header. For 8 kiB fragments this is ≈1181 MiB/s, matching the
+// paper's 1186 MiB/s quote for the 9953 Mbit/s data rate.
+func (p *Platform) LineRateMiBps(fragPayload int) float64 {
+	perFrame := float64(fragPayload + p.OMXHeaderBytes + p.EthFrameOverhead)
+	eff := float64(p.WireRate) * float64(fragPayload) / perFrame
+	return Rate(eff).InMiBps()
+}

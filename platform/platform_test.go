@@ -1,0 +1,95 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRateConversions(t *testing.T) {
+	r := GiBps(1.6)
+	if got := r.InGiBps(); math.Abs(got-1.6) > 1e-9 {
+		t.Fatalf("round trip GiBps = %v", got)
+	}
+	if got := MiBps(1024).InGiBps(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("1024 MiB/s = %v GiB/s", got)
+	}
+}
+
+func TestClovertownTopology(t *testing.T) {
+	p := Clovertown()
+	if p.NumCores() != 8 {
+		t.Fatalf("NumCores = %d", p.NumCores())
+	}
+	if p.L2Domains() != 4 {
+		t.Fatalf("L2Domains = %d", p.L2Domains())
+	}
+	// Cores 0,1 share a subchip L2; 0,2 do not; 0,4 are cross-socket.
+	if !p.SameL2(0, 1) || p.SameL2(0, 2) {
+		t.Fatal("L2 sharing wrong")
+	}
+	if !p.SameSocket(0, 3) || p.SameSocket(3, 4) {
+		t.Fatal("socket mapping wrong")
+	}
+}
+
+func TestLineRateMatchesPaper(t *testing.T) {
+	p := Clovertown()
+	// The paper: actual data rate of 10G Ethernet is 9953 Mbit/s =
+	// 1186 MiB/s (for the framing of MTU-9000 frames). Our model with
+	// 8 kiB payload fragments should land within a few percent.
+	got := p.LineRateMiBps(8192)
+	if got < 1150 || got > 1190 {
+		t.Fatalf("line rate for 8kiB frags = %.1f MiB/s, want ≈1181", got)
+	}
+	// Smaller fragments waste proportionally more wire time.
+	if small := p.LineRateMiBps(1024); small >= got {
+		t.Fatalf("1 kiB frag line rate %.1f not below 8 kiB rate %.1f", small, got)
+	}
+}
+
+func TestSingleDescriptorSubmitCost(t *testing.T) {
+	p := Clovertown()
+	// Paper §IV-A: submission time ≈ 350 ns.
+	got := p.IOATDoorbellCost + p.IOATPerDescSubmit
+	if got != 350 {
+		t.Fatalf("single-descriptor submit = %d ns, want 350", got)
+	}
+}
+
+func TestIOATChunkRates(t *testing.T) {
+	p := Clovertown()
+	rate := func(chunk int64) float64 {
+		ns := float64(p.IOATDescSetup) + float64(chunk)/float64(p.IOATEngineRate)
+		return Rate(float64(chunk) / ns).InGiBps()
+	}
+	// Paper §IV-A / Fig. 7: ~2.4 GiB/s at 4 kiB chunks, roughly memcpy
+	// parity (~1.5) at 1 kiB, clearly worse below.
+	if r := rate(4096); r < 2.2 || r > 2.6 {
+		t.Fatalf("4 kiB chunk rate = %.2f GiB/s, want ≈2.4", r)
+	}
+	if r := rate(1024); r < 1.3 || r > 1.7 {
+		t.Fatalf("1 kiB chunk rate = %.2f GiB/s, want ≈1.5", r)
+	}
+	if r := rate(256); r > 0.8 {
+		t.Fatalf("256 B chunk rate = %.2f GiB/s, want well below 1", r)
+	}
+}
+
+func TestMemcpyBreakEven(t *testing.T) {
+	p := Clovertown()
+	// Paper: ~600 B may be copied by memcpy (≈2 kB if cached) before
+	// I/OAT offload becomes interesting, comparing the CPU time of a
+	// memcpy against the ~350 ns submission cost.
+	memcpyNs := func(n int64, r Rate) float64 {
+		return float64(p.MemcpyCallCost) + float64(n)/float64(r)
+	}
+	submit := float64(p.IOATDoorbellCost + p.IOATPerDescSubmit)
+	cold := memcpyNs(600, p.MemcpyColdRate)
+	if math.Abs(cold-submit) > 80 {
+		t.Fatalf("cold break-even mismatch: memcpy(600B)=%.0f ns vs submit=%.0f ns", cold, submit)
+	}
+	cached := memcpyNs(2048, p.MemcpyL2Rate)
+	if math.Abs(cached-submit) > 80 {
+		t.Fatalf("cached break-even mismatch: memcpy(2kB warm)=%.0f ns vs submit=%.0f ns", cached, submit)
+	}
+}

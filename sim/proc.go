@@ -1,0 +1,177 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine that runs in lock-step with
+// the engine. At most one Proc (or the engine itself) executes at any
+// real-time moment, which keeps the whole simulation deterministic and
+// lock-free.
+//
+// A Proc advances simulated time only through the blocking helpers
+// (Sleep, Signal.Wait, ...). Plain Go computation inside a Proc takes
+// zero simulated time.
+type Proc struct {
+	e        *Engine
+	name     string
+	resume   chan struct{}
+	yield    chan struct{}
+	dead     chan struct{} // closed by Engine.Close to abort the goroutine
+	woken    bool          // a wake event is already scheduled
+	finished bool          // goroutine has exited; step becomes a no-op
+}
+
+// procAbort is the panic value used to unwind an aborted Proc.
+type procAbort struct{}
+
+// Go starts fn as a new simulated process. fn begins executing at the
+// current simulated time (as a scheduled event). The call returns
+// immediately; the process body runs when the engine reaches it.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		e:      e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+		dead:   make(chan struct{}),
+	}
+	e.procs[p] = struct{}{}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procAbort); !ok {
+					panic(r)
+				}
+			}
+			delete(e.procs, p)
+			p.finished = true
+			p.yield <- struct{}{}
+		}()
+		select {
+		case <-p.resume:
+		case <-p.dead:
+			panic(procAbort{})
+		}
+		fn(p)
+	}()
+	e.Schedule(0, func() { p.step() })
+	return p
+}
+
+// step transfers control to the process goroutine and waits for it to
+// block or finish. Called only from engine context. A step on a
+// finished process is a no-op (stale wake events are harmless).
+func (p *Proc) step() {
+	if p.finished {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// abort unwinds the process goroutine. Called from Engine.Close, always
+// while the process is parked (waiting on resume or dead).
+func (p *Proc) abort() {
+	if p.finished {
+		return
+	}
+	close(p.dead)
+	<-p.yield
+}
+
+// block suspends the process until something calls wake. Called only
+// from process context.
+func (p *Proc) block() {
+	p.yield <- struct{}{}
+	select {
+	case <-p.resume:
+	case <-p.dead:
+		panic(procAbort{})
+	}
+	if p.e.closing {
+		panic(procAbort{})
+	}
+}
+
+// wake schedules the process to continue at the current simulated time.
+// It is idempotent until the process actually runs. Safe to call from
+// engine context (event callbacks) or from another process.
+//
+// wake is a low-level primitive: calling it on a process that is
+// blocked for an unrelated reason would end that wait early. Shared
+// abstractions must use Signal (whose waiters re-check conditions)
+// rather than holding raw *Proc handles.
+func (p *Proc) wake() {
+	if p.woken {
+		return
+	}
+	p.woken = true
+	p.e.Schedule(0, func() {
+		p.woken = false
+		p.step()
+	})
+}
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Name returns the process name (for diagnostics).
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Sleep suspends the process for d simulated nanoseconds.
+func (p *Proc) Sleep(d Duration) {
+	if d <= 0 {
+		return
+	}
+	p.e.Schedule(d, p.wake)
+	p.block()
+}
+
+// Yield gives other events scheduled at the current instant a chance to
+// run before the process continues.
+func (p *Proc) Yield() {
+	p.e.Schedule(0, p.wake)
+	p.block()
+}
+
+// WaitFor repeatedly waits on s until cond() is true. It returns
+// immediately (without blocking) if the condition already holds.
+func (p *Proc) WaitFor(s *Signal, cond func() bool) {
+	for !cond() {
+		s.Wait(p)
+	}
+}
+
+// String implements fmt.Stringer.
+func (p *Proc) String() string { return fmt.Sprintf("proc(%s)", p.name) }
+
+// Signal is a broadcast wakeup primitive, analogous to a condition
+// variable: processes Wait on it, and Broadcast wakes all current
+// waiters. There is no notion of a "missed" signal; callers are
+// expected to re-check their condition in a loop (or use WaitFor).
+type Signal struct {
+	waiters []*Proc
+}
+
+// NewSignal returns a new signal. The zero value is also usable.
+func NewSignal() *Signal { return &Signal{} }
+
+// Wait suspends p until the next Broadcast.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.block()
+}
+
+// Broadcast wakes every process currently waiting on s.
+func (s *Signal) Broadcast() {
+	ws := s.waiters
+	s.waiters = nil
+	for _, p := range ws {
+		p.wake()
+	}
+}
+
+// Waiters reports the number of processes currently waiting.
+func (s *Signal) Waiters() int { return len(s.waiters) }

@@ -1,0 +1,216 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Time is a simulated nanosecond counter. Events scheduled for the same
+// instant fire in scheduling order (ties broken by a monotonically
+// increasing sequence number), so a given program always produces the
+// same trajectory.
+//
+// Two programming styles are supported and freely mixed:
+//
+//   - callback style: Schedule(delay, fn) / At(t, fn), used by the
+//     hardware models (NICs, DMA engines, timers);
+//   - process style: Go(name, fn) starts a coroutine-like Proc that can
+//     Sleep, wait on Signals, and occupy simulated CPU cores. Exactly
+//     one goroutine (the engine or a single Proc) runs at any moment, so
+//     no locking is needed anywhere in the simulation.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is a point in simulated time, in nanoseconds since Run started.
+type Time int64
+
+// Duration is a span of simulated time, in nanoseconds.
+type Duration = Time
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports t as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// An event is a scheduled callback. Cancelled events stay in the heap
+// and are skipped when popped.
+type event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer. It reports whether the timer was still
+// pending (i.e. Stop prevented the callback from running).
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// Engine is a discrete-event simulation engine.
+// The zero value is not usable; call New.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	procs   map[*Proc]struct{}
+	closing bool
+	running bool
+}
+
+// New returns a ready-to-use engine at time zero.
+func New() *Engine {
+	return &Engine{procs: make(map[*Proc]struct{})}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule arranges for fn to run after delay. A negative delay is
+// treated as zero. The returned Timer may be used to cancel it.
+func (e *Engine) Schedule(delay Duration, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At arranges for fn to run at absolute time t (clamped to now).
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// Pending reports the number of live (non-cancelled) scheduled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// step pops and runs the next event. It reports false when no runnable
+// event remains.
+func (e *Engine) step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain, then returns the number of
+// processes still blocked (0 means a clean fully-drained run; nonzero
+// usually indicates a protocol deadlock in the simulated program).
+func (e *Engine) Run() int {
+	e.running = true
+	for e.step() {
+	}
+	e.running = false
+	return len(e.procs)
+}
+
+// RunUntil executes events up to and including time t, leaving later
+// events pending. The clock is left at t.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 {
+		// Peek.
+		next := e.events[0]
+		if next.cancelled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		e.step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// BlockedProcs returns the names of processes that have started but not
+// finished, sorted for deterministic reporting.
+func (e *Engine) BlockedProcs() []string {
+	var names []string
+	for p := range e.procs {
+		names = append(names, p.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Close aborts all live processes so their goroutines exit. The engine
+// must not be used afterwards. It is safe to call on a fully drained
+// engine (it is then a no-op) and is intended for tests and for
+// tearing down deadlocked simulations.
+func (e *Engine) Close() {
+	e.closing = true
+	for p := range e.procs {
+		p.abort()
+	}
+	e.procs = map[*Proc]struct{}{}
+}
