@@ -1,0 +1,42 @@
+# Mirrors .github/workflows/ci.yml: `make ci-fast` is exactly the CI
+# fast job, `make race` the full job. Contributors who run these
+# before pushing run exactly what CI runs.
+
+GO ?= go
+
+.PHONY: all build test test-short race fmt fmt-check vet bench ci-fast ci-full
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needs to be run on:" >&2; \
+		echo "$$out" >&2; \
+		exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+ci-fast: build vet fmt-check test-short
+
+ci-full: race

@@ -9,12 +9,26 @@ package omxsim
 // regenerates the full evaluation and prints the numbers EXPERIMENTS.md
 // records. The simulations are deterministic: variance across b.N
 // iterations is zero by construction.
+//
+// The figure generators shard their independent points across the
+// process-wide runner pool and cache repeated configurations, so
+// iterations after the first measure cache lookups, not simulations
+// — the reported metrics are unaffected (the cache returns the same
+// deterministic values). The BenchmarkIMBSweep* pair at the bottom
+// benchmarks the sweep machinery itself on uncached private pools,
+// serial versus parallel.
 
 import (
+	"fmt"
 	"testing"
 
+	"omxsim/cluster"
 	"omxsim/figures"
+	"omxsim/imb"
 	"omxsim/metrics"
+	"omxsim/mpi"
+	"omxsim/openmx"
+	"omxsim/runner"
 )
 
 func report(b *testing.B, t *metrics.Table, series string, atBytes float64, metric string) {
@@ -193,3 +207,51 @@ func BenchmarkTimeline(b *testing.B) {
 		_ = figures.Timeline(true)
 	}
 }
+
+// --- Sweep machinery ---
+
+// sweepPoints builds the (stack, size, ppn) matrix of Figure 11/12
+// style runs as independent imb sweep points.
+func sweepPoints() []imb.Point {
+	stacks := []figures.Stack{
+		{Kind: "mxoe", MXRegCache: true},
+		{Kind: "openmx", OMX: openmx.Config{RegCache: true}},
+		{Kind: "openmx", OMX: openmx.Config{RegCache: true, IOAT: true, IOATShm: true}},
+	}
+	var points []imb.Point
+	for _, s := range stacks {
+		for _, size := range []int{64 << 10, 1 << 20} {
+			for _, ppn := range []int{1, 2} {
+				s, size, ppn := s, size, ppn
+				points = append(points, imb.Point{
+					Name:  fmt.Sprintf("%s/%d/%dppn", s.Name(), size, ppn),
+					Build: func() (*cluster.Cluster, *mpi.World) { return figures.Testbed(s, ppn) },
+					Test:  "PingPong",
+					Sizes: []int{size},
+					Iters: func(int) int { return 3 },
+				})
+			}
+		}
+	}
+	return points
+}
+
+// benchSweep runs the point matrix on an uncached pool of the given
+// width, so b.N iterations re-simulate every point and the serial and
+// parallel benchmarks compare honestly.
+func benchSweep(b *testing.B, workers int) {
+	points := sweepPoints()
+	for i := 0; i < b.N; i++ {
+		pool := runner.New(runner.Options{Workers: workers})
+		if _, err := imb.Sweep(pool, points); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIMBSweepSerial and BenchmarkIMBSweepParallel time the same
+// 12-point (stack, size, ppn) matrix on one worker versus GOMAXPROCS
+// workers; their ratio is the wall-clock speedup the runner buys on
+// this host.
+func BenchmarkIMBSweepSerial(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkIMBSweepParallel(b *testing.B) { benchSweep(b, 0) }

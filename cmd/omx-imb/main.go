@@ -1,8 +1,12 @@
 // Command omx-imb runs the Intel-MPI-Benchmarks-style suite over the
 // simulated stacks, like the paper's Section IV-D evaluation.
+// Multiple tests (comma-separated, or "all") run concurrently on a
+// bounded worker pool, one fresh testbed per test, with output in
+// deterministic test order.
 //
 //	omx-imb -test PingPong -transport openmx -ioat
 //	omx-imb -test Alltoall -ppn 2 -sizes 128k,4m
+//	omx-imb -test all -workers 8
 //	omx-imb -list
 package main
 
@@ -14,20 +18,23 @@ import (
 	"strings"
 
 	"omxsim/cluster"
+	"omxsim/figures"
 	"omxsim/imb"
 	"omxsim/mpi"
-	"omxsim/mxoe"
 	"omxsim/openmx"
+	"omxsim/runner"
 )
 
 func main() {
 	var (
-		test      = flag.String("test", "PingPong", "IMB test name")
+		testsFlag = flag.String("test", "PingPong", `IMB test name, comma-separated list, or "all"`)
 		transport = flag.String("transport", "openmx", "openmx or mxoe")
 		ioat      = flag.Bool("ioat", false, "enable I/OAT offload (openmx)")
 		regcache  = flag.Bool("regcache", true, "enable the registration cache")
 		ppn       = flag.Int("ppn", 1, "processes per node (1 or 2)")
 		sizesFlag = flag.String("sizes", "16,1k,64k,1m,4m", "comma-separated message sizes (k/m suffixes)")
+		workers   = flag.Int("workers", 0, "concurrent benchmark runs (0 = GOMAXPROCS)")
+		progress  = flag.Bool("progress", false, "report sweep progress on stderr")
 		list      = flag.Bool("list", false, "list available tests")
 	)
 	flag.Parse()
@@ -42,29 +49,46 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	tests, err := parseTests(*testsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
-	c := cluster.New(nil)
-	n0, n1 := c.NewHost("node0"), c.NewHost("node1")
-	cluster.Link(n0, n1)
-	open := func(h *cluster.Host) openmx.Transport {
-		if *transport == "mxoe" {
-			return mxoe.Attach(h, mxoe.Config{RegCache: *regcache})
-		}
-		return openmx.Attach(h, openmx.Config{IOAT: *ioat, IOATShm: *ioat, RegCache: *regcache})
+	stack := figures.Stack{Kind: "openmx", OMX: openmx.Config{IOAT: *ioat, IOATShm: *ioat, RegCache: *regcache}}
+	if *transport == "mxoe" {
+		stack = figures.Stack{Kind: "mxoe", MXRegCache: *regcache}
 	}
-	t0, t1 := open(n0), open(n1)
-	w := mpi.NewWorld(c)
-	cores := []int{2, 4}
-	for r := 0; r < 2**ppn; r++ {
-		node, slot, tr := n0, r, t0
-		if r >= *ppn {
-			node, slot, tr = n1, r-*ppn, t1
+	name := *transport + ioatSuffix(*transport, *ioat)
+	points := make([]imb.Point, len(tests))
+	for i, test := range tests {
+		points[i] = imb.Point{
+			Name:  name,
+			Build: func() (*cluster.Cluster, *mpi.World) { return figures.Testbed(stack, *ppn) },
+			Test:  test,
+			Sizes: sizes,
+			Key:   runner.Key("omx-imb", stack, *ppn, test, sizes),
 		}
-		w.AddRank(tr.Open(slot, cores[slot]), node, cores[slot])
 	}
-	runner := &imb.Runner{C: c, W: w}
-	results := runner.Run(*test, sizes)
-	fmt.Printf("# %s, %s%s, %d process(es) per node\n", *test, *transport, ioatSuffix(*transport, *ioat), *ppn)
+	opts := runner.Options{Workers: *workers, Cache: runner.NewCache()}
+	if *progress {
+		opts.Progress = runner.WriterProgress(os.Stderr)
+	}
+	prs, err := imb.Sweep(runner.New(opts), points)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for i, pr := range prs {
+		if i > 0 {
+			fmt.Println()
+		}
+		printResults(pr.Point.Test, name, *ppn, pr.Results)
+	}
+}
+
+func printResults(test, name string, ppn int, results []imb.Result) {
+	fmt.Printf("# %s, %s, %d process(es) per node\n", test, name, ppn)
 	fmt.Printf("%12s %14s %14s\n", "bytes", "t[usec]", "MiB/s")
 	for _, r := range results {
 		bw := "-"
@@ -80,6 +104,25 @@ func ioatSuffix(transport string, ioat bool) string {
 		return "+ioat"
 	}
 	return ""
+}
+
+func parseTests(s string) ([]string, error) {
+	if strings.EqualFold(s, "all") {
+		return imb.Tests(), nil
+	}
+	known := map[string]bool{}
+	for _, t := range imb.Tests() {
+		known[t] = true
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if !known[part] {
+			return nil, fmt.Errorf("unknown test %q (see -list)", part)
+		}
+		out = append(out, part)
+	}
+	return out, nil
 }
 
 func parseSizes(s string) ([]int, error) {

@@ -15,117 +15,161 @@
 //	omxsim nasis            NAS IS proxy comparison
 //	omxsim all              everything above
 //
+// Each figure shards its independent simulation points across a
+// worker pool; "omxsim all" additionally runs the figures themselves
+// concurrently (shared points — Figures 3 and 8 overlap — simulate
+// once), printing every section in the order listed above.
+//
 // Flags:
 //
-//	-plot   also draw ASCII plots of the curves
+//	-plot      also draw ASCII plots of the curves
+//	-progress  report sweep progress on stderr
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"omxsim/figures"
 	"omxsim/metrics"
+	"omxsim/runner"
 )
 
-var plot = flag.Bool("plot", false, "draw ASCII plots of curve figures")
+var (
+	plot     = flag.Bool("plot", false, "draw ASCII plots of curve figures")
+	progress = flag.Bool("progress", false, "report sweep progress on stderr")
+)
 
 func main() {
 	flag.Parse()
+	if *progress {
+		// The figures pool is runner.Default(); enabling progress here
+		// covers every sweep the commands below trigger.
+		os.Setenv("OMXSIM_PROGRESS", "1")
+	}
 	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
-	ran := false
+	var selected []command
 	for _, c := range commands {
 		if c.name == cmd || cmd == "all" {
-			fmt.Printf("==> %s\n", c.desc)
-			c.run()
-			fmt.Println()
-			ran = true
+			selected = append(selected, c)
 		}
 	}
-	if !ran {
+	if len(selected) == 0 {
 		usage()
 		os.Exit(2)
+	}
+	// Render the selected sections concurrently — every command is an
+	// independent sweep and the pool is reentrant — then print them in
+	// command order, so "omxsim all" output is byte-identical to the
+	// serial concatenation of the individual commands.
+	jobs := make([]runner.Job, len(selected))
+	for i, c := range selected {
+		c := c
+		jobs[i] = runner.Job{
+			Label: "omxsim/" + c.name,
+			Run:   func() (any, error) { return c.run(), nil },
+		}
+	}
+	results := runner.Run(jobs...)
+	// Print every section that succeeded, in command order, even when
+	// another failed — the work is already done and a late failure
+	// must not discard the earlier figures.
+	failed := false
+	for i, r := range results {
+		fmt.Printf("==> %s\n", selected[i].desc)
+		if r.Err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "omxsim: %s: %v\n", selected[i].name, r.Err)
+			fmt.Printf("(failed: %v)\n", r.Err)
+		} else {
+			fmt.Print(r.Value.(string))
+		}
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: omxsim [-plot] <command>")
+	fmt.Fprintln(os.Stderr, "usage: omxsim [-plot] [-progress] <command>")
 	for _, c := range commands {
 		fmt.Fprintf(os.Stderr, "  %-9s %s\n", c.name, c.desc)
 	}
 	fmt.Fprintln(os.Stderr, "  all       run everything")
 }
 
-var commands = []struct {
+type command struct {
 	name string
 	desc string
-	run  func()
-}{
+	run  func() string
+}
+
+var commands = []command{
 	{"micro", "Section IV-A microbenchmarks", runMicro},
-	{"fig3", "Fig. 3: ping-pong vs no-copy prediction", func() { table(figures.Fig3()) }},
-	{"fig7", "Fig. 7: memcpy vs I/OAT copy by chunk size", func() { table(figures.Fig7()) }},
-	{"fig8", "Fig. 8: ping-pong with I/OAT receive offload", func() { table(figures.Fig8()) }},
+	{"fig3", "Fig. 3: ping-pong vs no-copy prediction", func() string { return table(figures.Fig3()) }},
+	{"fig7", "Fig. 7: memcpy vs I/OAT copy by chunk size", func() string { return table(figures.Fig7()) }},
+	{"fig8", "Fig. 8: ping-pong with I/OAT receive offload", func() string { return table(figures.Fig8()) }},
 	{"fig9", "Fig. 9: receive-side CPU usage", runFig9},
-	{"fig10", "Fig. 10: shared-memory ping-pong", func() { table(figures.Fig10()) }},
-	{"fig11", "Fig. 11: IMB PingPong, I/OAT x regcache", func() { table(figures.Fig11()) }},
+	{"fig10", "Fig. 10: shared-memory ping-pong", func() string { return table(figures.Fig10()) }},
+	{"fig11", "Fig. 11: IMB PingPong, I/OAT x regcache", func() string { return table(figures.Fig11()) }},
 	{"fig12", "Fig. 12: IMB suite normalized to MXoE", runFig12},
 	{"timeline", "Figs. 5/6: receive timelines", runTimeline},
 	{"nasis", "NAS IS proxy", runNASIS},
 	{"ablate", "ablations: thresholds, pull window, IRQ steering, extensions", runAblate},
 }
 
-func table(t *metrics.Table) {
-	fmt.Print(t.Render())
+func table(t *metrics.Table) string {
+	out := t.Render()
 	if *plot {
-		fmt.Print(t.ASCIIPlot(100, 20))
+		out += t.ASCIIPlot(100, 20)
 	}
+	return out
 }
 
-func runMicro() {
+func runMicro() string {
 	m := figures.MicroNumbers()
-	fmt.Printf("I/OAT submission (1 descriptor):   %6.0f ns   (paper: ~350 ns)\n", m.SubmitNs)
-	fmt.Printf("memcpy, uncached:                  %6.2f GiB/s (paper: ~1.6 GiB/s)\n", m.MemcpyColdGiBps)
-	fmt.Printf("memcpy, cache-resident:            %6.2f GiB/s (paper: up to 12 GiB/s)\n", m.MemcpyCachedGiBps)
-	fmt.Printf("I/OAT streaming, 4 kiB chunks:     %6.2f GiB/s (paper: ~2.4 GiB/s)\n", m.IOAT4kGiBps)
-	fmt.Printf("offload break-even, uncached:      %6d B    (paper: ~600 B)\n", m.BreakEvenColdB)
-	fmt.Printf("offload break-even, cached:        %6d B    (paper: ~2 kB)\n", m.BreakEvenCachedB)
+	var b strings.Builder
+	fmt.Fprintf(&b, "I/OAT submission (1 descriptor):   %6.0f ns   (paper: ~350 ns)\n", m.SubmitNs)
+	fmt.Fprintf(&b, "memcpy, uncached:                  %6.2f GiB/s (paper: ~1.6 GiB/s)\n", m.MemcpyColdGiBps)
+	fmt.Fprintf(&b, "memcpy, cache-resident:            %6.2f GiB/s (paper: up to 12 GiB/s)\n", m.MemcpyCachedGiBps)
+	fmt.Fprintf(&b, "I/OAT streaming, 4 kiB chunks:     %6.2f GiB/s (paper: ~2.4 GiB/s)\n", m.IOAT4kGiBps)
+	fmt.Fprintf(&b, "offload break-even, uncached:      %6d B    (paper: ~600 B)\n", m.BreakEvenColdB)
+	fmt.Fprintf(&b, "offload break-even, cached:        %6d B    (paper: ~2 kB)\n", m.BreakEvenCachedB)
+	return b.String()
 }
 
-func runFig9() {
+func runFig9() string {
 	mem, ioat := figures.Fig9Tables()
-	fmt.Print(mem.Render())
-	fmt.Println()
-	fmt.Print(ioat.Render())
+	return mem.Render() + "\n" + ioat.Render()
 }
 
-func runFig12() {
+func runFig12() string {
+	var b strings.Builder
 	for _, panel := range figures.Fig12All() {
-		fmt.Print(panel.Render())
-		fmt.Println()
+		b.WriteString(panel.Render())
+		b.WriteString("\n")
 	}
+	return b.String()
 }
 
-func runTimeline() {
-	fmt.Print(figures.Timeline(false))
-	fmt.Println()
-	fmt.Print(figures.Timeline(true))
+func runTimeline() string {
+	return figures.Timeline(false) + "\n" + figures.Timeline(true)
 }
 
-func runNASIS() {
-	fmt.Print(figures.RenderNASIS(figures.NASIS(1<<17, 3)))
+func runNASIS() string {
+	return figures.RenderNASIS(figures.NASIS(1<<17, 3))
 }
 
-func runAblate() {
-	fmt.Print(figures.AblateMinFrag().Render())
-	fmt.Println()
-	fmt.Print(figures.AblatePullWindow().Render())
-	fmt.Println()
-	fmt.Print(figures.AblateIRQSteering().Render())
-	fmt.Println()
-	fmt.Print(figures.AblateExtensions())
+func runAblate() string {
+	return figures.AblateMinFrag().Render() + "\n" +
+		figures.AblatePullWindow().Render() + "\n" +
+		figures.AblateIRQSteering().Render() + "\n" +
+		figures.AblateExtensions()
 }

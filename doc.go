@@ -13,7 +13,52 @@
 // everything needed to regenerate the paper's Figures 3 and 5–12 and
 // its Section IV-A microbenchmark numbers.
 //
+// # Package layout
+//
+// The simulation core, bottom-up:
+//
+//   - sim — the discrete-event engine: virtual time, cooperative
+//     processes, the Run loop every experiment drives.
+//   - platform — the modelled hardware (dual quad-core Clovertown
+//     hosts, memory and cache copy-rate models, the paper's testbed).
+//   - internal/... — the machine model (cpu, hostmem, memmodel, bus,
+//     nic, wire, ioat) and the protocol stacks (core is the Open-MX
+//     library + driver, internal/mxoe the native firmware baseline).
+//   - cluster — hosts, links and switches composed into a testbed.
+//   - openmx, mxoe — the public endpoint APIs over either stack.
+//   - mpi — a small MPI (point-to-point + collectives) over the
+//     transport-neutral endpoint interface.
+//   - imb — the Intel-MPI-Benchmarks patterns with IMB timing
+//     conventions, plus imb.Sweep for sharding whole benchmark runs
+//     across a worker pool.
+//   - metrics — series/tables the experiments produce, with exact
+//     equality helpers for determinism guardrails.
+//   - runner — the concurrent experiment orchestrator: a bounded
+//     worker pool with deterministic result ordering, per-job panic
+//     capture, a single-flight result cache keyed by canonical
+//     config hash, and progress/ETA reporting.
+//   - figures — every figure and table of the paper's evaluation,
+//     each swept point an independent runner job.
+//   - cmd/omxsim, cmd/omx-imb, cmd/omx-pingpong — the CLIs.
+//
+// # Reproducing the evaluation
+//
+// Every figure generator builds one isolated testbed per measured
+// point and shards the points across runner.Default(), so
+// reproduction wall time scales with the host's cores while the
+// output stays byte-identical to a serial run (the simulation itself
+// is deterministic virtual time — host parallelism cannot perturb
+// it). Regenerate everything with
+//
+//	go run ./cmd/omxsim all
+//
+// or one figure at a time (fig3, fig7 … fig12, micro, timeline,
+// nasis, ablate); add -progress for live sweep progress and ETA, and
+// -plot for ASCII plots. The IMB suite runs standalone via
+//
+//	go run ./cmd/omx-imb -test all -ppn 2
+//
 // Start with package cluster to build a testbed, package openmx (or
 // mxoe) for endpoints, and package figures to regenerate the paper's
-// evaluation. See README.md, DESIGN.md and EXPERIMENTS.md.
+// evaluation. See README.md for the CI gates and Makefile targets.
 package omxsim

@@ -9,6 +9,7 @@ import (
 	"omxsim/mpi"
 	"omxsim/openmx"
 	"omxsim/platform"
+	"omxsim/runner"
 	"omxsim/sim"
 )
 
@@ -45,15 +46,29 @@ func streamTput(cfg openmx.Config, msgSize, rounds int) float64 {
 	return float64(msgSize) * float64(rounds-1) / 1024 / 1024 / (t1 - t0).Seconds()
 }
 
+// streamJob wraps one streamTput measurement as a runner job.
+func streamJob(label string, cfg openmx.Config, msgSize, rounds int) runner.Job {
+	return runner.Job{
+		Label: label,
+		Key:   runner.Key("ablate-stream", cfg, msgSize, rounds),
+		Run:   func() (any, error) { return streamTput(cfg, msgSize, rounds), nil },
+	}
+}
+
 // AblateMinFrag sweeps the minimum-fragment offload threshold
 // (paper's empirical choice: 1 kB). Below it, tiny descriptors choke
 // the engine; far above it, nothing offloads.
 func AblateMinFrag() *metrics.Table {
 	t := metrics.NewTable("Ablation: IOATMinFrag threshold (1 MiB stream)", "minfrag", "MiB/s")
 	s := t.AddSeries("Open-MX I/OAT")
-	for _, frag := range []int{256, 512, 1024, 4096, 8192, 16384} {
+	frags := []int{256, 512, 1024, 4096, 8192, 16384}
+	jobs := make([]runner.Job, len(frags))
+	for i, frag := range frags {
 		cfg := openmx.Config{IOAT: true, RegCache: true, IOATMinFrag: frag}
-		s.Add(float64(frag), streamTput(cfg, 1<<20, 6))
+		jobs[i] = streamJob(fmt.Sprintf("ablate/minfrag/%d", frag), cfg, 1<<20, 6)
+	}
+	for i, y := range sweep[float64](jobs) {
+		s.Add(float64(frags[i]), y)
 	}
 	return t
 }
@@ -62,11 +77,19 @@ func AblateMinFrag() *metrics.Table {
 // (paper: two pipelined blocks of 8 fragments).
 func AblatePullWindow() *metrics.Table {
 	t := metrics.NewTable("Ablation: outstanding pull blocks x block size (4 MiB stream)", "blocks", "MiB/s")
-	for _, frags := range []int{4, 8, 16} {
-		s := t.AddSeries(fmt.Sprintf("%d frags/block", frags))
-		for _, blocks := range []int{1, 2, 4} {
+	fragCases, blockCases := []int{4, 8, 16}, []int{1, 2, 4}
+	var jobs []runner.Job
+	for _, frags := range fragCases {
+		for _, blocks := range blockCases {
 			cfg := openmx.Config{IOAT: true, RegCache: true, PullBlocks: blocks, PullBlockFrags: frags}
-			s.Add(float64(blocks), streamTput(cfg, 4<<20, 5))
+			jobs = append(jobs, streamJob(fmt.Sprintf("ablate/pull/%dx%d", blocks, frags), cfg, 4<<20, 5))
+		}
+	}
+	ys := sweep[float64](jobs)
+	for fi, frags := range fragCases {
+		s := t.AddSeries(fmt.Sprintf("%d frags/block", frags))
+		for bi, blocks := range blockCases {
+			s.Add(float64(blocks), ys[fi*len(blockCases)+bi])
 		}
 	}
 	return t
@@ -82,7 +105,7 @@ func AblateIRQSteering() *metrics.Table {
 	t := metrics.NewTable("Ablation: interrupt steering (16 kB eager stream)", "case", "MiB/s")
 	s := t.AddSeries("Open-MX")
 	const msg = 16 * 1024
-	run := func(idx int, irqCore int) {
+	run := func(irqCore int) float64 {
 		c := cluster.New(nil)
 		n0, n1 := c.NewHost("n0"), c.NewHost("n1")
 		cluster.Link(n0, n1)
@@ -119,10 +142,24 @@ func AblateIRQSteering() *metrics.Table {
 		if c.Run() != 0 {
 			panic("figures: IRQ ablation deadlocked")
 		}
-		s.Add(float64(idx), float64(msg*rounds)/1024/1024/(t1-t0).Seconds())
+		return float64(msg*rounds) / 1024 / 1024 / (t1 - t0).Seconds()
 	}
-	run(0, 0) // dedicated core
-	run(1, 2) // same core as the application: BH and app contend
+	irqCores := []int{
+		0, // dedicated core
+		2, // same core as the application: BH and app contend
+	}
+	jobs := make([]runner.Job, len(irqCores))
+	for i, core := range irqCores {
+		core := core
+		jobs[i] = runner.Job{
+			Label: fmt.Sprintf("ablate/irq/core%d", core),
+			Key:   runner.Key("ablate-irq", msg, core),
+			Run:   func() (any, error) { return run(core), nil },
+		}
+	}
+	for i, y := range sweep[float64](jobs) {
+		s.Add(float64(i), y)
+	}
 	return t
 }
 
@@ -142,30 +179,53 @@ func AblateExtensions() string {
 	sleep := base
 	sleep.PredictiveSleep = true
 
-	fmt.Fprintf(&b, "# Extension ablations (4 MiB network stream)\n")
-	fmt.Fprintf(&b, "%-34s %10s\n", "configuration", "MiB/s")
-	for _, c := range []struct {
+	netCases := []struct {
 		name string
 		cfg  openmx.Config
 	}{
 		{"paper defaults (I/OAT)", base},
 		{"auto-tuned thresholds", auto},
 		{"hybrid 64k memcpy warm-up", hybrid},
-	} {
-		fmt.Fprintf(&b, "%-34s %10.0f\n", c.name, streamTput(c.cfg, 4<<20, 5))
 	}
-	fmt.Fprintf(&b, "\n# Extension ablations (4 MiB local one-copy)\n")
-	fmt.Fprintf(&b, "%-34s %10s %14s\n", "configuration", "MiB/s", "driver CPU")
-	for _, c := range []struct {
+	shmCases := []struct {
 		name string
 		cfg  openmx.Config
 	}{
 		{"paper defaults (busy-poll, 1 ch)", base},
 		{"striped over 4 channels", striped},
 		{"predictive sleep", sleep},
-	} {
-		tput, busy := shmStreamOnce(c.cfg)
-		fmt.Fprintf(&b, "%-34s %10.0f %13.0f%%\n", c.name, tput, busy)
+	}
+	// One flat sweep over both halves; rendering stays serial below.
+	var jobs []runner.Job
+	for _, c := range netCases {
+		jobs = append(jobs, streamJob("ablate/ext/"+c.name, c.cfg, 4<<20, 5))
+	}
+	for _, c := range shmCases {
+		cfg := c.cfg
+		jobs = append(jobs, runner.Job{
+			Label: "ablate/ext-shm/" + c.name,
+			Key:   runner.Key("ablate-ext-shm", cfg),
+			Run: func() (any, error) {
+				tput, busy := shmStreamOnce(cfg)
+				return [2]float64{tput, busy}, nil
+			},
+		})
+	}
+	results := activePool().Run(jobs...)
+	if err := runner.FirstErr(results); err != nil {
+		panic(err)
+	}
+
+	fmt.Fprintf(&b, "# Extension ablations (4 MiB network stream)\n")
+	fmt.Fprintf(&b, "%-34s %10s\n", "configuration", "MiB/s")
+	for i, c := range netCases {
+		fmt.Fprintf(&b, "%-34s %10.0f\n", c.name, results[i].Value.(float64))
+	}
+	fmt.Fprintf(&b, "\n# Extension ablations (4 MiB local one-copy)\n")
+	fmt.Fprintf(&b, "%-34s %10s %14s\n", "configuration", "MiB/s", "driver CPU")
+	for i, c := range shmCases {
+		v := results[len(netCases)+i].Value.([2]float64)
+		fmt.Fprintf(&b, "%-34s %10.0f %13.0f%%\n", c.name, v[0], v[1])
 	}
 	return b.String()
 }

@@ -1,9 +1,12 @@
 package figures
 
 import (
+	"fmt"
+
 	"omxsim/cluster"
 	"omxsim/metrics"
 	"omxsim/openmx"
+	"omxsim/runner"
 	"omxsim/sim"
 )
 
@@ -30,10 +33,24 @@ func Fig10() *metrics.Table {
 		{"Memcpy between different processor sockets", openmx.Config{}, 0, 4},
 		{"I/OAT offloaded synchronous copy", openmx.Config{IOATShm: true}, 0, 4},
 	}
+	// Every (case, size) point builds its own single-host cluster, so
+	// the whole figure shards across the pool as one flat sweep.
+	var jobs []runner.Job
 	for _, c := range cases {
-		s := t.AddSeries(c.name)
 		for _, size := range sizes {
-			s.Add(float64(size), shmPingPong(c.cfg, c.coreA, c.coreB, size))
+			c, size := c, size
+			jobs = append(jobs, runner.Job{
+				Label: fmt.Sprintf("fig10/%s/%s", c.name, sizeName(size)),
+				Key:   runner.Key("fig10-shm", c.cfg, c.coreA, c.coreB, size),
+				Run:   func() (any, error) { return shmPingPong(c.cfg, c.coreA, c.coreB, size), nil },
+			})
+		}
+	}
+	ys := sweep[float64](jobs)
+	for ci, c := range cases {
+		s := t.AddSeries(c.name)
+		for si, size := range sizes {
+			s.Add(float64(size), ys[ci*len(sizes)+si])
 		}
 	}
 	return t

@@ -6,6 +6,7 @@ import (
 
 	"omxsim/imb"
 	"omxsim/openmx"
+	"omxsim/runner"
 )
 
 // Fig12Result is one panel of Figure 12: every IMB test at one
@@ -24,20 +25,35 @@ type Fig12Result struct {
 // Fig12Sizes are the two message sizes of the paper's panels.
 func Fig12Sizes() []int { return []int{128 << 10, 4 << 20} }
 
-// Fig12 regenerates one panel.
-func Fig12(bytes, ppn int) Fig12Result {
-	res := Fig12Result{Bytes: bytes, PPN: ppn, Tests: imb.Tests()}
-	iters := func(int) int { return 4 }
-	stacks := []Stack{
+// fig12Stacks are the three stacks every panel compares, in
+// normalization order: the MXoE baseline, plain Open-MX, Open-MX with
+// I/OAT (network and shared-memory offload).
+func fig12Stacks() []Stack {
+	return []Stack{
 		{Kind: "mxoe", MXRegCache: true},
 		{Kind: "openmx", OMX: openmx.Config{RegCache: true}},
 		{Kind: "openmx", OMX: openmx.Config{RegCache: true, IOAT: true, IOATShm: true}},
 	}
+}
+
+// Fig12 regenerates one panel. Every (test, stack) pair is an
+// independent run on a fresh testbed, so the whole panel — 33 runs —
+// shards across the pool as one flat sweep.
+func Fig12(bytes, ppn int) Fig12Result {
+	res := Fig12Result{Bytes: bytes, PPN: ppn, Tests: imb.Tests()}
+	iters := func(int) int { return 4 }
+	stacks := fig12Stacks()
+	var jobs []runner.Job
 	for _, test := range res.Tests {
+		for _, s := range stacks {
+			jobs = append(jobs, imbJob(s, ppn, test, []int{bytes}, "fixed4", iters))
+		}
+	}
+	results := sweep[[]imb.Result](jobs)
+	for ti := range res.Tests {
 		var times [3]float64
-		for i, s := range stacks {
-			rs := runIMB(s, ppn, test, []int{bytes}, iters)
-			times[i] = rs[0].TimeUsec
+		for si := range stacks {
+			times[si] = results[ti*len(stacks)+si][0].TimeUsec
 		}
 		res.OMXPct = append(res.OMXPct, 100*times[0]/times[1])
 		res.OMXIOATPct = append(res.OMXIOATPct, 100*times[0]/times[2])
@@ -46,15 +62,21 @@ func Fig12(bytes, ppn int) Fig12Result {
 }
 
 // Fig12All regenerates all four panels (128 kB and 4 MB, 1 and 2
-// processes per node).
+// processes per node). The panels themselves run concurrently; their
+// inner sweeps fan out further on the same pool.
 func Fig12All() []Fig12Result {
-	var out []Fig12Result
+	var jobs []runner.Job
 	for _, size := range Fig12Sizes() {
 		for _, ppn := range []int{1, 2} {
-			out = append(out, Fig12(size, ppn))
+			size, ppn := size, ppn
+			jobs = append(jobs, runner.Job{
+				Label: fmt.Sprintf("fig12/%s/%dppn", sizeName(size), ppn),
+				// No key: the panel aggregates cached per-run jobs.
+				Run: func() (any, error) { return Fig12(size, ppn), nil },
+			})
 		}
 	}
-	return out
+	return sweep[Fig12Result](jobs)
 }
 
 // Averages reports the mean percentage across tests for both curves.

@@ -1,10 +1,13 @@
 package figures
 
 import (
+	"fmt"
+
 	"omxsim/internal/cpu"
 	"omxsim/metrics"
 	"omxsim/mpi"
 	"omxsim/openmx"
+	"omxsim/runner"
 	"omxsim/sim"
 )
 
@@ -27,17 +30,19 @@ func (r Fig9Row) Total() float64 { return r.UserPct + r.DriverPct + r.BHPct + r.
 // registration cache), which is the driver share of the bars.
 func Fig9() (memcpyRows, ioatRows []Fig9Row) {
 	sizes := []int{64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
+	var jobs []runner.Job
 	for _, withIOAT := range []bool{false, true} {
 		for _, size := range sizes {
-			row := fig9Point(size, withIOAT)
-			if withIOAT {
-				ioatRows = append(ioatRows, row)
-			} else {
-				memcpyRows = append(memcpyRows, row)
-			}
+			withIOAT, size := withIOAT, size
+			jobs = append(jobs, runner.Job{
+				Label: fmt.Sprintf("fig9/%s/ioat=%v", sizeName(size), withIOAT),
+				Key:   runner.Key("fig9-point", size, withIOAT),
+				Run:   func() (any, error) { return fig9Point(size, withIOAT), nil },
+			})
 		}
 	}
-	return memcpyRows, ioatRows
+	rows := sweep[Fig9Row](jobs)
+	return rows[:len(sizes)], rows[len(sizes):]
 }
 
 // fig9Point streams synchronous large messages from node0 to node1

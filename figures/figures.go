@@ -22,6 +22,7 @@ import (
 	"omxsim/mpi"
 	"omxsim/mxoe"
 	"omxsim/openmx"
+	"omxsim/runner"
 )
 
 // Stack selects a protocol stack for a benchmark run.
@@ -100,6 +101,18 @@ func runIMB(s Stack, ppn int, test string, sizes []int, iters func(int) int) []i
 	return r.Run(test, sizes)
 }
 
+// imbJob wraps one independent (stack, test, sizes, ppn) IMB run as a
+// runner job. itersName canonically names the iteration schedule (the
+// schedule itself is a func and cannot be hashed) and becomes part of
+// the cache key.
+func imbJob(s Stack, ppn int, test string, sizes []int, itersName string, iters func(int) int) runner.Job {
+	return runner.Job{
+		Label: fmt.Sprintf("imb/%s/%s/%dppn", test, s.Name(), ppn),
+		Key:   runner.Key("imb", s, ppn, test, sizes, itersName),
+		Run:   func() (any, error) { return runIMB(s, ppn, test, sizes, iters), nil },
+	}
+}
+
 // PingPongSizes is the 16 B – 4 MiB sweep of Figures 3 and 8.
 func PingPongSizes() []int { return imb.StandardSizes(16, 4<<20) }
 
@@ -116,68 +129,74 @@ func pingPongCurve(name string, s Stack, sizes []int) *metrics.Series {
 	return out
 }
 
+// curve pairs a legend label with the stack that produces it.
+type curve struct {
+	name string
+	s    Stack
+}
+
+// pingPongTable sweeps the curves concurrently (one fresh testbed per
+// curve, so the runs are independent) and assembles them into a table
+// in legend order. Curves are cached under (name, stack, sizes):
+// Figures 3 and 8 share three of them.
+func pingPongTable(title string, curves []curve, sizes []int) *metrics.Table {
+	t := metrics.NewTable(title, "msgsize", "MiB/s")
+	jobs := make([]runner.Job, len(curves))
+	for i, c := range curves {
+		c := c
+		jobs[i] = runner.Job{
+			Label: "pingpong/" + c.name,
+			Key:   runner.Key("pingpong-curve", c.name, c.s, sizes),
+			Run:   func() (any, error) { return pingPongCurve(c.name, c.s, sizes), nil },
+		}
+	}
+	// Clone what the sweep returns: cached jobs hand every caller the
+	// same *Series, and tables are mutable public API — aliasing the
+	// cache would let one figure's caller corrupt another's curves.
+	for _, s := range sweep[*metrics.Series](jobs) {
+		t.Series = append(t.Series, s.Clone())
+	}
+	return t
+}
+
 // Fig3 regenerates Figure 3: native MX versus Open-MX versus the
 // prediction with the bottom-half receive copy ignored.
 func Fig3() *metrics.Table {
-	t := metrics.NewTable(
+	return pingPongTable(
 		"Fig. 3: Expected Open-MX improvement when removing the BH receive copy",
-		"msgsize", "MiB/s")
-	sizes := PingPongSizes()
-	curves := []struct {
-		name string
-		s    Stack
-	}{
-		{"MX", Stack{Kind: "mxoe", MXRegCache: true}},
-		{"Open-MX ignoring BH receive copy", Stack{Kind: "openmx", OMX: openmx.Config{SkipBHCopy: true, RegCache: true}}},
-		{"Open-MX", Stack{Kind: "openmx", OMX: openmx.Config{RegCache: true}}},
-	}
-	for _, c := range curves {
-		t.Series = append(t.Series, pingPongCurve(c.name, c.s, sizes))
-	}
-	return t
+		[]curve{
+			{"MX", Stack{Kind: "mxoe", MXRegCache: true}},
+			{"Open-MX ignoring BH receive copy", Stack{Kind: "openmx", OMX: openmx.Config{SkipBHCopy: true, RegCache: true}}},
+			{"Open-MX", Stack{Kind: "openmx", OMX: openmx.Config{RegCache: true}}},
+		},
+		PingPongSizes())
 }
 
 // Fig8 regenerates Figure 8: Figure 3 plus the I/OAT overlapped-copy
 // curve.
 func Fig8() *metrics.Table {
-	t := metrics.NewTable(
+	return pingPongTable(
 		"Fig. 8: Ping-pong improvement using I/OAT vs the no-copy prediction",
-		"msgsize", "MiB/s")
-	sizes := PingPongSizes()
-	curves := []struct {
-		name string
-		s    Stack
-	}{
-		{"MX", Stack{Kind: "mxoe", MXRegCache: true}},
-		{"Open-MX ignoring BH receive copy", Stack{Kind: "openmx", OMX: openmx.Config{SkipBHCopy: true, RegCache: true}}},
-		{"Open-MX with DMA copy in BH receive", Stack{Kind: "openmx", OMX: openmx.Config{IOAT: true, RegCache: true}}},
-		{"Open-MX", Stack{Kind: "openmx", OMX: openmx.Config{RegCache: true}}},
-	}
-	for _, c := range curves {
-		t.Series = append(t.Series, pingPongCurve(c.name, c.s, sizes))
-	}
-	return t
+		[]curve{
+			{"MX", Stack{Kind: "mxoe", MXRegCache: true}},
+			{"Open-MX ignoring BH receive copy", Stack{Kind: "openmx", OMX: openmx.Config{SkipBHCopy: true, RegCache: true}}},
+			{"Open-MX with DMA copy in BH receive", Stack{Kind: "openmx", OMX: openmx.Config{IOAT: true, RegCache: true}}},
+			{"Open-MX", Stack{Kind: "openmx", OMX: openmx.Config{RegCache: true}}},
+		},
+		PingPongSizes())
 }
 
 // Fig11 regenerates Figure 11: IMB PingPong over MXoE and Open-MX,
 // with I/OAT and the registration cache enabled or not.
 func Fig11() *metrics.Table {
-	t := metrics.NewTable(
+	return pingPongTable(
 		"Fig. 11: IMB PingPong with I/OAT and registration cache on/off",
-		"msgsize", "MiB/s")
-	sizes := WideSizes()
-	curves := []struct {
-		name string
-		s    Stack
-	}{
-		{"MX", Stack{Kind: "mxoe", MXRegCache: true}},
-		{"Open-MX I/OAT", Stack{Kind: "openmx", OMX: openmx.Config{IOAT: true, RegCache: true}}},
-		{"Open-MX", Stack{Kind: "openmx", OMX: openmx.Config{RegCache: true}}},
-		{"Open-MX I/OAT w/o regcache", Stack{Kind: "openmx", OMX: openmx.Config{IOAT: true}}},
-		{"Open-MX w/o regcache", Stack{Kind: "openmx", OMX: openmx.Config{}}},
-	}
-	for _, c := range curves {
-		t.Series = append(t.Series, pingPongCurve(c.name, c.s, sizes))
-	}
-	return t
+		[]curve{
+			{"MX", Stack{Kind: "mxoe", MXRegCache: true}},
+			{"Open-MX I/OAT", Stack{Kind: "openmx", OMX: openmx.Config{IOAT: true, RegCache: true}}},
+			{"Open-MX", Stack{Kind: "openmx", OMX: openmx.Config{RegCache: true}}},
+			{"Open-MX I/OAT w/o regcache", Stack{Kind: "openmx", OMX: openmx.Config{IOAT: true}}},
+			{"Open-MX w/o regcache", Stack{Kind: "openmx", OMX: openmx.Config{}}},
+		},
+		WideSizes())
 }

@@ -1,11 +1,14 @@
 package figures
 
 import (
+	"fmt"
+
 	"omxsim/cluster"
 	"omxsim/internal/cpu"
 	"omxsim/internal/ioat"
 	"omxsim/metrics"
 	"omxsim/platform"
+	"omxsim/runner"
 	"omxsim/sim"
 )
 
@@ -106,13 +109,26 @@ func Fig7() *metrics.Table {
 			s.Add(float64(total), platform.Rate(float64(total)/ns).InMiBps())
 		}
 	}
+	// The I/OAT side simulates submission + engine processing,
+	// including the CPU-side submission cost ahead of the doorbell;
+	// each (chunk, total) point is an independent simulation, swept in
+	// parallel.
+	var jobs []runner.Job
 	for _, chunk := range chunks {
-		s := t.AddSeries("I/OAT Copy - " + names[chunk])
 		for _, total := range sizes {
-			// Simulated submission + engine processing, including the
-			// CPU-side submission cost ahead of the doorbell.
-			rate := ioatPipelinedRate(chunk, total)
-			s.Add(float64(total), rate)
+			chunk, total := chunk, total
+			jobs = append(jobs, runner.Job{
+				Label: fmt.Sprintf("fig7/ioat/%d/%d", chunk, total),
+				Key:   runner.Key("fig7-ioat", chunk, total),
+				Run:   func() (any, error) { return ioatPipelinedRate(chunk, total), nil },
+			})
+		}
+	}
+	rates := sweep[float64](jobs)
+	for ci, chunk := range chunks {
+		s := t.AddSeries("I/OAT Copy - " + names[chunk])
+		for si, total := range sizes {
+			s.Add(float64(total), rates[ci*len(sizes)+si])
 		}
 	}
 	return t

@@ -7,6 +7,7 @@ import (
 
 	"omxsim/mpi"
 	"omxsim/openmx"
+	"omxsim/runner"
 	"omxsim/sim"
 )
 
@@ -113,13 +114,27 @@ func RunNASIS(s Stack, name string, keysPerRank, iterations int) NASISResult {
 	return NASISResult{Stack: name, TimeMs: float64(elapsed) / 1e6}
 }
 
-// NASIS compares the IS proxy across the three stacks of Section IV.
+// NASIS compares the IS proxy across the three stacks of Section IV,
+// running the three (independent) stack proxies concurrently.
 func NASIS(keysPerRank, iterations int) []NASISResult {
-	return []NASISResult{
-		RunNASIS(Stack{Kind: "mxoe", MXRegCache: true}, "MXoE", keysPerRank, iterations),
-		RunNASIS(Stack{Kind: "openmx", OMX: omxCfg(false)}, "Open-MX", keysPerRank, iterations),
-		RunNASIS(Stack{Kind: "openmx", OMX: omxCfg(true)}, "Open-MX I/OAT", keysPerRank, iterations),
+	cases := []struct {
+		s    Stack
+		name string
+	}{
+		{Stack{Kind: "mxoe", MXRegCache: true}, "MXoE"},
+		{Stack{Kind: "openmx", OMX: omxCfg(false)}, "Open-MX"},
+		{Stack{Kind: "openmx", OMX: omxCfg(true)}, "Open-MX I/OAT"},
 	}
+	jobs := make([]runner.Job, len(cases))
+	for i, c := range cases {
+		c := c
+		jobs[i] = runner.Job{
+			Label: "nasis/" + c.name,
+			Key:   runner.Key("nasis", c.s, c.name, keysPerRank, iterations),
+			Run:   func() (any, error) { return RunNASIS(c.s, c.name, keysPerRank, iterations), nil },
+		}
+	}
+	return sweep[NASISResult](jobs)
 }
 
 func omxCfg(ioat bool) openmx.Config {

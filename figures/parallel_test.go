@@ -1,0 +1,102 @@
+package figures
+
+import (
+	"reflect"
+	"testing"
+
+	"omxsim/metrics"
+	"omxsim/runner"
+)
+
+// The parallel-determinism guardrail: sharding a sweep across workers
+// must change nothing but wall time. Each figure point builds its own
+// isolated testbed and sim.Engine, so a serial one-worker pool and a
+// heavily parallel pool must produce bit-identical metrics; any
+// difference means simulations leaked state into each other.
+
+// withPool runs fn with the figures pool replaced by a private pool
+// of the given worker count (and its own cache, so runs cannot
+// satisfy each other from the shared process cache).
+func withPool(workers int, fn func()) {
+	p := runner.New(runner.Options{Workers: workers, Cache: runner.NewCache()})
+	defer setPool(setPool(p))
+	fn()
+}
+
+func TestParallelMatchesSerialPingPong(t *testing.T) {
+	sizes := []int{16, 4096, 256 << 10, 4 << 20}
+	curves := []curve{
+		{"MX", Stack{Kind: "mxoe", MXRegCache: true}},
+		{"Open-MX", Stack{Kind: "openmx", OMX: omxCfg(false)}},
+		{"Open-MX I/OAT", Stack{Kind: "openmx", OMX: omxCfg(true)}},
+	}
+	run := func(workers int) (tab *metrics.Table) {
+		withPool(workers, func() { tab = pingPongTable("determinism", curves, sizes) })
+		return tab
+	}
+	serial, parallel := run(1), run(8)
+	if !serial.Equal(parallel) {
+		t.Errorf("parallel ping-pong table differs from serial:\nserial:\n%s\nparallel:\n%s",
+			serial.Render(), parallel.Render())
+	}
+}
+
+func TestParallelMatchesSerialFig9(t *testing.T) {
+	run := func(workers int) (mem, io []Fig9Row) {
+		withPool(workers, func() { mem, io = Fig9() })
+		return mem, io
+	}
+	memS, ioS := run(1)
+	memP, ioP := run(8)
+	if !reflect.DeepEqual(memS, memP) || !reflect.DeepEqual(ioS, ioP) {
+		t.Errorf("parallel Fig9 rows differ from serial:\nserial:  %+v %+v\nparallel: %+v %+v",
+			memS, ioS, memP, ioP)
+	}
+}
+
+func TestParallelMatchesSerialFig12(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	run := func(workers int) (p Fig12Result) {
+		withPool(workers, func() { p = Fig12(128<<10, 1) })
+		return p
+	}
+	serial, parallel := run(1), run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("parallel Fig12 panel differs from serial:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+}
+
+// TestSharedCurveCache: regenerating Figures 3 and 8 on one pool
+// simulates their three shared curves once — the repeated-sweep
+// optimization the runner cache exists for.
+func TestSharedCurveCache(t *testing.T) {
+	cache := runner.NewCache()
+	p := runner.New(runner.Options{Workers: 4, Cache: cache})
+	defer setPool(setPool(p))
+	f3 := Fig3()
+	_, missesAfter3 := cache.Stats()
+	f8 := Fig8()
+	hits, misses := cache.Stats()
+	if missesAfter3 != 3 {
+		t.Fatalf("Fig3 simulated %d curves, want 3", missesAfter3)
+	}
+	// Fig8 adds only the I/OAT curve; MX, Open-MX and the no-copy
+	// prediction come from the cache.
+	if misses != 4 || hits < 3 {
+		t.Errorf("after Fig8: %d misses / %d hits, want 4 misses and ≥3 hits", misses, hits)
+	}
+	for _, name := range []string{"MX", "Open-MX", "Open-MX ignoring BH receive copy"} {
+		s3, s8 := f3.Get(name), f8.Get(name)
+		if !s3.Equal(s8) {
+			t.Errorf("shared curve %q differs between Fig3 and Fig8", name)
+		}
+		// Equal values, distinct objects: tables must not alias the
+		// cache, or a caller mutating one figure corrupts the other.
+		if s3 == s8 {
+			t.Errorf("shared curve %q is the same *Series in both tables (cache aliasing)", name)
+		}
+	}
+}

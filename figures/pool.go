@@ -1,0 +1,50 @@
+package figures
+
+import (
+	"omxsim/cluster"
+	"omxsim/mpi"
+	"omxsim/runner"
+)
+
+// pool overrides the pool figure sweeps run on; nil selects the
+// process-wide shared pool (GOMAXPROCS workers plus a shared result
+// cache, so figures that repeat a configuration — Figures 3 and 8
+// share three ping-pong curves — simulate it once per process). The
+// override is lazy so runner.Default() is not materialized at package
+// init, before main can configure progress reporting. Tests swap it
+// via setPool to compare serial and parallel execution.
+var pool *runner.Pool
+
+// activePool resolves the pool sweeps run on.
+func activePool() *runner.Pool {
+	if pool != nil {
+		return pool
+	}
+	return runner.Default()
+}
+
+// setPool replaces the figures pool and returns the previous override
+// (nil = the shared default), for tests that need a pinned worker
+// count or a private cache.
+func setPool(p *runner.Pool) (old *runner.Pool) {
+	old, pool = pool, p
+	return old
+}
+
+// sweep runs the jobs on the figures pool and unwraps the values in
+// job order. Figure generators have no error returns — a failing
+// point means the reproduction is broken — so the first job error
+// (including captured panics) panics here, after every other point
+// has finished.
+func sweep[T any](jobs []runner.Job) []T {
+	return runner.Values[T](activePool().Run(jobs...))
+}
+
+// Testbed builds the paper's two-node testbed (block rank placement,
+// ppn ranks per node) over the given stack and returns the cluster
+// and MPI world, ready for an imb.Runner. Exported so the IMB command
+// and benchmarks sweep the same worlds the figures do.
+func Testbed(s Stack, ppn int) (*cluster.Cluster, *mpi.World) {
+	tb := newTestbed(s, ppn)
+	return tb.c, tb.w
+}

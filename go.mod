@@ -1,0 +1,3 @@
+module omxsim
+
+go 1.22

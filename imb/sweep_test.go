@@ -1,0 +1,88 @@
+package imb
+
+import (
+	"strings"
+	"testing"
+
+	"omxsim/cluster"
+	"omxsim/mpi"
+	"omxsim/openmx"
+	"omxsim/runner"
+)
+
+// buildWorld is the sweep-friendly twin of newRunner: a fresh 2-node
+// world per call, no testing.T captured inside the point closure.
+func buildWorld(ppn int) func() (*cluster.Cluster, *mpi.World) {
+	return func() (*cluster.Cluster, *mpi.World) {
+		c := cluster.New(nil)
+		n0, n1 := c.NewHost("n0"), c.NewHost("n1")
+		cluster.Link(n0, n1)
+		cfg := openmx.Config{RegCache: true}
+		t0, t1 := openmx.Attach(n0, cfg), openmx.Attach(n1, cfg)
+		w := mpi.NewWorld(c)
+		cores := []int{2, 4}
+		for r := 0; r < 2*ppn; r++ {
+			node, slot, tr := n0, r, openmx.Transport(t0)
+			if r >= ppn {
+				node, slot, tr = n1, r-ppn, t1
+			}
+			w.AddRank(tr.Open(slot, cores[slot]), node, cores[slot])
+		}
+		return c, w
+	}
+}
+
+// TestSweepMatchesSerial: a parallel sweep returns, point for point
+// and bit for bit, what serial Runner.Run calls return.
+func TestSweepMatchesSerial(t *testing.T) {
+	iters := func(int) int { return 3 }
+	sizes := []int{1024, 65536}
+	var points []Point
+	for _, test := range []string{"PingPong", "SendRecv", "Allreduce"} {
+		points = append(points, Point{
+			Name:  "openmx",
+			Build: buildWorld(1),
+			Test:  test,
+			Sizes: sizes,
+			Iters: iters,
+			Key:   runner.Key("sweep-test", test, sizes),
+		})
+	}
+	pool := runner.New(runner.Options{Workers: 4, Cache: runner.NewCache()})
+	prs, err := Sweep(pool, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prs) != len(points) {
+		t.Fatalf("%d point results, want %d", len(prs), len(points))
+	}
+	for i, pr := range prs {
+		if pr.Point.Test != points[i].Test {
+			t.Fatalf("result %d is for %q, want %q (order not preserved)", i, pr.Point.Test, points[i].Test)
+		}
+		c, w := buildWorld(1)()
+		serial := (&Runner{C: c, W: w, Iters: iters}).Run(points[i].Test, sizes)
+		if len(serial) != len(pr.Results) {
+			t.Fatalf("%s: %d vs %d results", points[i].Test, len(pr.Results), len(serial))
+		}
+		for j := range serial {
+			if serial[j] != pr.Results[j] {
+				t.Errorf("%s size %d: parallel %+v != serial %+v",
+					points[i].Test, serial[j].Bytes, pr.Results[j], serial[j])
+			}
+		}
+	}
+}
+
+// TestSweepSurfacesPanics: a deadlocking point reports an error; it
+// does not kill the sweep or the process.
+func TestSweepSurfacesPanics(t *testing.T) {
+	points := []Point{
+		{Name: "ok", Build: buildWorld(1), Test: "PingPong", Sizes: []int{1024}},
+		{Name: "bad", Build: buildWorld(1), Test: "NoSuchTest", Sizes: []int{1024}},
+	}
+	_, err := Sweep(runner.New(runner.Options{Workers: 2}), points)
+	if err == nil || !strings.Contains(err.Error(), "NoSuchTest") {
+		t.Fatalf("sweep error = %v, want the unknown-test panic surfaced", err)
+	}
+}

@@ -27,6 +27,15 @@ type Series struct {
 // Add appends a point.
 func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
 
+// Clone returns an independent copy of the series, so shared results
+// (e.g. cached sweep curves) can be handed out without aliasing.
+func (s *Series) Clone() *Series {
+	if s == nil {
+		return nil
+	}
+	return &Series{Name: s.Name, Points: append([]Point(nil), s.Points...)}
+}
+
 // At returns the Y value at exactly x (and whether it exists).
 func (s *Series) At(x float64) (float64, bool) {
 	for _, p := range s.Points {
@@ -48,6 +57,25 @@ func (s *Series) Max() float64 {
 	return m
 }
 
+// Equal reports whether two series carry the same name and exactly
+// the same points. The simulations are deterministic, so a figure
+// regenerated twice — serially or in parallel — must compare equal
+// bit for bit; any difference means runs leaked state into each other.
+func (s *Series) Equal(o *Series) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if s.Name != o.Name || len(s.Points) != len(o.Points) {
+		return false
+	}
+	for i, p := range s.Points {
+		if p != o.Points[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Table is a complete figure: several series over a shared X axis.
 type Table struct {
 	Title  string
@@ -66,6 +94,24 @@ func (t *Table) AddSeries(name string) *Series {
 	s := &Series{Name: name}
 	t.Series = append(t.Series, s)
 	return s
+}
+
+// Equal reports whether two tables have identical metadata and
+// series (see Series.Equal).
+func (t *Table) Equal(o *Table) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Title != o.Title || t.XLabel != o.XLabel || t.YLabel != o.YLabel ||
+		len(t.Series) != len(o.Series) {
+		return false
+	}
+	for i, s := range t.Series {
+		if !s.Equal(o.Series[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Get returns the series with the given name, or nil.

@@ -83,3 +83,38 @@ func TestCompareString(t *testing.T) {
 		t.Fatalf("compare rendering: %s", s)
 	}
 }
+
+func TestTableEqual(t *testing.T) {
+	mk := func() *Table {
+		tab := NewTable("t", "x", "y")
+		s := tab.AddSeries("a")
+		s.Add(1, 2)
+		s.Add(2, 4)
+		tab.AddSeries("b").Add(1, 3)
+		return tab
+	}
+	a, b := mk(), mk()
+	if !a.Equal(b) {
+		t.Fatal("identical tables compare unequal")
+	}
+	b.Series[0].Points[1].Y = 4.0000001
+	if a.Equal(b) {
+		t.Fatal("tables differing by one Y compare equal")
+	}
+	c := mk()
+	c.Title = "other"
+	if a.Equal(c) {
+		t.Fatal("tables differing in title compare equal")
+	}
+	d := mk()
+	d.Series[1].Name = "renamed"
+	if a.Equal(d) {
+		t.Fatal("tables differing in series name compare equal")
+	}
+	if !(*Table)(nil).Equal(nil) || a.Equal(nil) {
+		t.Fatal("nil handling wrong")
+	}
+	if !(*Series)(nil).Equal(nil) || a.Series[0].Equal(nil) {
+		t.Fatal("nil series handling wrong")
+	}
+}

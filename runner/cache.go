@@ -1,0 +1,83 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+)
+
+// Cache is an in-memory result cache with single-flight semantics:
+// the first job to arrive at a key runs and every later (or
+// concurrent) job with the same key waits for and shares its outcome.
+// Errors and captured panics are cached alongside values, so a failed
+// configuration fails identically on every sweep that repeats it.
+//
+// Cached values are shared between callers; treat them as immutable.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    int
+	misses  int
+}
+
+type cacheEntry struct {
+	done chan struct{}
+	v    any
+	err  error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]*cacheEntry)}
+}
+
+// do returns the cached outcome for key, running fn to produce it if
+// this is the first request. cached reports whether fn was skipped
+// (including waiting on another in-flight computation of the key).
+func (c *Cache) do(key string, fn func() (any, error)) (v any, err error, cached bool) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.done
+		return e.v, e.err, true
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+	e.v, e.err = fn()
+	close(e.done)
+	return e.v, e.err, false
+}
+
+// Stats reports completed-lookup counters: hits counts requests
+// served from (or coalesced onto) an existing entry, misses counts
+// requests that ran their function.
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len reports the number of distinct keys ever computed (including
+// in-flight ones).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Key builds a canonical cache key by hashing the Go-syntax
+// representation of each part. Parts should be plain data — strings,
+// numbers, bools, slices and scalar-field structs such as
+// openmx.Config — whose %#v rendering is deterministic; maps (whose
+// iteration order is random) must not appear in any part.
+func Key(parts ...any) string {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%#v\x00", p)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

@@ -1,0 +1,88 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Progress is a completion snapshot delivered after each job.
+type Progress struct {
+	// Done and Total count completed and scheduled jobs of this Run.
+	Done, Total int
+	// Cached counts completions served from the cache.
+	Cached int
+	// Errs counts failed jobs so far.
+	Errs int
+	// Elapsed is the wall time since the Run started.
+	Elapsed time.Duration
+	// ETA estimates the remaining wall time from the mean pace of
+	// the uncached completions so far (zero until at least one job
+	// has actually simulated).
+	ETA time.Duration
+	// Label is the label of the job that just finished.
+	Label string
+}
+
+// ProgressFunc receives completion snapshots. The pool serializes
+// calls, so implementations need no locking of their own.
+type ProgressFunc func(Progress)
+
+// progressState accumulates per-Run completion counts.
+type progressState struct {
+	total  int
+	done   int
+	cached int
+	errs   int
+	start  time.Time
+}
+
+func (s *progressState) init(total int) {
+	s.total = total
+	s.start = time.Now()
+}
+
+func (s *progressState) step(r Result) Progress {
+	s.done++
+	if r.Cached {
+		s.cached++
+	}
+	if r.Err != nil {
+		s.errs++
+	}
+	elapsed := time.Since(s.start)
+	var eta time.Duration
+	// Pace from uncached completions only: cache hits finish in
+	// microseconds and would collapse the estimate to ~0 while real
+	// simulations still run. (If the remaining jobs turn out to be
+	// hits too, the sweep just beats the estimate.)
+	if real := s.done - s.cached; real > 0 && s.done < s.total {
+		eta = time.Duration(float64(elapsed) / float64(real) * float64(s.total-s.done))
+	}
+	return Progress{
+		Done: s.done, Total: s.total,
+		Cached: s.cached, Errs: s.errs,
+		Elapsed: elapsed, ETA: eta,
+		Label: r.Label,
+	}
+}
+
+// WriterProgress returns a ProgressFunc that prints one status line
+// per completion to w, e.g.
+//
+//	[ 7/63] 11% eta 12s  fig10/I-OAT/1MB
+func WriterProgress(w io.Writer) ProgressFunc {
+	return func(p Progress) {
+		eta := "-"
+		if p.ETA > 0 {
+			eta = p.ETA.Round(time.Second).String()
+		}
+		cached := ""
+		if p.Cached > 0 {
+			cached = fmt.Sprintf(" (%d cached)", p.Cached)
+		}
+		fmt.Fprintf(w, "[%*d/%d] %3.0f%% eta %-6s%s  %s\n",
+			len(fmt.Sprint(p.Total)), p.Done, p.Total,
+			float64(p.Done)/float64(p.Total)*100, eta, cached, p.Label)
+	}
+}

@@ -1,0 +1,272 @@
+// Package runner is the concurrent experiment-orchestration layer:
+// it shards independent simulation runs across a bounded worker pool
+// so a figure sweep uses every core instead of one.
+//
+// Every point of the paper's evaluation — one (stack, message size,
+// process count) combination — builds its own isolated testbed and
+// sim.Engine, so points never share mutable state and running them
+// concurrently is safe by construction. The runner exploits that:
+//
+//   - a Pool executes Jobs on at most Workers goroutines (default
+//     GOMAXPROCS) and returns Results indexed by job position, so the
+//     output of a parallel sweep is byte-identical to a serial one;
+//   - a panicking job is captured as a *PanicError on its Result
+//     instead of killing the whole sweep;
+//   - Jobs carrying a cache Key (see Key) share an in-memory result
+//     cache with single-flight semantics, so sweeps that repeat a
+//     configuration (Figures 3 and 8 share three curves) simulate it
+//     once;
+//   - an optional Progress callback reports completion counts and an
+//     ETA while a long sweep runs.
+//
+// The figures, imb and cmd packages all run on the shared Default
+// pool; tests construct private pools to pin the worker count.
+package runner
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Job is one independent unit of work: typically "build a fresh
+// testbed, run one benchmark point, return its measurements".
+type Job struct {
+	// Label names the job in progress output and panic reports.
+	Label string
+	// Key, when non-empty, caches the job's outcome in the pool's
+	// cache under this key (see Key for canonical hashing). Jobs with
+	// the same Key must be equivalent: the first one to run supplies
+	// the result for all of them, and the cached value is shared, so
+	// callers must treat it as immutable.
+	Key string
+	// Run produces the job's value. A panic inside Run is captured as
+	// a *PanicError instead of propagating.
+	Run func() (any, error)
+}
+
+// Result is the outcome of one Job, reported at the job's index so
+// parallel and serial sweeps order results identically.
+type Result struct {
+	// Index is the job's position in the Run call.
+	Index int
+	// Label echoes the job's label.
+	Label string
+	// Value is what Run returned (nil on error).
+	Value any
+	// Err is the job's error; a captured panic surfaces as a
+	// *PanicError here.
+	Err error
+	// Cached reports that Value came from the pool's cache (or from
+	// another in-flight job with the same key) without running this
+	// job's Run.
+	Cached bool
+	// Elapsed is the wall time the job spent running (zero for pure
+	// cache hits).
+	Elapsed time.Duration
+}
+
+// PanicError is a panic captured inside a Job.
+type PanicError struct {
+	// Label is the panicking job's label.
+	Label string
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the goroutine stack at the point of the panic.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %q panicked: %v", e.Label, e.Value)
+}
+
+// Options configures a Pool.
+type Options struct {
+	// Workers bounds the number of jobs running concurrently;
+	// values < 1 select runtime.GOMAXPROCS(0).
+	Workers int
+	// Cache backs Key-carrying jobs; nil disables caching.
+	Cache *Cache
+	// Progress, when non-nil, is invoked after every job completion
+	// (from the completing goroutine; the pool serializes calls).
+	Progress ProgressFunc
+}
+
+// Pool executes jobs on a bounded set of goroutines. The bound is
+// pool-global: helper goroutines are admitted by a shared semaphore
+// holding Workers-1 tokens, and every Run caller additionally
+// processes jobs on its own goroutine — whether or not helpers are
+// available — so a job that itself Runs a nested sweep on the same
+// pool makes progress even with the semaphore exhausted, and nesting
+// can never deadlock or multiply concurrency. The precise guarantee
+// is therefore Workers-1 helpers plus one goroutine per concurrent
+// top-level Run call: a single caller (however deeply its jobs nest)
+// never exceeds Workers running jobs, while N goroutines calling Run
+// concurrently can reach N+Workers-1. Callers who need a hard global
+// bound should funnel their jobs through one Run call.
+type Pool struct {
+	workers  int
+	sem      chan struct{} // admission tokens for helper goroutines
+	cache    *Cache
+	progress ProgressFunc
+	progMu   sync.Mutex // serializes progress callbacks only
+}
+
+// New builds a pool from opts.
+func New(opts Options) *Pool {
+	w := opts.Workers
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{
+		workers: w,
+		// The Run caller itself is one worker; helpers take the rest.
+		sem:      make(chan struct{}, w-1),
+		cache:    opts.Cache,
+		progress: opts.Progress,
+	}
+}
+
+// Workers reports the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Cache returns the pool's cache (nil if caching is disabled).
+func (p *Pool) Cache() *Cache { return p.cache }
+
+var (
+	defaultOnce sync.Once
+	defaultPool *Pool
+)
+
+// Default returns the shared process-wide pool: GOMAXPROCS workers
+// and a shared cache, with progress on stderr when the
+// OMXSIM_PROGRESS environment variable is set. The figures, imb and
+// cmd packages all sweep on this pool, so figures that share curves
+// (e.g. Figures 3 and 8) simulate each shared configuration once per
+// process.
+func Default() *Pool {
+	defaultOnce.Do(func() {
+		opts := Options{Cache: NewCache()}
+		if os.Getenv("OMXSIM_PROGRESS") != "" {
+			opts.Progress = WriterProgress(os.Stderr)
+		}
+		defaultPool = New(opts)
+	})
+	return defaultPool
+}
+
+// Run executes jobs on the default pool.
+func Run(jobs ...Job) []Result { return Default().Run(jobs...) }
+
+// Run executes the jobs, at most p.Workers() at a time pool-wide,
+// and returns one Result per job in job order. It blocks until every
+// job has finished; job panics are captured per Result, never
+// propagated. The calling goroutine works through jobs itself and
+// helper goroutines join only while the pool-global bound allows, so
+// nested Run calls shrink to serial execution instead of multiplying
+// concurrency.
+func (p *Pool) Run(jobs ...Job) []Result {
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	var (
+		next int64
+		wg   sync.WaitGroup
+		prog progressState
+	)
+	prog.init(len(jobs))
+	work := func() {
+		for {
+			i := int(atomic.AddInt64(&next, 1)) - 1
+			if i >= len(jobs) {
+				return
+			}
+			results[i] = p.runOne(i, jobs[i])
+			if p.progress != nil {
+				p.progMu.Lock()
+				p.progress(prog.step(results[i]))
+				p.progMu.Unlock()
+			}
+		}
+	}
+	// Admit up to len(jobs)-1 helpers, each holding a pool token for
+	// its lifetime; stop the moment the pool is saturated.
+admit:
+	for h := 0; h < len(jobs)-1; h++ {
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() { <-p.sem; wg.Done() }()
+				work()
+			}()
+		default:
+			break admit
+		}
+	}
+	work() // the caller is always a worker
+	wg.Wait()
+	return results
+}
+
+// runOne executes a single job, consulting the cache when the job
+// carries a key.
+func (p *Pool) runOne(i int, j Job) Result {
+	res := Result{Index: i, Label: j.Label}
+	start := time.Now()
+	if p.cache != nil && j.Key != "" {
+		v, err, cached := p.cache.do(j.Key, func() (any, error) { return capture(j) })
+		res.Value, res.Err, res.Cached = v, err, cached
+		if !cached {
+			res.Elapsed = time.Since(start)
+		}
+		return res
+	}
+	res.Value, res.Err = capture(j)
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// capture runs the job body, converting a panic into a *PanicError.
+func capture(j Job) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Label: j.Label, Value: r, Stack: stack()}
+		}
+	}()
+	return j.Run()
+}
+
+func stack() []byte {
+	buf := make([]byte, 64<<10)
+	return buf[:runtime.Stack(buf, false)]
+}
+
+// FirstErr returns the first non-nil error among the results, wrapped
+// with its job label, or nil.
+func FirstErr(results []Result) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("runner: job %d (%s): %w", r.Index, r.Label, r.Err)
+		}
+	}
+	return nil
+}
+
+// Values unwraps every result value as T, in job order, panicking on
+// the first job error — the convenience path for sweeps whose call
+// sites (the figure generators) have no error returns.
+func Values[T any](results []Result) []T {
+	if err := FirstErr(results); err != nil {
+		panic(err)
+	}
+	out := make([]T, len(results))
+	for i, r := range results {
+		out[i] = r.Value.(T)
+	}
+	return out
+}
