@@ -1,10 +1,15 @@
 # Mirrors .github/workflows/ci.yml: `make ci-fast` is exactly the CI
-# fast job, `make race` the full job. Contributors who run these
-# before pushing run exactly what CI runs.
+# fast job, `make race` the full job, `make golden-check` the
+# golden-figures job, `make bench-ci` one leg of the bench job.
+# Contributors who run these before pushing run exactly what CI runs.
 
 GO ?= go
+# The fast CI job pins the same staticcheck release; override to use
+# a locally installed binary (STATICCHECK=staticcheck).
+STATICCHECK ?= $(GO) run honnef.co/go/tools/cmd/staticcheck@2024.1.1
 
-.PHONY: all build test test-short race fmt fmt-check vet bench ci-fast ci-full
+.PHONY: all build test test-short race fmt fmt-check vet lint bench bench-ci \
+	golden golden-check ci-fast ci-full
 
 all: build
 
@@ -34,9 +39,27 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+lint: vet
+	$(STATICCHECK) ./...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-ci-fast: build vet fmt-check test-short
+# The CI bench job's invocation: every figure benchmark once, five
+# samples, tests skipped (compare runs with benchstat old.txt new.txt).
+bench-ci:
+	$(GO) test -bench . -benchtime 1x -count 5 -run '^$$' .
+
+# Regenerate the golden rendering the golden-figures CI job diffs
+# against. Commit the result together with the change that explains
+# the drift.
+golden:
+	$(GO) run ./cmd/omxsim all > figures/testdata/omxsim-all.golden
+
+golden-check:
+	$(GO) run ./cmd/omxsim all > /tmp/omxsim-all.rendered
+	diff -u figures/testdata/omxsim-all.golden /tmp/omxsim-all.rendered
+
+ci-fast: build vet lint fmt-check test-short
 
 ci-full: race

@@ -173,6 +173,19 @@ func BenchmarkNASIS(b *testing.B) {
 	}
 }
 
+// BenchmarkColl regenerates the collective-latency figure (I/OAT
+// on/off at 4–16 processes over the switch topology) and reports the
+// 1 MB Alltoall and Allreduce points of the largest world.
+func BenchmarkColl(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tabs := figures.Coll()
+		// Tables follow figures.CollTests() order.
+		report(b, tabs[0], "Open-MX I/OAT, 16 procs", 1<<20, "allreduce16-us")
+		report(b, tabs[1], "Open-MX, 16 procs", 1<<20, "a2a16-us")
+		report(b, tabs[1], "Open-MX I/OAT, 16 procs", 1<<20, "a2a16-ioat-us")
+	}
+}
+
 // --- Ablations (design choices DESIGN.md calls out) ---
 
 func BenchmarkAblationMinFrag(b *testing.B) {

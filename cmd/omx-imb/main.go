@@ -1,10 +1,13 @@
 // Command omx-imb runs the Intel-MPI-Benchmarks-style suite over the
 // simulated stacks, like the paper's Section IV-D evaluation.
-// Multiple tests (comma-separated, or "all") run concurrently on a
-// bounded worker pool, one fresh testbed per test, with output in
-// deterministic test order.
+// Multiple tests (comma-separated, case-insensitive, or "all") run
+// concurrently on a bounded worker pool, one fresh testbed per test,
+// with output in deterministic test order. Worlds larger than the
+// paper's two nodes (-nodes) connect through a simulated Ethernet
+// switch — the collective scaling topology.
 //
 //	omx-imb -test PingPong -transport openmx -ioat
+//	omx-imb -test allreduce,alltoall,bcast -nodes 8 -ppn 2
 //	omx-imb -test Alltoall -ppn 2 -sizes 128k,4m
 //	omx-imb -test all -workers 8
 //	omx-imb -list
@@ -31,6 +34,7 @@ func main() {
 		transport = flag.String("transport", "openmx", "openmx or mxoe")
 		ioat      = flag.Bool("ioat", false, "enable I/OAT offload (openmx)")
 		regcache  = flag.Bool("regcache", true, "enable the registration cache")
+		nodes     = flag.Int("nodes", 2, "number of nodes (2 = back to back, more via a switch)")
 		ppn       = flag.Int("ppn", 1, "processes per node (1 or 2)")
 		sizesFlag = flag.String("sizes", "16,1k,64k,1m,4m", "comma-separated message sizes (k/m suffixes)")
 		workers   = flag.Int("workers", 0, "concurrent benchmark runs (0 = GOMAXPROCS)")
@@ -39,7 +43,7 @@ func main() {
 	)
 	flag.Parse()
 	if *list {
-		for _, t := range imb.Tests() {
+		for _, t := range imb.AllTests() {
 			fmt.Println(t)
 		}
 		return
@@ -54,6 +58,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *nodes < 1 || *ppn < 1 || *ppn > 2 {
+		fmt.Fprintf(os.Stderr, "bad world: %d node(s) x %d ppn (need nodes >= 1, ppn 1 or 2)\n", *nodes, *ppn)
+		os.Exit(2)
+	}
+	if *nodes**ppn < 2 {
+		fmt.Fprintln(os.Stderr, "bad world: the benchmarks need at least 2 ranks (raise -nodes or -ppn)")
+		os.Exit(2)
+	}
 
 	stack := figures.Stack{Kind: "openmx", OMX: openmx.Config{IOAT: *ioat, IOATShm: *ioat, RegCache: *regcache}}
 	if *transport == "mxoe" {
@@ -64,10 +76,10 @@ func main() {
 	for i, test := range tests {
 		points[i] = imb.Point{
 			Name:  name,
-			Build: func() (*cluster.Cluster, *mpi.World) { return figures.Testbed(stack, *ppn) },
+			Build: func() (*cluster.Cluster, *mpi.World) { return figures.TestbedN(stack, *nodes, *ppn) },
 			Test:  test,
 			Sizes: sizes,
-			Key:   runner.Key("omx-imb", stack, *ppn, test, sizes),
+			Key:   runner.Key("omx-imb", stack, *nodes, *ppn, test, sizes),
 		}
 	}
 	opts := runner.Options{Workers: *workers, Cache: runner.NewCache()}
@@ -83,12 +95,12 @@ func main() {
 		if i > 0 {
 			fmt.Println()
 		}
-		printResults(pr.Point.Test, name, *ppn, pr.Results)
+		printResults(pr.Point.Test, name, *nodes, *ppn, pr.Results)
 	}
 }
 
-func printResults(test, name string, ppn int, results []imb.Result) {
-	fmt.Printf("# %s, %s, %d process(es) per node\n", test, name, ppn)
+func printResults(test, name string, nodes, ppn int, results []imb.Result) {
+	fmt.Printf("# %s, %s, %d node(s), %d process(es) per node\n", test, name, nodes, ppn)
 	fmt.Printf("%12s %14s %14s\n", "bytes", "t[usec]", "MiB/s")
 	for _, r := range results {
 		bw := "-"
@@ -108,19 +120,15 @@ func ioatSuffix(transport string, ioat bool) string {
 
 func parseTests(s string) ([]string, error) {
 	if strings.EqualFold(s, "all") {
-		return imb.Tests(), nil
-	}
-	known := map[string]bool{}
-	for _, t := range imb.Tests() {
-		known[t] = true
+		return imb.AllTests(), nil
 	}
 	var out []string
 	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if !known[part] {
+		canon, ok := imb.Canon(strings.TrimSpace(part))
+		if !ok {
 			return nil, fmt.Errorf("unknown test %q (see -list)", part)
 		}
-		out = append(out, part)
+		out = append(out, canon)
 	}
 	return out, nil
 }

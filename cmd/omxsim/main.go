@@ -13,6 +13,7 @@
 //	omxsim fig12            Fig. 12 all IMB tests normalized to MXoE
 //	omxsim timeline         Figs. 5/6 receive timelines (ASCII)
 //	omxsim nasis            NAS IS proxy comparison
+//	omxsim coll             collective latency, I/OAT on/off, 4-16 procs
 //	omxsim all              everything above
 //
 // Each figure shards its independent simulation points across a
@@ -122,6 +123,7 @@ var commands = []command{
 	{"fig12", "Fig. 12: IMB suite normalized to MXoE", runFig12},
 	{"timeline", "Figs. 5/6: receive timelines", runTimeline},
 	{"nasis", "NAS IS proxy", runNASIS},
+	{"coll", "collective latency vs size, I/OAT on/off, 4-16 procs", runColl},
 	{"ablate", "ablations: thresholds, pull window, IRQ steering, extensions", runAblate},
 }
 
@@ -165,6 +167,18 @@ func runTimeline() string {
 
 func runNASIS() string {
 	return figures.RenderNASIS(figures.NASIS(1<<17, 3))
+}
+
+func runColl() string {
+	tables := figures.Coll()
+	if *plot {
+		out := ""
+		for _, t := range tables {
+			out += t.Render() + t.ASCIIPlot(100, 20) + "\n"
+		}
+		return out + figures.RenderColl(nil)
+	}
+	return figures.RenderColl(tables)
 }
 
 func runAblate() string {

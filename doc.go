@@ -26,11 +26,17 @@
 //     library + driver, internal/mxoe the native firmware baseline).
 //   - cluster — hosts, links and switches composed into a testbed.
 //   - openmx, mxoe — the public endpoint APIs over either stack.
-//   - mpi — a small MPI (point-to-point + collectives) over the
-//     transport-neutral endpoint interface.
-//   - imb — the Intel-MPI-Benchmarks patterns with IMB timing
-//     conventions, plus imb.Sweep for sharding whole benchmark runs
-//     across a worker pool.
+//   - mpi — an MPI layer over the transport-neutral endpoint
+//     interface: point-to-point plus the full collective set
+//     (Barrier, Bcast, Reduce, Allreduce, ReduceScatter,
+//     Gather/Scatter, Allgather(v), Alltoall(v)), each with two
+//     algorithm variants (binomial tree / recursive doubling versus
+//     ring / Bruck / scatter-allgather) selected by message and
+//     world size through mpi.Tuning.
+//   - imb — the Intel-MPI-Benchmarks patterns (the Figure 12 set
+//     plus Gather, Scatter and Barrier) with IMB timing conventions,
+//     plus imb.Sweep for sharding whole benchmark runs across a
+//     worker pool.
 //   - metrics — series/tables the experiments produce, with exact
 //     equality helpers for determinism guardrails.
 //   - runner — the concurrent experiment orchestrator: a bounded
@@ -53,10 +59,14 @@
 //	go run ./cmd/omxsim all
 //
 // or one figure at a time (fig3, fig7 … fig12, micro, timeline,
-// nasis, ablate); add -progress for live sweep progress and ETA, and
-// -plot for ASCII plots. The IMB suite runs standalone via
+// nasis, coll, ablate); add -progress for live sweep progress and
+// ETA, and -plot for ASCII plots. The coll figure goes beyond the
+// paper: collective latency versus message size with I/OAT offload
+// on/off at 4–16 processes, the larger worlds connected through a
+// simulated Ethernet switch. The IMB suite runs standalone via
 //
 //	go run ./cmd/omx-imb -test all -ppn 2
+//	go run ./cmd/omx-imb -test allreduce,alltoall,bcast -nodes 8 -ppn 2
 //
 // Start with package cluster to build a testbed, package openmx (or
 // mxoe) for endpoints, and package figures to regenerate the paper's

@@ -1,0 +1,132 @@
+package figures
+
+import (
+	"fmt"
+
+	"omxsim/imb"
+	"omxsim/metrics"
+	"omxsim/mpi"
+	"omxsim/runner"
+)
+
+// The collective-scaling figure (beyond the paper): collective
+// latency versus message size with I/OAT copy offload on and off, on
+// worlds of 4–16 processes. Collectives are where receive-side
+// offload matters most — every rank of an Alltoall receives p−1
+// large fragmentable messages at once, exactly the overlap scenario
+// the paper's copy pipeline targets. Worlds larger than the paper's
+// two nodes connect through a simulated store-and-forward Ethernet
+// switch.
+
+// collWorld is one world shape of the collective figure.
+type collWorld struct{ nodes, ppn int }
+
+// collWorlds are the swept world shapes: 4, 8 and 16 processes at
+// the paper's 2 processes per node.
+func collWorlds() []collWorld {
+	return []collWorld{{2, 2}, {4, 2}, {8, 2}}
+}
+
+// CollTests lists the collectives the figure sweeps (the NAS IS
+// proxy's Alltoall(v)/Allreduce plus the IMB staple Bcast).
+func CollTests() []string { return []string{"Allreduce", "Alltoall", "Bcast"} }
+
+// CollSizes returns the figure's message-size sweep, crossing every
+// default algorithm-selection threshold.
+func CollSizes() []int { return []int{1 << 10, 16 << 10, 128 << 10, 1 << 20} }
+
+// collStacks are the two compared stacks: plain Open-MX and Open-MX
+// with I/OAT offload (network and shared-memory).
+func collStacks() []struct {
+	name string
+	s    Stack
+} {
+	return []struct {
+		name string
+		s    Stack
+	}{
+		{"Open-MX", Stack{Kind: "openmx", OMX: omxCfg(false)}},
+		{"Open-MX I/OAT", Stack{Kind: "openmx", OMX: omxCfg(true)}},
+	}
+}
+
+// Coll regenerates the collective figure: one table per collective,
+// one series per (stack, world size), Y = IMB time in µs.
+func Coll() []*metrics.Table {
+	return collTables(CollTests(), CollSizes(), collWorlds())
+}
+
+// collTables sweeps every (test, world, stack) run as an independent
+// pool job on a fresh testbed and assembles the latency tables.
+func collTables(tests []string, sizes []int, worlds []collWorld) []*metrics.Table {
+	stacks := collStacks()
+	iters := func(int) int { return 3 }
+	var jobs []runner.Job
+	for _, test := range tests {
+		for _, wl := range worlds {
+			for _, st := range stacks {
+				test, wl, st := test, wl, st
+				jobs = append(jobs, runner.Job{
+					Label: fmt.Sprintf("coll/%s/%s/%dx%dppn", test, st.name, wl.nodes, wl.ppn),
+					Key:   runner.Key("coll", st.s, wl.nodes, wl.ppn, test, sizes, "fixed3"),
+					Run: func() (any, error) {
+						tb := newTestbedN(st.s, wl.nodes, wl.ppn)
+						r := &imb.Runner{C: tb.c, W: tb.w, Iters: iters}
+						return r.Run(test, sizes), nil
+					},
+				})
+			}
+		}
+	}
+	results := sweep[[]imb.Result](jobs)
+	var tables []*metrics.Table
+	i := 0
+	for _, test := range tests {
+		tab := metrics.NewTable(
+			fmt.Sprintf("Collective latency: %s with I/OAT offload on/off", test),
+			"msgsize", "t[usec]")
+		for _, wl := range worlds {
+			for _, st := range stacks {
+				s := tab.AddSeries(fmt.Sprintf("%s, %d procs", st.name, wl.nodes*wl.ppn))
+				for _, res := range results[i] {
+					s.Add(float64(res.Bytes), res.TimeUsec)
+				}
+				i++
+			}
+		}
+		tables = append(tables, tab)
+	}
+	return tables
+}
+
+// RenderColl formats the collective tables plus the default-tuning
+// algorithm-selection footer, so the figure records which algorithm
+// produced each point.
+func RenderColl(tables []*metrics.Table) string {
+	out := ""
+	for _, t := range tables {
+		out += t.Render() + "\n"
+	}
+	out += "# algorithm selection (default tuning)\n"
+	tn := mpi.DefaultTuning()
+	for _, test := range CollTests() {
+		for _, wl := range collWorlds() {
+			p := wl.nodes * wl.ppn
+			out += fmt.Sprintf("%-10s %2d procs:", test, p)
+			for _, n := range CollSizes() {
+				var alg string
+				switch test {
+				case "Allreduce":
+					alg = tn.AllreduceAlg(n, p)
+				case "Alltoall":
+					alg = tn.AlltoallAlg(n, p)
+				case "Bcast":
+					alg = tn.BcastAlg(n, p)
+				}
+				out += fmt.Sprintf(" %s=%s", sizeName(n), alg)
+			}
+			out += "\n"
+		}
+	}
+	return out
+}

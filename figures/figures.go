@@ -55,7 +55,7 @@ func (s Stack) Name() string {
 	return s.Kind
 }
 
-// testbed is a two-node world with ppn ranks per node (block
+// testbed is a multi-node world with ppn ranks per node (block
 // placement, as MPICH used).
 type testbed struct {
 	c *cluster.Cluster
@@ -67,11 +67,35 @@ type testbed struct {
 // crosses sockets (the situation the paper's I/OAT shm path wins in).
 var rankCores = []int{2, 4}
 
-// newTestbed builds the 2-node testbed over the given stack.
-func newTestbed(s Stack, ppn int) *testbed {
+// newTestbed builds the paper's 2-node back-to-back testbed over the
+// given stack.
+func newTestbed(s Stack, ppn int) *testbed { return newTestbedN(s, 2, ppn) }
+
+// newTestbedN builds a testbed of nodes machines with ppn ranks each.
+// Two nodes connect back to back (the paper's switchless testbed);
+// more go through a store-and-forward Ethernet switch, the collective
+// scaling topology.
+func newTestbedN(s Stack, nodes, ppn int) *testbed {
+	if ppn < 1 || ppn > len(rankCores) {
+		panic(fmt.Sprintf("figures: ppn %d out of range 1..%d", ppn, len(rankCores)))
+	}
+	if nodes < 1 {
+		panic(fmt.Sprintf("figures: node count %d out of range", nodes))
+	}
 	c := cluster.New(nil)
-	n0, n1 := c.NewHost("node0"), c.NewHost("node1")
-	cluster.Link(n0, n1)
+	hosts := make([]*cluster.Host, nodes)
+	for i := range hosts {
+		hosts[i] = c.NewHost(fmt.Sprintf("node%d", i))
+	}
+	switch {
+	case nodes == 2:
+		cluster.Link(hosts[0], hosts[1])
+	case nodes > 2:
+		sw := c.NewSwitch()
+		for _, h := range hosts {
+			sw.Attach(h)
+		}
+	}
 	open := func(h *cluster.Host) openmx.Transport {
 		switch s.Kind {
 		case "mxoe":
@@ -81,14 +105,12 @@ func newTestbed(s Stack, ppn int) *testbed {
 		}
 		panic(fmt.Sprintf("figures: unknown stack kind %q", s.Kind))
 	}
-	t0, t1 := open(n0), open(n1)
 	w := mpi.NewWorld(c)
-	for r := 0; r < 2*ppn; r++ {
-		node, slot, tr := n0, r, t0
-		if r >= ppn {
-			node, slot, tr = n1, r-ppn, t1
+	for _, h := range hosts {
+		tr := open(h)
+		for slot := 0; slot < ppn; slot++ {
+			w.AddRank(tr.Open(slot, rankCores[slot]), h, rankCores[slot])
 		}
-		w.AddRank(tr.Open(slot, rankCores[slot]), node, rankCores[slot])
 	}
 	return &testbed{c: c, w: w}
 }

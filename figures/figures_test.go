@@ -174,6 +174,20 @@ func TestFig10Shape(t *testing.T) {
 	}
 }
 
+// TestNASISPayloadVerified: the IS proxy must verify every key
+// arrival — payload bytes, not just timings — through the Alltoallv
+// exchange and the Allreduce census, on every stack.
+func TestNASISPayloadVerified(t *testing.T) {
+	const keys, iters = 1 << 12, 2
+	rs := NASIS(keys, iters)
+	want := iters * 4 * keys // iterations × p ranks × keysPerRank
+	for _, r := range rs {
+		if r.KeysVerified != want {
+			t.Errorf("%s: verified %d key arrivals, want %d", r.Stack, r.KeysVerified, want)
+		}
+	}
+}
+
 func TestNASISShape(t *testing.T) {
 	rs := NASIS(1<<16, 2)
 	var omx, ioat float64

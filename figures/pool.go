@@ -48,3 +48,12 @@ func Testbed(s Stack, ppn int) (*cluster.Cluster, *mpi.World) {
 	tb := newTestbed(s, ppn)
 	return tb.c, tb.w
 }
+
+// TestbedN is Testbed with an explicit node count: 2 nodes connect
+// back to back, more through a store-and-forward Ethernet switch.
+// The collective figures and omx-imb -nodes sweep these larger
+// worlds.
+func TestbedN(s Stack, nodes, ppn int) (*cluster.Cluster, *mpi.World) {
+	tb := newTestbedN(s, nodes, ppn)
+	return tb.c, tb.w
+}

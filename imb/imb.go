@@ -1,26 +1,48 @@
 // Package imb reimplements the Intel MPI Benchmarks patterns the
 // paper's Figures 11 and 12 report: PingPong, PingPing, SendRecv,
 // Exchange, Allreduce, Reduce, ReduceScatter, Allgather, Allgatherv,
-// Alltoall and Bcast, with IMB's timing conventions (barrier, warm-up
-// round, time = max across ranks averaged over iterations).
+// Alltoall and Bcast — plus the remaining IMB-MPI1 collectives
+// (Gather, Scatter, Barrier) — with IMB's timing conventions
+// (barrier, warm-up round, time = max across ranks averaged over
+// iterations).
 package imb
 
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"omxsim/cluster"
 	"omxsim/mpi"
 	"omxsim/sim"
 )
 
-// Tests lists the benchmark names in the paper's Figure 12 order.
+// Tests lists the benchmark names in the paper's Figure 12 order
+// (the panels compare exactly these, so the list is frozen).
 func Tests() []string {
 	return []string{
 		"PingPong", "PingPing", "SendRecv", "Exchange",
 		"Allreduce", "Reduce", "ReduceScatter",
 		"Allgather", "Allgatherv", "Alltoall", "Bcast",
 	}
+}
+
+// AllTests lists every implemented IMB-MPI1 benchmark: the Figure 12
+// set followed by the remaining collectives.
+func AllTests() []string {
+	return append(Tests(), "Gather", "Scatter", "Barrier")
+}
+
+// Canon resolves a benchmark name case-insensitively to its
+// canonical spelling ("allreduce" → "Allreduce"); ok reports whether
+// the name is known.
+func Canon(name string) (canon string, ok bool) {
+	for _, t := range AllTests() {
+		if strings.EqualFold(t, name) {
+			return t, true
+		}
+	}
+	return "", false
 }
 
 // Result is one (test, size) measurement.
@@ -83,6 +105,11 @@ func bandwidthFactor(test string) float64 {
 // the cluster to completion.
 func (r *Runner) Run(test string, sizes []int) []Result {
 	p := r.W.Size()
+	if test == "Barrier" {
+		// Size-independent, like IMB-MPI1: one measurement, one row
+		// (Bytes 0), however many sizes the sweep asked for.
+		sizes = []int{0}
+	}
 	elapsed := make([]map[int]sim.Duration, p) // per rank: size → time
 	for i := range elapsed {
 		elapsed[i] = make(map[int]sim.Duration)
@@ -246,6 +273,25 @@ func (r *Runner) pattern(test string) (func(rk *mpi.Rank, n int, b benchBufs), f
 			}
 			rk.Bcast(0, b.s, 0, n)
 		}, plain
+	case "Gather":
+		// Every rank contributes n bytes; rank 0 collects p·n.
+		return func(rk *mpi.Rank, n int, b benchBufs) {
+			rk.Produce(b.s)
+			rk.Gather(0, b.s, n, b.r)
+		}, func(m, p int) (int, int) { return m, m * p }
+	case "Scatter":
+		// Rank 0 distributes p·n bytes, n to each rank.
+		return func(rk *mpi.Rank, n int, b benchBufs) {
+			if rk.ID == 0 {
+				rk.Produce(b.s)
+			}
+			rk.Scatter(0, b.s, n, b.r)
+		}, func(m, p int) (int, int) { return m * p, m }
+	case "Barrier":
+		// Message-size independent; IMB reports t[usec] per barrier.
+		return func(rk *mpi.Rank, n int, b benchBufs) {
+			rk.Barrier()
+		}, func(m, p int) (int, int) { return 8, 8 }
 	default:
 		panic(fmt.Sprintf("imb: unknown test %q", test))
 	}

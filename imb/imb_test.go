@@ -89,6 +89,44 @@ func TestEveryTestRunsOn2PPN(t *testing.T) {
 	}
 }
 
+func TestAllTestsAndCanon(t *testing.T) {
+	all := AllTests()
+	if len(all) != 14 {
+		t.Fatalf("%d tests, want 14 (Figure 12's 11 + Gather/Scatter/Barrier)", len(all))
+	}
+	for _, name := range []string{"allreduce", "ALLTOALL", "bcast", "Barrier", "scatter"} {
+		if _, ok := Canon(name); !ok {
+			t.Errorf("Canon(%q) unknown", name)
+		}
+	}
+	if c, _ := Canon("allreduce"); c != "Allreduce" {
+		t.Errorf("Canon(allreduce) = %q", c)
+	}
+	if _, ok := Canon("NotATest"); ok {
+		t.Error("Canon accepted an unknown name")
+	}
+}
+
+func TestGatherScatterBarrierRun(t *testing.T) {
+	for _, test := range []string{"Gather", "Scatter", "Barrier"} {
+		r := newRunner(t, 2)
+		res := r.Run(test, []int{4096})
+		if len(res) != 1 || res[0].TimeUsec <= 0 || res[0].MiBps != 0 {
+			t.Fatalf("%s: bad result %+v", test, res)
+		}
+	}
+}
+
+func TestBarrierCollapsesSizeSweep(t *testing.T) {
+	// Barrier is size-independent: a multi-size sweep must produce
+	// exactly one measurement, reported at Bytes 0 (IMB-MPI1 style).
+	r := newRunner(t, 2)
+	res := r.Run("Barrier", []int{16, 1024, 65536})
+	if len(res) != 1 || res[0].Bytes != 0 || res[0].TimeUsec <= 0 {
+		t.Fatalf("Barrier sweep = %+v, want one row at Bytes 0", res)
+	}
+}
+
 func TestBandwidthFactors(t *testing.T) {
 	if bandwidthFactor("PingPong") != 1 || bandwidthFactor("SendRecv") != 2 ||
 		bandwidthFactor("Exchange") != 4 || bandwidthFactor("Bcast") != 0 {

@@ -1,0 +1,1023 @@
+// Collective operations over the Rank point-to-point primitives.
+//
+// Every collective comes in (at least) two algorithm variants — a
+// latency-oriented tree/recursive-doubling form for small messages
+// and small worlds, and a bandwidth-oriented ring/pipelined form for
+// large messages — selected per call from the World's Tuning by
+// (message size, world size), exactly how MPICH-MX switched
+// algorithms. Both variants of every operation are also exported
+// directly (BcastBinomial, AllreduceRing, ...) so tests, ablations
+// and figures can pin an algorithm regardless of tuning.
+//
+// All variants are built purely on ISend/IRecv/Wait, so they run
+// unchanged over every stack (native MXoE, Open-MX, shared memory,
+// I/OAT offload on or off). Tag discipline: each collective call
+// reserves one fresh 256-value tag block via nextCollTag (all ranks
+// call collectives in the same order, an MPI requirement, so their
+// counters agree); phases inside one call use globally unique
+// sub-channel constants below the block.
+package mpi
+
+import (
+	"fmt"
+
+	"omxsim/cluster"
+	"omxsim/openmx"
+)
+
+// Algorithm names reported by Tuning's *Alg selectors and accepted in
+// figure annotations.
+const (
+	AlgBinomial          = "binomial"
+	AlgScatterAllgather  = "scatter-allgather"
+	AlgRecursiveDoubling = "recursive-doubling"
+	AlgRing              = "ring"
+	AlgReduceScatter     = "reduce-scatter"
+	AlgBruck             = "bruck"
+	AlgPairwise          = "pairwise"
+	AlgPosted            = "posted"
+	AlgLinear            = "linear"
+	AlgDissemination     = "dissemination"
+	AlgTree              = "tree"
+)
+
+// Sub-channel constants: the low byte of a collective's tag block,
+// one per (operation, phase), so concurrent phases of one call can
+// never cross-match.
+const (
+	subBarrier       = 1  // dissemination rounds / tree gather
+	subBarrierRel    = 2  // tree release broadcast
+	subBcastTree     = 3  // binomial broadcast
+	subBcastScatter  = 4  // scatter-allgather: binomial scatter phase
+	subBcastGather   = 5  // scatter-allgather: ring allgather phase
+	subReduceTree    = 6  // binomial reduce
+	subReduceRS      = 7  // reduce-scatter phase of large reduce
+	subReduceGather  = 8  // chunk gather to root
+	subARFold        = 9  // allreduce non-power-of-two fold
+	subARDoubling    = 10 // allreduce recursive doubling rounds
+	subARUnfold      = 11 // allreduce result return to folded ranks
+	subARRingRS      = 12 // ring allreduce: reduce-scatter phase
+	subARRingAG      = 13 // ring allreduce: allgather phase
+	subAllgatherRing = 14
+	subAllgatherRD   = 15
+	subA2APairwise   = 16
+	subA2ABruck      = 17
+	subA2AVPairwise  = 18
+	subA2AVPosted    = 19
+	subGatherLinear  = 20
+	subGatherTree    = 21
+	subScatterLinear = 22
+	subScatterTree   = 23
+)
+
+// Tuning holds the thresholds that pick a collective algorithm from
+// (message size, world size). The zero value is not meaningful; use
+// DefaultTuning (installed by NewWorld) and override fields as
+// needed. Each *Alg method is the single source of truth for the
+// decision, shared by the dispatchers, the tests and the figure
+// annotations.
+type Tuning struct {
+	// BcastSegMinBytes/MinRanks: at or above both, Bcast switches
+	// from the binomial tree to van de Geijn scatter + ring
+	// allgather (moves 2·n instead of n·log p per rank).
+	BcastSegMinBytes int
+	BcastSegMinRanks int
+	// AllreduceRingMinBytes: at or above, Allreduce switches from
+	// recursive doubling to ring reduce-scatter + allgather
+	// (bandwidth-optimal, each rank moves ≈2·n regardless of p).
+	AllreduceRingMinBytes int
+	// ReduceRSMinBytes: at or above, Reduce switches from the
+	// binomial tree to reduce-scatter + chunk gather (Rabenseifner).
+	ReduceRSMinBytes int
+	// AllgatherRDMaxBytes: at or below this total (p·n) on a
+	// power-of-two world, Allgather uses recursive doubling (log p
+	// rounds) instead of the ring (p−1 rounds).
+	AllgatherRDMaxBytes int
+	// AlltoallBruckMaxBytes/MinRanks: at or below the per-pair size
+	// and at or above the rank count, Alltoall uses Bruck's log p
+	// rounds of aggregated blocks instead of p−1 pairwise exchanges.
+	AlltoallBruckMaxBytes int
+	AlltoallBruckMinRanks int
+	// AlltoallvPostedMaxRanks: at or below, Alltoallv posts every
+	// receive and send at once (full overlap); above, it runs the
+	// congestion-bounded pairwise schedule.
+	AlltoallvPostedMaxRanks int
+	// GatherTreeMaxBytes/MinRanks: at or below the block size and at
+	// or above the rank count, Gather and Scatter use the binomial
+	// tree (log p latency) instead of the linear root loop.
+	GatherTreeMaxBytes int
+	GatherTreeMinRanks int
+	// BarrierTreeMinRanks: at or above, Barrier uses the
+	// gather/release tree (2(p−1) messages) instead of dissemination
+	// (p·log p messages, but lower latency on small worlds).
+	BarrierTreeMinRanks int
+}
+
+// DefaultTuning returns MPICH-style selection thresholds.
+func DefaultTuning() Tuning {
+	return Tuning{
+		BcastSegMinBytes:        64 << 10,
+		BcastSegMinRanks:        4,
+		AllreduceRingMinBytes:   32 << 10,
+		ReduceRSMinBytes:        64 << 10,
+		AllgatherRDMaxBytes:     64 << 10,
+		AlltoallBruckMaxBytes:   1 << 10,
+		AlltoallBruckMinRanks:   8,
+		AlltoallvPostedMaxRanks: 4,
+		GatherTreeMaxBytes:      16 << 10,
+		GatherTreeMinRanks:      4,
+		BarrierTreeMinRanks:     16,
+	}
+}
+
+// BcastAlg selects the broadcast algorithm for n bytes on p ranks.
+func (t Tuning) BcastAlg(n, p int) string {
+	if n >= t.BcastSegMinBytes && p >= t.BcastSegMinRanks {
+		return AlgScatterAllgather
+	}
+	return AlgBinomial
+}
+
+// ReduceAlg selects the reduce algorithm for n bytes on p ranks.
+// The reduce-scatter path needs word-aligned chunks, so byte counts
+// that are not a multiple of 8 always reduce over the tree.
+func (t Tuning) ReduceAlg(n, p int) string {
+	if n >= t.ReduceRSMinBytes && n%8 == 0 && p > 2 {
+		return AlgReduceScatter
+	}
+	return AlgBinomial
+}
+
+// AllreduceAlg selects the allreduce algorithm for n bytes on p ranks.
+func (t Tuning) AllreduceAlg(n, p int) string {
+	if n >= t.AllreduceRingMinBytes && n%8 == 0 && p > 2 {
+		return AlgRing
+	}
+	return AlgRecursiveDoubling
+}
+
+// AllgatherAlg selects the allgather algorithm for n bytes per rank
+// on p ranks.
+func (t Tuning) AllgatherAlg(n, p int) string {
+	if p*n <= t.AllgatherRDMaxBytes && isPow2(p) {
+		return AlgRecursiveDoubling
+	}
+	return AlgRing
+}
+
+// AlltoallAlg selects the all-to-all algorithm for n bytes per pair
+// on p ranks.
+func (t Tuning) AlltoallAlg(n, p int) string {
+	if n <= t.AlltoallBruckMaxBytes && p >= t.AlltoallBruckMinRanks {
+		return AlgBruck
+	}
+	return AlgPairwise
+}
+
+// AlltoallvAlg selects the vector all-to-all schedule for p ranks.
+func (t Tuning) AlltoallvAlg(p int) string {
+	if p <= t.AlltoallvPostedMaxRanks {
+		return AlgPosted
+	}
+	return AlgPairwise
+}
+
+// GatherAlg selects the gather algorithm for n-byte blocks on p ranks.
+func (t Tuning) GatherAlg(n, p int) string {
+	if n <= t.GatherTreeMaxBytes && p >= t.GatherTreeMinRanks {
+		return AlgBinomial
+	}
+	return AlgLinear
+}
+
+// ScatterAlg selects the scatter algorithm for n-byte blocks on p
+// ranks (same trade-off as Gather).
+func (t Tuning) ScatterAlg(n, p int) string { return t.GatherAlg(n, p) }
+
+// BarrierAlg selects the barrier algorithm for p ranks.
+func (t Tuning) BarrierAlg(p int) string {
+	if p >= t.BarrierTreeMinRanks {
+		return AlgTree
+	}
+	return AlgDissemination
+}
+
+func (r *Rank) tune() Tuning { return r.w.Tune }
+
+func isPow2(p int) bool { return p > 0 && p&(p-1) == 0 }
+
+// ceilPow2 returns the smallest power of two ≥ p.
+func ceilPow2(p int) int {
+	m := 1
+	for m < p {
+		m <<= 1
+	}
+	return m
+}
+
+// floorPow2 returns the largest power of two ≤ p.
+func floorPow2(p int) int {
+	m := 1
+	for m*2 <= p {
+		m <<= 1
+	}
+	return m
+}
+
+// ringChunk returns the byte range [lo, hi) of chunk i when n bytes
+// (a whole number of 8-byte reduction words) split into p contiguous
+// word-aligned chunks. Chunks stay word-aligned so reduction values
+// are never split across a chunk boundary.
+func ringChunk(i, n, p int) (lo, hi int) {
+	words := n / 8
+	return i * words / p * 8, (i + 1) * words / p * 8
+}
+
+// vrank maps a virtual rank (root rotated to 0) back to a real rank.
+func vrank(v, root, p int) int { return (v + root) % p }
+
+// ---------------------------------------------------------------
+// Barrier
+// ---------------------------------------------------------------
+
+// Barrier synchronizes all ranks. The algorithm — dissemination or
+// gather/release tree — is picked from the world's Tuning.
+func (r *Rank) Barrier() {
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	tag := r.nextCollTag()
+	if r.tune().BarrierAlg(p) == AlgTree {
+		r.barrierTree(tag)
+	} else {
+		r.barrierDissemination(tag)
+	}
+}
+
+// BarrierDissemination runs the dissemination barrier (log₂ p rounds,
+// every rank active in every round) regardless of tuning.
+func (r *Rank) BarrierDissemination() {
+	if r.Size() > 1 {
+		r.barrierDissemination(r.nextCollTag())
+	}
+}
+
+// BarrierTree runs the gather/release tree barrier (2(p−1) messages
+// total) regardless of tuning.
+func (r *Rank) BarrierTree() {
+	if r.Size() > 1 {
+		r.barrierTree(r.nextCollTag())
+	}
+}
+
+func (r *Rank) barrierDissemination(tag int) {
+	p := r.Size()
+	for k := 1; k < p; k <<= 1 {
+		dst := (r.ID + k) % p
+		src := (r.ID - k + p) % p
+		r.SendRecv(dst, tag|subBarrier, r.scratch, 0, 0, src, tag|subBarrier, r.scratch, 0, 0)
+	}
+}
+
+func (r *Rank) barrierTree(tag int) {
+	p, vr := r.Size(), r.ID
+	// Gather phase: leaves report up the binomial tree to rank 0.
+	for mask := 1; mask < p; mask <<= 1 {
+		if vr&mask != 0 {
+			r.Send(vr&^mask, tag|subBarrier, r.scratch, 0, 0)
+			break
+		}
+		if vr+mask < p {
+			r.Recv(vr+mask, tag|subBarrier, r.scratch, 0, 0)
+		}
+	}
+	// Release phase: rank 0 broadcasts the go signal back down.
+	r.bcastBinomial(tag|subBarrierRel, 0, r.scratch, 0, 0)
+}
+
+// ---------------------------------------------------------------
+// Bcast
+// ---------------------------------------------------------------
+
+// Bcast broadcasts n bytes at buf[off:] from root. Small messages run
+// the binomial tree; large ones on enough ranks run van de Geijn
+// scatter + ring allgather (2·n bytes per rank instead of n·log p).
+func (r *Rank) Bcast(root int, buf *cluster.Buffer, off, n int) {
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	tag := r.nextCollTag()
+	if r.tune().BcastAlg(n, p) == AlgScatterAllgather {
+		r.bcastScatterAllgather(tag, root, buf, off, n)
+	} else {
+		r.bcastBinomial(tag|subBcastTree, root, buf, off, n)
+	}
+}
+
+// BcastBinomial runs the binomial-tree broadcast regardless of tuning.
+func (r *Rank) BcastBinomial(root int, buf *cluster.Buffer, off, n int) {
+	if r.Size() > 1 {
+		r.bcastBinomial(r.nextCollTag()|subBcastTree, root, buf, off, n)
+	}
+}
+
+// BcastScatterAllgather runs the van de Geijn large-message broadcast
+// (binomial scatter of segments, then ring allgather) regardless of
+// tuning.
+func (r *Rank) BcastScatterAllgather(root int, buf *cluster.Buffer, off, n int) {
+	if r.Size() > 1 {
+		r.bcastScatterAllgather(r.nextCollTag(), root, buf, off, n)
+	}
+}
+
+// bcastBinomial: receive from the parent at the level of our lowest
+// set bit (virtual ranks, root rotated to 0), forward to children
+// below that level. tag is the complete message tag.
+func (r *Rank) bcastBinomial(tag, root int, buf *cluster.Buffer, off, n int) {
+	p := r.Size()
+	vr := (r.ID - root + p) % p
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			r.Recv(vrank(vr&^mask, root, p), tag, buf, off, n)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vr+mask < p {
+			r.Send(vrank(vr+mask, root, p), tag, buf, off, n)
+		}
+		mask >>= 1
+	}
+}
+
+// bcastScatterAllgather splits the message into p segments (segment i
+// = bytes [i·n/p, (i+1)·n/p)), binomial-scatters each subtree's
+// segments down the tree, then ring-allgathers the segments among all
+// ranks.
+func (r *Rank) bcastScatterAllgather(tag, root int, buf *cluster.Buffer, off, n int) {
+	p := r.Size()
+	vr := (r.ID - root + p) % p
+	seg := func(i int) int { return i * n / p }
+	// Scatter phase: the parent sends each child the byte range of
+	// the child's whole subtree [child, child+mask).
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			lo, hi := seg(vr), seg(min(vr+mask, p))
+			r.Recv(vrank(vr&^mask, root, p), tag|subBcastScatter, buf, off+lo, hi-lo)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if child := vr + mask; child < p {
+			lo, hi := seg(child), seg(min(child+mask, p))
+			r.Send(vrank(child, root, p), tag|subBcastScatter, buf, off+lo, hi-lo)
+		}
+		mask >>= 1
+	}
+	// Allgather phase: ring over virtual ranks; in round k each rank
+	// forwards the segment it received in round k−1.
+	right := vrank((vr+1)%p, root, p)
+	left := vrank((vr-1+p)%p, root, p)
+	blk := vr
+	for k := 0; k < p-1; k++ {
+		next := (blk - 1 + p) % p
+		r.SendRecv(right, tag|subBcastGather, buf, off+seg(blk), seg(blk+1)-seg(blk),
+			left, tag|subBcastGather, buf, off+seg(next), seg(next+1)-seg(next))
+		blk = next
+	}
+}
+
+// ---------------------------------------------------------------
+// Reduce / Allreduce
+// ---------------------------------------------------------------
+
+// Reduce sums n bytes of float64s from every rank's sbuf into root's
+// rbuf. Non-root ranks may pass a nil rbuf. Small messages climb the
+// binomial tree; large word-aligned ones run reduce-scatter followed
+// by a chunk gather to the root (Rabenseifner).
+func (r *Rank) Reduce(root int, sbuf, rbuf *cluster.Buffer, n int) {
+	tag := r.nextCollTag()
+	if r.tune().ReduceAlg(n, r.Size()) == AlgReduceScatter {
+		r.reduceRSGather(tag, root, sbuf, rbuf, n)
+	} else {
+		r.reduceBinomial(tag|subReduceTree, root, sbuf, rbuf, n)
+	}
+}
+
+// ReduceBinomial runs the binomial-tree reduce regardless of tuning.
+func (r *Rank) ReduceBinomial(root int, sbuf, rbuf *cluster.Buffer, n int) {
+	r.reduceBinomial(r.nextCollTag()|subReduceTree, root, sbuf, rbuf, n)
+}
+
+// ReduceRSGather runs the large-message reduce (ring reduce-scatter,
+// then chunk gather to root) regardless of tuning. n must be a
+// multiple of 8.
+func (r *Rank) ReduceRSGather(root int, sbuf, rbuf *cluster.Buffer, n int) {
+	r.reduceRSGather(r.nextCollTag(), root, sbuf, rbuf, n)
+}
+
+func (r *Rank) reduceBinomial(tag, root int, sbuf, rbuf *cluster.Buffer, n int) {
+	p := r.Size()
+	// Accumulate into a local temporary.
+	acc := r.Host.Alloc(n)
+	copy(acc.Bytes(), sbuf.Bytes()[:n])
+	vr := (r.ID - root + p) % p
+	tmp := r.Host.Alloc(n)
+	for k := 1; k < p; k <<= 1 {
+		if vr&k != 0 {
+			r.Send(vrank(vr&^k, root, p), tag, acc, 0, n)
+			break
+		}
+		if vr+k < p {
+			r.Recv(vrank(vr+k, root, p), tag, tmp, 0, n)
+			sumInto(acc.Bytes()[:n], tmp.Bytes()[:n])
+			r.chargeCompute(n)
+		}
+	}
+	if r.ID == root && rbuf != nil {
+		copy(rbuf.Bytes()[:n], acc.Bytes()[:n])
+	}
+}
+
+func (r *Rank) reduceRSGather(tag, root int, sbuf, rbuf *cluster.Buffer, n int) {
+	p := r.Size()
+	if n%8 != 0 {
+		panic(fmt.Sprintf("mpi: reduce-scatter path needs 8-byte-aligned length, got %d", n))
+	}
+	if p == 1 {
+		if rbuf != nil {
+			copy(rbuf.Bytes()[:n], sbuf.Bytes()[:n])
+		}
+		return
+	}
+	acc := r.Host.Alloc(n)
+	copy(acc.Bytes(), sbuf.Bytes()[:n])
+	r.ringReduceScatter(tag|subReduceRS, acc, n)
+	// After the ring, rank i holds the fully reduced chunk (i+1) mod p.
+	own := (r.ID + 1) % p
+	lo, hi := ringChunk(own, n, p)
+	if r.ID == root {
+		out := rbuf
+		if out == nil {
+			out = acc // keep the schedule identical even with no rbuf
+		} else {
+			copy(out.Bytes()[lo:hi], acc.Bytes()[lo:hi])
+		}
+		for src := 0; src < p; src++ {
+			if src == root {
+				continue
+			}
+			slo, shi := ringChunk((src+1)%p, n, p)
+			if shi > slo {
+				r.Recv(src, tag|subReduceGather, out, slo, shi-slo)
+			}
+		}
+	} else if hi > lo {
+		r.Send(root, tag|subReduceGather, acc, lo, hi-lo)
+	}
+}
+
+// ringReduceScatter runs p−1 ring steps over acc's word-aligned
+// chunks; afterwards chunk (ID+1) mod p of acc holds the full sum.
+func (r *Rank) ringReduceScatter(tag int, acc *cluster.Buffer, n int) {
+	p := r.Size()
+	right := (r.ID + 1) % p
+	left := (r.ID - 1 + p) % p
+	maxChunk := (n/8 + p - 1) / p * 8 // upper bound on any chunk size
+	tmp := r.Host.Alloc(maxChunk)
+	for step := 0; step < p-1; step++ {
+		sendC := ((r.ID-step)%p + p) % p
+		recvC := ((r.ID-step-1)%p + p) % p
+		slo, shi := ringChunk(sendC, n, p)
+		rlo, rhi := ringChunk(recvC, n, p)
+		r.SendRecv(right, tag, acc, slo, shi-slo, left, tag, tmp, 0, rhi-rlo)
+		sumInto(acc.Bytes()[rlo:rhi], tmp.Bytes()[:rhi-rlo])
+		r.chargeCompute(rhi - rlo)
+	}
+}
+
+// Allreduce sums n bytes of float64s across all ranks into every
+// rank's rbuf. Small messages run recursive doubling (with a fold to
+// the nearest power of two); large word-aligned ones run the
+// bandwidth-optimal ring (reduce-scatter + allgather).
+func (r *Rank) Allreduce(sbuf, rbuf *cluster.Buffer, n int) {
+	p := r.Size()
+	if p == 1 {
+		copy(rbuf.Bytes()[:n], sbuf.Bytes()[:n])
+		return
+	}
+	tag := r.nextCollTag()
+	if r.tune().AllreduceAlg(n, p) == AlgRing {
+		r.allreduceRing(tag, sbuf, rbuf, n)
+	} else {
+		r.allreduceRD(tag, sbuf, rbuf, n)
+	}
+}
+
+// AllreduceRecursiveDoubling runs the recursive-doubling allreduce
+// regardless of tuning.
+func (r *Rank) AllreduceRecursiveDoubling(sbuf, rbuf *cluster.Buffer, n int) {
+	if r.Size() == 1 {
+		copy(rbuf.Bytes()[:n], sbuf.Bytes()[:n])
+		return
+	}
+	r.allreduceRD(r.nextCollTag(), sbuf, rbuf, n)
+}
+
+// AllreduceRing runs the ring allreduce regardless of tuning. n must
+// be a multiple of 8.
+func (r *Rank) AllreduceRing(sbuf, rbuf *cluster.Buffer, n int) {
+	if r.Size() == 1 {
+		copy(rbuf.Bytes()[:n], sbuf.Bytes()[:n])
+		return
+	}
+	r.allreduceRing(r.nextCollTag(), sbuf, rbuf, n)
+}
+
+// allreduceRD: fold the ranks beyond the largest power of two into
+// their even neighbours, recursive-double among the power-of-two set,
+// then return the result to the folded ranks.
+func (r *Rank) allreduceRD(tag int, sbuf, rbuf *cluster.Buffer, n int) {
+	p, id := r.Size(), r.ID
+	copy(rbuf.Bytes()[:n], sbuf.Bytes()[:n])
+	tmp := r.Host.Alloc(n)
+	pof2 := floorPow2(p)
+	rem := p - pof2
+	newID := -1
+	switch {
+	case id < 2*rem && id%2 == 0:
+		r.Send(id+1, tag|subARFold, rbuf, 0, n)
+	case id < 2*rem:
+		r.Recv(id-1, tag|subARFold, tmp, 0, n)
+		sumInto(rbuf.Bytes()[:n], tmp.Bytes()[:n])
+		r.chargeCompute(n)
+		newID = id / 2
+	default:
+		newID = id - rem
+	}
+	if newID >= 0 {
+		for mask := 1; mask < pof2; mask <<= 1 {
+			pn := newID ^ mask
+			partner := pn + rem
+			if pn < rem {
+				partner = pn*2 + 1
+			}
+			r.SendRecv(partner, tag|subARDoubling, rbuf, 0, n,
+				partner, tag|subARDoubling, tmp, 0, n)
+			sumInto(rbuf.Bytes()[:n], tmp.Bytes()[:n])
+			r.chargeCompute(n)
+		}
+	}
+	if id < 2*rem {
+		if id%2 == 0 {
+			r.Recv(id+1, tag|subARUnfold, rbuf, 0, n)
+		} else {
+			r.Send(id-1, tag|subARUnfold, rbuf, 0, n)
+		}
+	}
+}
+
+// allreduceRing: ring reduce-scatter, then ring allgather of the
+// reduced chunks. Every rank sends and receives ≈2·n bytes total
+// regardless of world size.
+func (r *Rank) allreduceRing(tag int, sbuf, rbuf *cluster.Buffer, n int) {
+	p := r.Size()
+	if n%8 != 0 {
+		panic(fmt.Sprintf("mpi: ring allreduce needs 8-byte-aligned length, got %d", n))
+	}
+	copy(rbuf.Bytes()[:n], sbuf.Bytes()[:n])
+	r.ringReduceScatter(tag|subARRingRS, rbuf, n)
+	right := (r.ID + 1) % p
+	left := (r.ID - 1 + p) % p
+	for step := 0; step < p-1; step++ {
+		sendC := ((r.ID+1-step)%p + p) % p
+		recvC := ((r.ID-step)%p + p) % p
+		slo, shi := ringChunk(sendC, n, p)
+		rlo, rhi := ringChunk(recvC, n, p)
+		r.SendRecv(right, tag|subARRingAG, rbuf, slo, shi-slo,
+			left, tag|subARRingAG, rbuf, rlo, rhi-rlo)
+	}
+}
+
+// ReduceScatter reduces p·chunk bytes and scatters one chunk to each
+// rank: rank i receives chunk i of the sum in rbuf. Composed from the
+// tuned Reduce and Scatter, so both phases pick their own algorithm.
+func (r *Rank) ReduceScatter(sbuf, rbuf *cluster.Buffer, chunk int) {
+	p := r.Size()
+	total := chunk * p
+	var full *cluster.Buffer
+	if r.ID == 0 {
+		full = r.Host.Alloc(total)
+	}
+	r.Reduce(0, sbuf, full, total)
+	r.Scatter(0, full, chunk, rbuf)
+}
+
+// ---------------------------------------------------------------
+// Allgather
+// ---------------------------------------------------------------
+
+// Allgather gathers n bytes from every rank into rbuf (p·n bytes,
+// rank i's block at offset i·n). Small totals on power-of-two worlds
+// run recursive doubling; everything else runs the ring.
+func (r *Rank) Allgather(sbuf *cluster.Buffer, n int, rbuf *cluster.Buffer) {
+	p := r.Size()
+	if p > 1 && r.tune().AllgatherAlg(n, p) == AlgRecursiveDoubling {
+		r.allgatherRD(r.nextCollTag()|subAllgatherRD, sbuf, n, rbuf)
+		return
+	}
+	r.AllgatherRing(sbuf, n, rbuf)
+}
+
+// AllgatherRecursiveDoubling runs the recursive-doubling allgather
+// regardless of tuning; the world size must be a power of two.
+func (r *Rank) AllgatherRecursiveDoubling(sbuf *cluster.Buffer, n int, rbuf *cluster.Buffer) {
+	if r.Size() == 1 {
+		copy(rbuf.Bytes()[:n], sbuf.Bytes()[:n])
+		return
+	}
+	r.allgatherRD(r.nextCollTag()|subAllgatherRD, sbuf, n, rbuf)
+}
+
+// AllgatherRing runs the ring allgather regardless of tuning.
+func (r *Rank) AllgatherRing(sbuf *cluster.Buffer, n int, rbuf *cluster.Buffer) {
+	sizes := make([]int, r.Size())
+	for i := range sizes {
+		sizes[i] = n
+	}
+	r.Allgatherv(sbuf, n, rbuf, sizes)
+}
+
+func (r *Rank) allgatherRD(tag int, sbuf *cluster.Buffer, n int, rbuf *cluster.Buffer) {
+	p, id := r.Size(), r.ID
+	if !isPow2(p) {
+		panic(fmt.Sprintf("mpi: recursive-doubling allgather needs a power-of-two world, got %d", p))
+	}
+	copy(rbuf.Bytes()[id*n:(id+1)*n], sbuf.Bytes()[:n])
+	// At step mask, each rank holds the mask consecutive blocks of
+	// its group [base, base+mask) and swaps them with its partner's.
+	for mask := 1; mask < p; mask <<= 1 {
+		partner := id ^ mask
+		base := id &^ (mask - 1)
+		pbase := base ^ mask
+		r.SendRecv(partner, tag, rbuf, base*n, mask*n,
+			partner, tag, rbuf, pbase*n, mask*n)
+	}
+}
+
+// Allgatherv is Allgather with per-rank block sizes (ring schedule:
+// in round k, forward the block received in round k−1).
+func (r *Rank) Allgatherv(sbuf *cluster.Buffer, n int, rbuf *cluster.Buffer, sizes []int) {
+	p := r.Size()
+	offs := make([]int, p+1)
+	for i := 0; i < p; i++ {
+		offs[i+1] = offs[i] + sizes[i]
+	}
+	copy(rbuf.Bytes()[offs[r.ID]:offs[r.ID]+sizes[r.ID]], sbuf.Bytes()[:sizes[r.ID]])
+	if p == 1 {
+		return
+	}
+	tag := r.nextCollTag()
+	right := (r.ID + 1) % p
+	left := (r.ID - 1 + p) % p
+	blk := r.ID
+	for k := 0; k < p-1; k++ {
+		recvBlk := (blk - 1 + p) % p
+		r.SendRecv(right, tag|subAllgatherRing, rbuf, offs[blk], sizes[blk],
+			left, tag|subAllgatherRing, rbuf, offs[recvBlk], sizes[recvBlk])
+		blk = recvBlk
+	}
+}
+
+// ---------------------------------------------------------------
+// Alltoall / Alltoallv
+// ---------------------------------------------------------------
+
+// Alltoall exchanges n-byte chunks between every pair: sbuf holds p
+// chunks (chunk j for rank j), rbuf receives p chunks (chunk i from
+// rank i). Small chunks on large worlds run Bruck's algorithm (log p
+// rounds of aggregated blocks); otherwise the pairwise exchange.
+func (r *Rank) Alltoall(sbuf *cluster.Buffer, n int, rbuf *cluster.Buffer) {
+	p := r.Size()
+	copy(rbuf.Bytes()[r.ID*n:(r.ID+1)*n], sbuf.Bytes()[r.ID*n:(r.ID+1)*n])
+	if p == 1 {
+		return
+	}
+	tag := r.nextCollTag()
+	if r.tune().AlltoallAlg(n, p) == AlgBruck {
+		r.alltoallBruck(tag|subA2ABruck, sbuf, n, rbuf)
+	} else {
+		r.alltoallPairwise(tag|subA2APairwise, sbuf, n, rbuf)
+	}
+}
+
+// AlltoallPairwise runs the pairwise-exchange all-to-all regardless
+// of tuning.
+func (r *Rank) AlltoallPairwise(sbuf *cluster.Buffer, n int, rbuf *cluster.Buffer) {
+	copy(rbuf.Bytes()[r.ID*n:(r.ID+1)*n], sbuf.Bytes()[r.ID*n:(r.ID+1)*n])
+	if r.Size() > 1 {
+		r.alltoallPairwise(r.nextCollTag()|subA2APairwise, sbuf, n, rbuf)
+	}
+}
+
+// AlltoallBruck runs Bruck's all-to-all regardless of tuning.
+func (r *Rank) AlltoallBruck(sbuf *cluster.Buffer, n int, rbuf *cluster.Buffer) {
+	copy(rbuf.Bytes()[r.ID*n:(r.ID+1)*n], sbuf.Bytes()[r.ID*n:(r.ID+1)*n])
+	if r.Size() > 1 {
+		r.alltoallBruck(r.nextCollTag()|subA2ABruck, sbuf, n, rbuf)
+	}
+}
+
+func (r *Rank) alltoallPairwise(tag int, sbuf *cluster.Buffer, n int, rbuf *cluster.Buffer) {
+	p := r.Size()
+	for k := 1; k < p; k++ {
+		dst := (r.ID + k) % p
+		src := (r.ID - k + p) % p
+		r.SendRecv(dst, tag, sbuf, dst*n, n, src, tag, rbuf, src*n, n)
+	}
+}
+
+// alltoallBruck: rotate chunks so index i is the data for rank ID+i,
+// then in round 2^k ship every chunk whose index has bit k set
+// forward by 2^k ranks (packed into one message), and finally unpick
+// the arrived chunks — index i then holds the data from rank ID−i.
+func (r *Rank) alltoallBruck(tag int, sbuf *cluster.Buffer, n int, rbuf *cluster.Buffer) {
+	p, id := r.Size(), r.ID
+	tmp := r.Host.Alloc(p * n)
+	pack := r.Host.Alloc((p/2 + 1) * n)
+	unpack := r.Host.Alloc((p/2 + 1) * n)
+	for i := 0; i < p; i++ {
+		src := (id + i) % p
+		copy(tmp.Bytes()[i*n:(i+1)*n], sbuf.Bytes()[src*n:(src+1)*n])
+	}
+	for mask := 1; mask < p; mask <<= 1 {
+		k := 0
+		for i := 0; i < p; i++ {
+			if i&mask != 0 {
+				copy(pack.Bytes()[k*n:(k+1)*n], tmp.Bytes()[i*n:(i+1)*n])
+				k++
+			}
+		}
+		dst := (id + mask) % p
+		src := (id - mask + p) % p
+		r.SendRecv(dst, tag, pack, 0, k*n, src, tag, unpack, 0, k*n)
+		k = 0
+		for i := 0; i < p; i++ {
+			if i&mask != 0 {
+				copy(tmp.Bytes()[i*n:(i+1)*n], unpack.Bytes()[k*n:(k+1)*n])
+				k++
+			}
+		}
+	}
+	for src := 0; src < p; src++ {
+		i := (id - src + p) % p
+		copy(rbuf.Bytes()[src*n:(src+1)*n], tmp.Bytes()[i*n:(i+1)*n])
+	}
+}
+
+// Alltoallv is Alltoall with explicit per-destination send sizes and
+// per-source receive sizes (used by the NAS IS bucket exchange).
+// Small worlds post everything at once for maximal overlap; larger
+// ones run the congestion-bounded pairwise schedule.
+func (r *Rank) Alltoallv(sbuf *cluster.Buffer, soffs, scounts []int, rbuf *cluster.Buffer, roffs, rcounts []int) {
+	p := r.Size()
+	copy(rbuf.Bytes()[roffs[r.ID]:roffs[r.ID]+rcounts[r.ID]],
+		sbuf.Bytes()[soffs[r.ID]:soffs[r.ID]+scounts[r.ID]])
+	if p == 1 {
+		return
+	}
+	tag := r.nextCollTag()
+	if r.tune().AlltoallvAlg(p) == AlgPosted {
+		r.alltoallvPosted(tag|subA2AVPosted, sbuf, soffs, scounts, rbuf, roffs, rcounts)
+	} else {
+		r.alltoallvPairwise(tag|subA2AVPairwise, sbuf, soffs, scounts, rbuf, roffs, rcounts)
+	}
+}
+
+// AlltoallvPairwise runs the pairwise-exchange schedule regardless of
+// tuning.
+func (r *Rank) AlltoallvPairwise(sbuf *cluster.Buffer, soffs, scounts []int, rbuf *cluster.Buffer, roffs, rcounts []int) {
+	copy(rbuf.Bytes()[roffs[r.ID]:roffs[r.ID]+rcounts[r.ID]],
+		sbuf.Bytes()[soffs[r.ID]:soffs[r.ID]+scounts[r.ID]])
+	if r.Size() > 1 {
+		r.alltoallvPairwise(r.nextCollTag()|subA2AVPairwise, sbuf, soffs, scounts, rbuf, roffs, rcounts)
+	}
+}
+
+// AlltoallvPosted posts every receive and send at once regardless of
+// tuning.
+func (r *Rank) AlltoallvPosted(sbuf *cluster.Buffer, soffs, scounts []int, rbuf *cluster.Buffer, roffs, rcounts []int) {
+	copy(rbuf.Bytes()[roffs[r.ID]:roffs[r.ID]+rcounts[r.ID]],
+		sbuf.Bytes()[soffs[r.ID]:soffs[r.ID]+scounts[r.ID]])
+	if r.Size() > 1 {
+		r.alltoallvPosted(r.nextCollTag()|subA2AVPosted, sbuf, soffs, scounts, rbuf, roffs, rcounts)
+	}
+}
+
+func (r *Rank) alltoallvPairwise(tag int, sbuf *cluster.Buffer, soffs, scounts []int, rbuf *cluster.Buffer, roffs, rcounts []int) {
+	p := r.Size()
+	for k := 1; k < p; k++ {
+		dst := (r.ID + k) % p
+		src := (r.ID - k + p) % p
+		r.SendRecv(dst, tag, sbuf, soffs[dst], scounts[dst],
+			src, tag, rbuf, roffs[src], rcounts[src])
+	}
+}
+
+func (r *Rank) alltoallvPosted(tag int, sbuf *cluster.Buffer, soffs, scounts []int, rbuf *cluster.Buffer, roffs, rcounts []int) {
+	p := r.Size()
+	reqs := make([]openmx.Request, 0, 2*(p-1))
+	for k := 1; k < p; k++ {
+		src := (r.ID - k + p) % p
+		reqs = append(reqs, r.Irecv(src, tag, rbuf, roffs[src], rcounts[src]))
+	}
+	for k := 1; k < p; k++ {
+		dst := (r.ID + k) % p
+		reqs = append(reqs, r.Isend(dst, tag, sbuf, soffs[dst], scounts[dst]))
+	}
+	for _, q := range reqs {
+		r.Wait(q)
+	}
+}
+
+// ---------------------------------------------------------------
+// Gather / Scatter
+// ---------------------------------------------------------------
+
+// Gather collects n bytes from every rank into root's rbuf (rank i's
+// block at offset i·n; non-root ranks may pass a nil rbuf). Small
+// blocks on enough ranks climb the binomial tree; large ones run the
+// linear root loop.
+func (r *Rank) Gather(root int, sbuf *cluster.Buffer, n int, rbuf *cluster.Buffer) {
+	p := r.Size()
+	if p == 1 {
+		copy(rbuf.Bytes()[:n], sbuf.Bytes()[:n])
+		return
+	}
+	tag := r.nextCollTag()
+	if r.tune().GatherAlg(n, p) == AlgBinomial {
+		r.gatherBinomial(tag|subGatherTree, root, sbuf, n, rbuf)
+	} else {
+		r.gatherLinear(tag|subGatherLinear, root, sbuf, n, rbuf)
+	}
+}
+
+// GatherLinear runs the linear gather regardless of tuning.
+func (r *Rank) GatherLinear(root int, sbuf *cluster.Buffer, n int, rbuf *cluster.Buffer) {
+	if r.Size() == 1 {
+		copy(rbuf.Bytes()[:n], sbuf.Bytes()[:n])
+		return
+	}
+	r.gatherLinear(r.nextCollTag()|subGatherLinear, root, sbuf, n, rbuf)
+}
+
+// GatherBinomial runs the binomial-tree gather regardless of tuning.
+func (r *Rank) GatherBinomial(root int, sbuf *cluster.Buffer, n int, rbuf *cluster.Buffer) {
+	if r.Size() == 1 {
+		copy(rbuf.Bytes()[:n], sbuf.Bytes()[:n])
+		return
+	}
+	r.gatherBinomial(r.nextCollTag()|subGatherTree, root, sbuf, n, rbuf)
+}
+
+func (r *Rank) gatherLinear(tag, root int, sbuf *cluster.Buffer, n int, rbuf *cluster.Buffer) {
+	p := r.Size()
+	if r.ID == root {
+		copy(rbuf.Bytes()[root*n:(root+1)*n], sbuf.Bytes()[:n])
+		for src := 0; src < p; src++ {
+			if src != root {
+				r.Recv(src, tag, rbuf, src*n, n)
+			}
+		}
+	} else {
+		r.Send(root, tag, sbuf, 0, n)
+	}
+}
+
+// gatherBinomial collects blocks up the binomial tree in virtual-rank
+// order (each subtree's blocks are contiguous), then the root rotates
+// them into real-rank order.
+func (r *Rank) gatherBinomial(tag, root int, sbuf *cluster.Buffer, n int, rbuf *cluster.Buffer) {
+	p := r.Size()
+	vr := (r.ID - root + p) % p
+	ext := subtreeExtent(vr, p)
+	tmp := r.Host.Alloc(ext * n)
+	copy(tmp.Bytes()[:n], sbuf.Bytes()[:n])
+	for mask := 1; mask < p; mask <<= 1 {
+		if vr&mask != 0 {
+			have := min(mask, p-vr)
+			r.Send(vrank(vr&^mask, root, p), tag, tmp, 0, have*n)
+			break
+		}
+		if child := vr + mask; child < p {
+			cnt := min(mask, p-child)
+			r.Recv(vrank(child, root, p), tag, tmp, mask*n, cnt*n)
+		}
+	}
+	if vr == 0 {
+		for v := 0; v < p; v++ {
+			dst := vrank(v, root, p)
+			copy(rbuf.Bytes()[dst*n:(dst+1)*n], tmp.Bytes()[v*n:(v+1)*n])
+		}
+	}
+}
+
+// Scatter distributes root's sbuf (p blocks of n bytes, block i for
+// rank i) so every rank receives its block in rbuf. Non-root ranks
+// may pass a nil sbuf. Algorithm selection mirrors Gather.
+func (r *Rank) Scatter(root int, sbuf *cluster.Buffer, n int, rbuf *cluster.Buffer) {
+	p := r.Size()
+	if p == 1 {
+		copy(rbuf.Bytes()[:n], sbuf.Bytes()[:n])
+		return
+	}
+	tag := r.nextCollTag()
+	if r.tune().ScatterAlg(n, p) == AlgBinomial {
+		r.scatterBinomial(tag|subScatterTree, root, sbuf, n, rbuf)
+	} else {
+		r.scatterLinear(tag|subScatterLinear, root, sbuf, n, rbuf)
+	}
+}
+
+// ScatterLinear runs the linear scatter regardless of tuning.
+func (r *Rank) ScatterLinear(root int, sbuf *cluster.Buffer, n int, rbuf *cluster.Buffer) {
+	if r.Size() == 1 {
+		copy(rbuf.Bytes()[:n], sbuf.Bytes()[:n])
+		return
+	}
+	r.scatterLinear(r.nextCollTag()|subScatterLinear, root, sbuf, n, rbuf)
+}
+
+// ScatterBinomial runs the binomial-tree scatter regardless of tuning.
+func (r *Rank) ScatterBinomial(root int, sbuf *cluster.Buffer, n int, rbuf *cluster.Buffer) {
+	if r.Size() == 1 {
+		copy(rbuf.Bytes()[:n], sbuf.Bytes()[:n])
+		return
+	}
+	r.scatterBinomial(r.nextCollTag()|subScatterTree, root, sbuf, n, rbuf)
+}
+
+func (r *Rank) scatterLinear(tag, root int, sbuf *cluster.Buffer, n int, rbuf *cluster.Buffer) {
+	p := r.Size()
+	if r.ID == root {
+		copy(rbuf.Bytes()[:n], sbuf.Bytes()[root*n:(root+1)*n])
+		for dst := 0; dst < p; dst++ {
+			if dst != root {
+				r.Send(dst, tag, sbuf, dst*n, n)
+			}
+		}
+	} else {
+		r.Recv(root, tag, rbuf, 0, n)
+	}
+}
+
+// scatterBinomial is the inverse of gatherBinomial: the root rotates
+// blocks into virtual-rank order, each parent forwards every child
+// its whole subtree's blocks, and each rank keeps block 0.
+func (r *Rank) scatterBinomial(tag, root int, sbuf *cluster.Buffer, n int, rbuf *cluster.Buffer) {
+	p := r.Size()
+	vr := (r.ID - root + p) % p
+	ext := subtreeExtent(vr, p)
+	tmp := r.Host.Alloc(ext * n)
+	mask := 1
+	if vr == 0 {
+		for v := 0; v < p; v++ {
+			src := vrank(v, root, p)
+			copy(tmp.Bytes()[v*n:(v+1)*n], sbuf.Bytes()[src*n:(src+1)*n])
+		}
+		mask = ceilPow2(p)
+	} else {
+		for ; mask < p; mask <<= 1 {
+			if vr&mask != 0 {
+				r.Recv(vrank(vr&^mask, root, p), tag, tmp, 0, ext*n)
+				break
+			}
+		}
+	}
+	mask >>= 1
+	for ; mask > 0; mask >>= 1 {
+		if child := vr + mask; child < p {
+			cnt := min(mask, p-child)
+			r.Send(vrank(child, root, p), tag, tmp, mask*n, cnt*n)
+		}
+	}
+	copy(rbuf.Bytes()[:n], tmp.Bytes()[:n])
+}
+
+// subtreeExtent is the number of binomial-tree blocks rank vr relays:
+// its own plus every descendant's (the tree is over virtual ranks, so
+// the blocks are contiguous and the extent clips at p).
+func subtreeExtent(vr, p int) int {
+	if vr == 0 {
+		return p
+	}
+	return min(vr&-vr, p-vr)
+}

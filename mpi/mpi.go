@@ -1,7 +1,8 @@
 // Package mpi implements the message-passing middleware layer the
 // paper benchmarks through (MPICH-MX in the original): ranks,
 // tag/source matching, blocking and nonblocking point-to-point, and
-// the collective operations the Intel MPI Benchmarks exercise.
+// the collective operations the Intel MPI Benchmarks exercise (see
+// coll.go for the collective algorithms and their tuning).
 //
 // It is transport-neutral: a World is built from openmx.Endpoint
 // values, which both the Open-MX stack and the native MXoE baseline
@@ -32,12 +33,18 @@ const collTagBase = 0x4000_0000
 
 // World is a set of communicating ranks.
 type World struct {
-	C     *cluster.Cluster
+	C *cluster.Cluster
+	// Tune selects collective algorithms by message and world size
+	// (see Tuning). NewWorld installs DefaultTuning; override fields
+	// before Spawn to pin or shift the selection.
+	Tune  Tuning
 	ranks []*Rank
 }
 
 // NewWorld returns an empty world on the cluster.
-func NewWorld(c *cluster.Cluster) *World { return &World{C: c} }
+func NewWorld(c *cluster.Cluster) *World {
+	return &World{C: c, Tune: DefaultTuning()}
+}
 
 // AddRank registers the next rank (IDs are assigned in call order),
 // communicating through ep, running on the given host and core.
@@ -163,189 +170,13 @@ func (r *Rank) chargeCompute(bytes int) {
 func (r *Rank) Compute(bytes int) { r.chargeCompute(bytes) }
 
 // sumInto adds src's float64 values into dst (little-endian), the
-// MPI_SUM/MPI_FLOAT reduction IMB uses.
+// MPI_SUM/MPI_FLOAT reduction IMB uses. Only whole 8-byte words are
+// reduced; a trailing fragment is left untouched.
 func sumInto(dst, src []byte) {
 	n := len(dst) / 8 * 8
 	for i := 0; i < n; i += 8 {
 		a := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
 		b := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
 		binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(a+b))
-	}
-}
-
-// Barrier synchronizes all ranks (dissemination algorithm).
-func (r *Rank) Barrier() {
-	p := r.Size()
-	if p == 1 {
-		return
-	}
-	tag := r.nextCollTag()
-	for k := 1; k < p; k <<= 1 {
-		dst := (r.ID + k) % p
-		src := (r.ID - k + p) % p
-		r.SendRecv(dst, tag|1, r.scratch, 0, 0, src, tag|1, r.scratch, 0, 0)
-	}
-}
-
-// Bcast broadcasts n bytes at buf[off:] from root (binomial tree).
-func (r *Rank) Bcast(root int, buf *cluster.Buffer, off, n int) {
-	p := r.Size()
-	if p == 1 {
-		return
-	}
-	tag := r.nextCollTag()
-	// Rotate so root is virtual rank 0, then run the canonical
-	// binomial tree: receive from the parent at the level of our
-	// lowest set bit, forward to children below that level.
-	vr := (r.ID - root + p) % p
-	mask := 1
-	for mask < p {
-		if vr&mask != 0 {
-			parent := (vr&^mask + root) % p
-			r.Recv(parent, tag|2, buf, off, n)
-			break
-		}
-		mask <<= 1
-	}
-	mask >>= 1
-	for mask > 0 {
-		if vr+mask < p {
-			child := (vr + mask + root) % p
-			r.Send(child, tag|2, buf, off, n)
-		}
-		mask >>= 1
-	}
-}
-
-// Reduce sums n bytes of float64s from every rank's sbuf into root's
-// rbuf (binomial tree). Non-root ranks may pass a nil rbuf.
-func (r *Rank) Reduce(root int, sbuf, rbuf *cluster.Buffer, n int) {
-	p := r.Size()
-	tag := r.nextCollTag()
-	// Accumulate into a local temporary.
-	acc := r.Host.Alloc(n)
-	copy(acc.Bytes(), sbuf.Bytes()[:n])
-	vr := (r.ID - root + p) % p
-	tmp := r.Host.Alloc(n)
-	for k := 1; k < p; k <<= 1 {
-		if vr&k != 0 {
-			parent := ((vr &^ k) + root) % p
-			r.Send(parent, tag|3, acc, 0, n)
-			break
-		}
-		if vr+k < p {
-			child := (vr + k + root) % p
-			r.Recv(child, tag|3, tmp, 0, n)
-			sumInto(acc.Bytes()[:n], tmp.Bytes()[:n])
-			r.chargeCompute(n)
-		}
-	}
-	if r.ID == root && rbuf != nil {
-		copy(rbuf.Bytes()[:n], acc.Bytes()[:n])
-	}
-}
-
-// Allreduce is Reduce to rank 0 followed by Bcast.
-func (r *Rank) Allreduce(sbuf, rbuf *cluster.Buffer, n int) {
-	r.Reduce(0, sbuf, rbuf, n)
-	r.Bcast(0, rbuf, 0, n)
-}
-
-// ReduceScatter reduces p·chunk bytes and scatters one chunk to each
-// rank: rank i receives chunk i of the sum in rbuf.
-func (r *Rank) ReduceScatter(sbuf, rbuf *cluster.Buffer, chunk int) {
-	p := r.Size()
-	total := chunk * p
-	var full *cluster.Buffer
-	if r.ID == 0 {
-		full = r.Host.Alloc(total)
-	}
-	r.Reduce(0, sbuf, full, total)
-	tag := r.nextCollTag()
-	if r.ID == 0 {
-		copy(rbuf.Bytes()[:chunk], full.Bytes()[:chunk])
-		for dst := 1; dst < p; dst++ {
-			r.Send(dst, tag|4, full, dst*chunk, chunk)
-		}
-	} else {
-		r.Recv(0, tag|4, rbuf, 0, chunk)
-	}
-}
-
-// Allgather gathers n bytes from every rank into rbuf (p·n bytes,
-// rank i's block at offset i·n), using the ring algorithm.
-func (r *Rank) Allgather(sbuf *cluster.Buffer, n int, rbuf *cluster.Buffer) {
-	sizes := make([]int, r.Size())
-	for i := range sizes {
-		sizes[i] = n
-	}
-	r.Allgatherv(sbuf, n, rbuf, sizes)
-}
-
-// Allgatherv is Allgather with per-rank block sizes.
-func (r *Rank) Allgatherv(sbuf *cluster.Buffer, n int, rbuf *cluster.Buffer, sizes []int) {
-	p := r.Size()
-	offs := make([]int, p+1)
-	for i := 0; i < p; i++ {
-		offs[i+1] = offs[i] + sizes[i]
-	}
-	copy(rbuf.Bytes()[offs[r.ID]:offs[r.ID]+sizes[r.ID]], sbuf.Bytes()[:sizes[r.ID]])
-	if p == 1 {
-		return
-	}
-	tag := r.nextCollTag()
-	right := (r.ID + 1) % p
-	left := (r.ID - 1 + p) % p
-	// Ring: in round k, send the block received in round k-1.
-	blk := r.ID
-	for k := 0; k < p-1; k++ {
-		recvBlk := (blk - 1 + p) % p
-		r.SendRecv(right, tag|5, rbuf, offs[blk], sizes[blk],
-			left, tag|5, rbuf, offs[recvBlk], sizes[recvBlk])
-		blk = recvBlk
-	}
-}
-
-// Alltoall exchanges n-byte chunks between every pair: sbuf holds p
-// chunks (chunk j for rank j), rbuf receives p chunks (chunk i from
-// rank i). Pairwise-exchange algorithm.
-func (r *Rank) Alltoall(sbuf *cluster.Buffer, n int, rbuf *cluster.Buffer) {
-	p := r.Size()
-	copy(rbuf.Bytes()[r.ID*n:(r.ID+1)*n], sbuf.Bytes()[r.ID*n:(r.ID+1)*n])
-	tag := r.nextCollTag()
-	for k := 1; k < p; k++ {
-		dst := (r.ID + k) % p
-		src := (r.ID - k + p) % p
-		r.SendRecv(dst, tag|6, sbuf, dst*n, n, src, tag|6, rbuf, src*n, n)
-	}
-}
-
-// Alltoallv is Alltoall with explicit per-destination send sizes and
-// per-source receive sizes (used by the NAS IS bucket exchange).
-func (r *Rank) Alltoallv(sbuf *cluster.Buffer, soffs, scounts []int, rbuf *cluster.Buffer, roffs, rcounts []int) {
-	p := r.Size()
-	copy(rbuf.Bytes()[roffs[r.ID]:roffs[r.ID]+rcounts[r.ID]],
-		sbuf.Bytes()[soffs[r.ID]:soffs[r.ID]+scounts[r.ID]])
-	tag := r.nextCollTag()
-	for k := 1; k < p; k++ {
-		dst := (r.ID + k) % p
-		src := (r.ID - k + p) % p
-		r.SendRecv(dst, tag|7, sbuf, soffs[dst], scounts[dst],
-			src, tag|7, rbuf, roffs[src], rcounts[src])
-	}
-}
-
-// Gather collects n bytes from every rank into root's rbuf.
-func (r *Rank) Gather(root int, sbuf *cluster.Buffer, n int, rbuf *cluster.Buffer) {
-	tag := r.nextCollTag()
-	if r.ID == root {
-		copy(rbuf.Bytes()[root*n:(root+1)*n], sbuf.Bytes()[:n])
-		for src := 0; src < r.Size(); src++ {
-			if src != root {
-				r.Recv(src, tag|8, rbuf, src*n, n)
-			}
-		}
-	} else {
-		r.Send(root, tag|8, sbuf, 0, n)
 	}
 }
