@@ -9,7 +9,7 @@ GO ?= go
 STATICCHECK ?= $(GO) run honnef.co/go/tools/cmd/staticcheck@2024.1.1
 
 .PHONY: all build test test-short race fmt fmt-check vet lint bench bench-ci \
-	golden golden-check ci-fast ci-full
+	golden golden-check stress ci-fast ci-full
 
 all: build
 
@@ -60,6 +60,16 @@ golden-check:
 	$(GO) run ./cmd/omxsim all > /tmp/omxsim-all.rendered
 	diff -u figures/testdata/omxsim-all.golden /tmp/omxsim-all.rendered
 
+# Long-run reliability battery: seeded message storms under network
+# impairment across all three stack pairings, plus the interop and
+# firmware loss tests, under the race detector. STRESS_SEEDS widens
+# the sweep (the full CI job runs the tests' default seed count).
+STRESS_SEEDS ?= 20
+stress:
+	OMXSIM_STRESS_SEEDS=$(STRESS_SEEDS) $(GO) test -race -count=1 \
+		-run 'Stress|Storm|Loss|Impair|Recover|Fuzz' \
+		./cluster ./internal/core ./internal/mxoe ./internal/interop ./figures
+
 ci-fast: build vet lint fmt-check test-short
 
-ci-full: race
+ci-full: race stress

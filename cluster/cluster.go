@@ -29,7 +29,9 @@ type Cluster struct {
 	E *sim.Engine
 	P *platform.Platform
 
-	hosts map[string]*Host
+	hosts    map[string]*Host
+	links    []*linkRec
+	switches []*Switch
 }
 
 // New returns an empty cluster. A nil platform selects the paper's
@@ -68,11 +70,23 @@ func (c *Cluster) Host(name string) *Host { return c.hosts[name] }
 func (h *Host) Machine() *host.Host { return h.m }
 
 // Link connects two hosts back to back with a full-duplex 10 GbE
-// cable, like the paper's switchless testbed.
-func Link(a, b *Host) {
+// cable, like the paper's switchless testbed. Options add impairment
+// profiles (Impair, ImpairAB, ImpairBA) and a bounded transmit queue
+// (LinkQueue); with no options the link is perfect and the fast path
+// is untouched.
+func Link(a, b *Host, opts ...LinkOption) {
+	var o linkOpts
+	for _, f := range opts {
+		f(&o)
+	}
 	ab, ba := wire.Connect(a.C.E, a.C.P, a.m.NIC, b.m.NIC)
+	ab.SetImpairment(o.ab.wire())
+	ba.SetImpairment(o.ba.wire())
+	ab.QueueLimit = o.queueLimit
+	ba.QueueLimit = o.queueLimit
 	a.m.NIC.SetHose(ab)
 	b.m.NIC.SetHose(ba)
+	a.C.links = append(a.C.links, &linkRec{from: a.Name, to: b.Name, ab: ab, ba: ba})
 }
 
 // LossyLink connects two hosts and installs the given frame-drop
@@ -88,22 +102,34 @@ func LossyLink(a, b *Host, dropAB, dropBA func(any) bool) {
 	}
 	a.m.NIC.SetHose(ab)
 	b.m.NIC.SetHose(ba)
+	a.C.links = append(a.C.links, &linkRec{from: a.Name, to: b.Name, ab: ab, ba: ba})
 }
 
 // Switch is a store-and-forward Ethernet switch.
 type Switch struct {
-	c  *Cluster
-	sw *wire.Switch
+	c       *Cluster
+	sw      *wire.Switch
+	uplinks map[string]*wire.Hose // host → (host→switch) hose
 }
 
-// NewSwitch adds a switch to the cluster.
-func (c *Cluster) NewSwitch() *Switch {
-	return &Switch{c: c, sw: wire.NewSwitch(c.E, c.P)}
+// NewSwitch adds a switch to the cluster. Options bound the output
+// queues (SwitchQueue), impair the output ports (SwitchImpair) and
+// tune the forwarding latency (SwitchLatency); with no options the
+// switch is ideal apart from its store-and-forward hop.
+func (c *Cluster) NewSwitch(opts ...SwitchOption) *Switch {
+	s := &Switch{c: c, sw: wire.NewSwitch(c.E, c.P), uplinks: make(map[string]*wire.Hose)}
+	for _, f := range opts {
+		f(s.sw)
+	}
+	c.switches = append(c.switches, s)
+	return s
 }
 
 // Attach plugs a host into the switch.
 func (s *Switch) Attach(h *Host) {
-	h.m.NIC.SetHose(s.sw.Attach(h.m.NIC))
+	up := s.sw.Attach(h.m.NIC)
+	s.uplinks[h.Name] = up
+	h.m.NIC.SetHose(up)
 }
 
 // Buffer is an application payload buffer in a host's memory. It

@@ -1,0 +1,308 @@
+package cluster
+
+// This file is the network-impairment and congestion surface: every
+// link direction and every switch output port can carry a seeded
+// deterministic misbehaviour profile (frame loss, duplication,
+// reordering, latency jitter, rate asymmetry), switch output queues
+// can be bounded to model congestion tail-drop, and background
+// cross-traffic generators can share the links with the measured
+// workload. NetStats snapshots every counter in one deterministic
+// structure.
+//
+// All impairment randomness is drawn from private seeded streams, so
+// an impaired experiment is exactly as reproducible as a clean one:
+// same seed, same losses, same figures.
+
+import (
+	"fmt"
+	"sort"
+
+	"omxsim/internal/wire"
+	"omxsim/sim"
+)
+
+// Impairment is the misbehaviour profile of one link direction or
+// switch port. The zero value is a perfect link and costs nothing.
+type Impairment struct {
+	// Seed selects the deterministic random stream.
+	Seed int64
+	// LossRate is the per-frame probability of silent loss.
+	LossRate float64
+	// DupRate is the per-frame probability of duplicate delivery.
+	DupRate float64
+	// ReorderRate is the per-frame probability of an extra
+	// ReorderDelay, letting later frames overtake.
+	ReorderRate float64
+	// ReorderDelay is the delay applied to reordered frames
+	// (default 20 µs when ReorderRate is set).
+	ReorderDelay sim.Duration
+	// JitterMax adds uniform [0, JitterMax) latency jitter per frame.
+	JitterMax sim.Duration
+	// RateScale scales the direction's signalling rate (0.1 = the
+	// link negotiated down to 1 GbE in this direction).
+	RateScale float64
+}
+
+func (im Impairment) wire() wire.Impairment {
+	return wire.Impairment{
+		Seed:         im.Seed,
+		LossRate:     im.LossRate,
+		DupRate:      im.DupRate,
+		ReorderRate:  im.ReorderRate,
+		ReorderDelay: im.ReorderDelay,
+		JitterMax:    im.JitterMax,
+		RateScale:    im.RateScale,
+	}
+}
+
+// Enabled reports whether the profile perturbs anything.
+func (im Impairment) Enabled() bool { return im.wire().Enabled() }
+
+// linkOpts collects Link options.
+type linkOpts struct {
+	ab, ba     Impairment
+	queueLimit int
+}
+
+// LinkOption configures one Link call.
+type LinkOption func(*linkOpts)
+
+// Impair installs the profile on both directions of the link; the
+// reverse direction is independently reseeded so the two do not lose
+// the same pattern.
+func Impair(im Impairment) LinkOption {
+	return func(o *linkOpts) {
+		o.ab = im
+		o.ba = im
+		o.ba.Seed = im.Seed ^ 0x5DEECE66D
+	}
+}
+
+// ImpairAB impairs only the a→b direction.
+func ImpairAB(im Impairment) LinkOption { return func(o *linkOpts) { o.ab = im } }
+
+// ImpairBA impairs only the b→a direction.
+func ImpairBA(im Impairment) LinkOption { return func(o *linkOpts) { o.ba = im } }
+
+// LinkQueue bounds each direction's transmit queue to the given frame
+// count; frames beyond it are tail-dropped (congestion loss).
+func LinkQueue(frames int) LinkOption { return func(o *linkOpts) { o.queueLimit = frames } }
+
+// linkRec remembers one point-to-point link for NetStats.
+type linkRec struct {
+	from, to string
+	ab, ba   *wire.Hose
+}
+
+// SwitchOption configures one NewSwitch call.
+type SwitchOption func(*wire.Switch)
+
+// SwitchQueue bounds every output port's queue to the given frame
+// count; overflowing frames are tail-dropped — the congested-switch
+// model (apply before Attach).
+func SwitchQueue(frames int) SwitchOption {
+	return func(sw *wire.Switch) { sw.OutputQueueFrames = frames }
+}
+
+// SwitchImpair installs the profile on every output port, reseeded
+// per port so ports misbehave independently (apply before Attach).
+func SwitchImpair(im Impairment) SwitchOption {
+	return func(sw *wire.Switch) { sw.PortImpair = im.wire() }
+}
+
+// SwitchLatency overrides the switch's forwarding latency.
+func SwitchLatency(d sim.Duration) SwitchOption {
+	return func(sw *wire.Switch) { sw.ForwardLatency = d }
+}
+
+// DirStats is one link direction's counter snapshot.
+type DirStats struct {
+	// FramesSent and BytesSent count traffic that made it onto the
+	// wire (after loss).
+	FramesSent int64
+	BytesSent  int64
+	// FramesDropped counts targeted Drop-predicate discards,
+	// FramesLost impairment loss, TailDrops queue-overflow loss.
+	// The three are disjoint, and all happen before the receiving
+	// NIC — they never double-count a frame the NIC also dropped.
+	FramesDropped int64
+	FramesLost    int64
+	TailDrops     int64
+	// FramesDuped and FramesReordered count impairment misdelivery.
+	FramesDuped     int64
+	FramesReordered int64
+	// MaxQueue is the transmit queue's high-water mark.
+	MaxQueue int
+}
+
+func dirStats(h wire.HoseStats) DirStats {
+	return DirStats{
+		FramesSent:      h.FramesSent,
+		BytesSent:       h.BytesSent,
+		FramesDropped:   h.FramesDropped,
+		FramesLost:      h.FramesLost,
+		TailDrops:       h.TailDrops,
+		FramesDuped:     h.FramesDuped,
+		FramesReordered: h.FramesReordered,
+		MaxQueue:        h.MaxQueue,
+	}
+}
+
+// LinkStats snapshots one point-to-point link.
+type LinkStats struct {
+	From, To string
+	AB, BA   DirStats
+}
+
+// PortStats snapshots one switch port (Out is the congestible
+// switch→host direction; In is host→switch).
+type PortStats struct {
+	Host    string
+	In, Out DirStats
+}
+
+// SwitchStats snapshots one switch.
+type SwitchStats struct {
+	Forwarded int64
+	Unknown   int64
+	Ports     []PortStats
+}
+
+// HostStats snapshots one host NIC.
+type HostStats struct {
+	Host     string
+	TxFrames int64
+	RxFrames int64
+	// RxDrops counts receive-ring overflow at the NIC — drops that
+	// happened after the wire delivered the frame, and therefore
+	// disjoint from every wire-level counter.
+	RxDrops int64
+}
+
+// NetStats is a whole-testbed network counter snapshot, ordered
+// deterministically (hosts by name, links and switch ports in
+// creation order).
+type NetStats struct {
+	Hosts    []HostStats
+	Links    []LinkStats
+	Switches []SwitchStats
+}
+
+// NetStats snapshots every NIC, link and switch counter in the
+// cluster.
+func (c *Cluster) NetStats() NetStats {
+	var ns NetStats
+	names := make([]string, 0, len(c.hosts))
+	for n := range c.hosts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		nic := c.hosts[n].m.NIC
+		ns.Hosts = append(ns.Hosts, HostStats{
+			Host: n, TxFrames: nic.TxFrames, RxFrames: nic.RxFrames, RxDrops: nic.RxDrops,
+		})
+	}
+	for _, l := range c.links {
+		ns.Links = append(ns.Links, LinkStats{
+			From: l.from, To: l.to,
+			AB: dirStats(l.ab.Stats()), BA: dirStats(l.ba.Stats()),
+		})
+	}
+	for _, s := range c.switches {
+		st := SwitchStats{Forwarded: s.sw.FramesForwarded, Unknown: s.sw.FramesUnknown}
+		for _, p := range s.sw.Ports() {
+			ps := PortStats{Host: p.Addr, Out: dirStats(p.HoseStats)}
+			if up := s.uplinks[p.Addr]; up != nil {
+				ps.In = dirStats(up.Stats())
+			}
+			st.Ports = append(st.Ports, ps)
+		}
+		ns.Switches = append(ns.Switches, st)
+	}
+	return ns
+}
+
+// TotalWireLoss sums every wire-level discard (targeted drops,
+// impairment loss and congestion tail-drops) across the testbed.
+func (ns NetStats) TotalWireLoss() int64 {
+	sum := func(d DirStats) int64 { return d.FramesDropped + d.FramesLost + d.TailDrops }
+	var total int64
+	for _, l := range ns.Links {
+		total += sum(l.AB) + sum(l.BA)
+	}
+	for _, s := range ns.Switches {
+		for _, p := range s.Ports {
+			total += sum(p.In) + sum(p.Out)
+		}
+	}
+	return total
+}
+
+// crossFrame marks background cross-traffic payloads. Both protocol
+// stacks discard frames they do not recognize, so cross traffic
+// consumes wire time, switch queues, NIC rings and bottom-half CPU —
+// and nothing else.
+type crossFrame struct{ Seq int64 }
+
+// CrossTraffic is a running background traffic generator.
+type CrossTraffic struct {
+	FramesSent int64
+	BytesSent  int64
+	stopped    bool
+}
+
+// Stop ends generation at the next scheduled frame.
+func (ct *CrossTraffic) Stop() { ct.stopped = true }
+
+// CrossTrafficConfig shapes a background flow.
+type CrossTrafficConfig struct {
+	// Seed selects the deterministic gap/size stream.
+	Seed int64
+	// BytesPerSec is the average offered payload load.
+	BytesPerSec float64
+	// FrameBytes is the payload size per frame (default 1500).
+	FrameBytes int
+	// Duration bounds generation (required: the generator must not
+	// outlive the experiment, or Run would never drain).
+	Duration sim.Duration
+}
+
+// StartCrossTraffic injects a background flow of unmatched frames
+// from one host to another (both must have a protocol stack attached,
+// which will discard them on arrival). Inter-frame gaps are jittered
+// ±50% around the configured average, from a seeded stream.
+func (c *Cluster) StartCrossTraffic(from, to *Host, cfg CrossTrafficConfig) *CrossTraffic {
+	if cfg.BytesPerSec <= 0 || cfg.Duration <= 0 {
+		panic(fmt.Sprintf("cluster: cross traffic needs positive BytesPerSec and Duration, got %v and %v",
+			cfg.BytesPerSec, cfg.Duration))
+	}
+	if cfg.FrameBytes <= 0 {
+		cfg.FrameBytes = 1500
+	}
+	ct := &CrossTraffic{}
+	rng := wire.NewRand(cfg.Seed)
+	deadline := c.E.Now() + cfg.Duration
+	meanGap := float64(cfg.FrameBytes) / cfg.BytesPerSec * float64(sim.Second)
+	var tick func()
+	tick = func() {
+		if ct.stopped || c.E.Now() >= deadline {
+			return
+		}
+		ct.FramesSent++
+		ct.BytesSent += int64(cfg.FrameBytes)
+		from.m.NIC.Transmit(&wire.Frame{
+			Data:    make([]byte, cfg.FrameBytes),
+			WireLen: cfg.FrameBytes + c.P.OMXHeaderBytes,
+			Msg:     &crossFrame{Seq: ct.FramesSent},
+			DstAddr: to.Name,
+		})
+		gap := sim.Duration(meanGap * (0.5 + rng.Float64()))
+		if gap < 1 {
+			gap = 1
+		}
+		c.E.Schedule(gap, tick)
+	}
+	c.E.Schedule(0, tick)
+	return ct
+}

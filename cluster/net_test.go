@@ -1,0 +1,115 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"omxsim/cluster"
+	"omxsim/openmx"
+	"omxsim/sim"
+)
+
+// TestNetStatsImpairedLink: the public Link options install a
+// deterministic impairment, transfers still complete verified, and
+// NetStats reports the loss on the right link direction.
+func TestNetStatsImpairedLink(t *testing.T) {
+	c := cluster.New(nil)
+	a, b := c.NewHost("a"), c.NewHost("b")
+	cluster.Link(a, b, cluster.ImpairAB(cluster.Impairment{Seed: 3, LossRate: 0.05}))
+	ea := openmx.Attach(a, openmx.Config{RetransmitTimeout: 2 * sim.Millisecond}).Open(0, 2)
+	eb := openmx.Attach(b, openmx.Config{RetransmitTimeout: 2 * sim.Millisecond}).Open(0, 2)
+
+	const count = 10
+	n := 32 * 1024
+	srcs := make([]*cluster.Buffer, count)
+	dsts := make([]*cluster.Buffer, count)
+	for i := range srcs {
+		srcs[i], dsts[i] = a.Alloc(n), b.Alloc(n)
+		srcs[i].Fill(byte(i + 1))
+	}
+	done := 0
+	c.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < count; i++ {
+			r := eb.IRecv(p, uint64(i), ^uint64(0), dsts[i], 0, n)
+			eb.Wait(p, r)
+			done++
+		}
+	})
+	c.Go("send", func(p *sim.Proc) {
+		for i := 0; i < count; i++ {
+			ea.Wait(p, ea.ISend(p, eb.Addr(), uint64(i), srcs[i], 0, n))
+		}
+	})
+	c.RunFor(30 * sim.Second)
+	defer c.Close()
+	if done != count {
+		t.Fatalf("delivered %d/%d", done, count)
+	}
+	for i := range srcs {
+		if !cluster.Equal(srcs[i], dsts[i]) {
+			t.Fatalf("message %d corrupted", i)
+		}
+	}
+	ns := c.NetStats()
+	if len(ns.Links) != 1 || len(ns.Hosts) != 2 {
+		t.Fatalf("stats shape: %d links, %d hosts", len(ns.Links), len(ns.Hosts))
+	}
+	l := ns.Links[0]
+	if l.From != "a" || l.To != "b" {
+		t.Fatalf("link endpoints %s→%s", l.From, l.To)
+	}
+	if l.AB.FramesLost == 0 {
+		t.Fatal("impaired A→B direction lost nothing")
+	}
+	if l.BA.FramesLost != 0 {
+		t.Fatalf("clean B→A direction lost %d", l.BA.FramesLost)
+	}
+	if ns.TotalWireLoss() != l.AB.FramesLost {
+		t.Fatalf("TotalWireLoss %d != AB losses %d", ns.TotalWireLoss(), l.AB.FramesLost)
+	}
+	// Hosts are sorted by name and saw traffic.
+	if ns.Hosts[0].Host != "a" || ns.Hosts[1].Host != "b" {
+		t.Fatalf("host order: %+v", ns.Hosts)
+	}
+	if ns.Hosts[0].TxFrames == 0 || ns.Hosts[1].RxFrames == 0 {
+		t.Fatalf("host counters empty: %+v", ns.Hosts)
+	}
+}
+
+// TestRateAsymmetryslowsOneDirection: RateScale 0.1 must stretch
+// serialization ~10x in that direction only.
+func TestRateAsymmetry(t *testing.T) {
+	lat := func(opts ...cluster.LinkOption) sim.Duration {
+		c := cluster.New(nil)
+		a, b := c.NewHost("a"), c.NewHost("b")
+		cluster.Link(a, b, opts...)
+		ea := openmx.Attach(a, openmx.Config{}).Open(0, 2)
+		eb := openmx.Attach(b, openmx.Config{}).Open(0, 2)
+		n := 16 * 1024
+		src, dst := a.Alloc(n), b.Alloc(n)
+		src.Fill(7)
+		var at sim.Time
+		c.Go("recv", func(p *sim.Proc) {
+			r := eb.IRecv(p, 1, ^uint64(0), dst, 0, n)
+			eb.Wait(p, r)
+			at = p.Now()
+		})
+		c.Go("send", func(p *sim.Proc) { ea.Wait(p, ea.ISend(p, eb.Addr(), 1, src, 0, n)) })
+		c.RunFor(10 * sim.Second)
+		defer c.Close()
+		if at == 0 {
+			t.Fatal("transfer never completed")
+		}
+		return at
+	}
+	full := lat()
+	slow := lat(cluster.ImpairAB(cluster.Impairment{Seed: 1, RateScale: 0.1}))
+	if slow < 3*full {
+		t.Fatalf("10%% rate direction latency %v, not clearly slower than %v", slow, full)
+	}
+	// Reverse direction unimpaired: B→A only carries acks, so A→B
+	// rate dominates; impairing only B→A must not slow the transfer.
+	rev := lat(cluster.ImpairBA(cluster.Impairment{Seed: 1, RateScale: 0.1}))
+	if rev > 2*full {
+		t.Fatalf("impairing only the reverse direction slowed delivery %v vs %v", rev, full)
+	}
+}

@@ -1,0 +1,294 @@
+package cluster_test
+
+// Seeded randomized message storms under network impairment, across
+// all three stack combinations (Open-MX ↔ Open-MX, native MX ↔ native
+// MX, and the mixed interop pair): many endpoints per host, mixed
+// tiny-through-large messages, shuffled posting order, 1 % loss plus
+// reordering, duplication and jitter on every link — with end-to-end
+// payload verification of every message. The fast (-short) gate runs
+// one seed per combination; the full suite and `make stress` sweep
+// more (OMXSIM_STRESS_SEEDS overrides the count).
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"omxsim/cluster"
+	"omxsim/mxoe"
+	"omxsim/openmx"
+	"omxsim/sim"
+)
+
+const stressRtx = 2 * sim.Millisecond
+
+// stressStack attaches one stack kind to a host and opens endpoints.
+func stressStack(kind string, h *cluster.Host) openmx.Transport {
+	switch kind {
+	case "mxoe":
+		return mxoe.Attach(h, mxoe.Config{RegCache: true, RetransmitTimeout: stressRtx})
+	default:
+		return openmx.Attach(h, openmx.Config{
+			IOAT: true, RegCache: true, RetransmitTimeout: stressRtx,
+		})
+	}
+}
+
+// stressCombos are the three stack pairings under test.
+func stressCombos() [][2]string {
+	return [][2]string{{"openmx", "openmx"}, {"mxoe", "mxoe"}, {"openmx", "mxoe"}}
+}
+
+// stressSeeds reports how many seeds to sweep per combination.
+func stressSeeds(t *testing.T) int {
+	if s := os.Getenv("OMXSIM_STRESS_SEEDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("bad OMXSIM_STRESS_SEEDS %q", s)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 1
+	}
+	return 3
+}
+
+// stressSize draws a message size across the protocol's classes:
+// tiny, small, medium (eager) and large (rendezvous pull).
+func stressSize(rng *rand.Rand) int {
+	switch rng.Intn(4) {
+	case 0:
+		return rng.Intn(33) // tiny, incl. zero bytes
+	case 1:
+		return 33 + rng.Intn(4064) // small / single-frag medium
+	case 2:
+		return 4 * 1024 * (1 + rng.Intn(8)) // multi-frag medium
+	default:
+		return 33*1024 + rng.Intn(200*1024) // rendezvous
+	}
+}
+
+// msg is one verified transfer of the storm.
+type msg struct {
+	match    uint64
+	src, dst *cluster.Buffer
+	size     int
+}
+
+// runStorm builds a two-host impaired testbed with eps endpoints per
+// host, fires count messages from every endpoint to every remote
+// endpoint in both directions (shuffled posting order), and verifies
+// every payload byte.
+func runStorm(t *testing.T, kindA, kindB string, seed int64, eps, count int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	c := cluster.New(nil)
+	a, b := c.NewHost("hostA"), c.NewHost("hostB")
+	cluster.Link(a, b, cluster.Impair(cluster.Impairment{
+		Seed:        seed,
+		LossRate:    0.01,
+		ReorderRate: 0.05,
+		DupRate:     0.01,
+		JitterMax:   2 * sim.Microsecond,
+	}))
+	ta, tb := stressStack(kindA, a), stressStack(kindB, b)
+	epsA := make([]openmx.Endpoint, eps)
+	epsB := make([]openmx.Endpoint, eps)
+	for i := 0; i < eps; i++ {
+		epsA[i] = ta.Open(i, 1+i%6)
+		epsB[i] = tb.Open(i, 1+(i+1)%6)
+	}
+
+	// Plan every flow up front: flows[d][i][j] is the message list
+	// from endpoint i to remote endpoint j in direction d (0 = A→B).
+	plan := func(srcH, dstH *cluster.Host, dir int) [][][]msg {
+		out := make([][][]msg, eps)
+		for i := range out {
+			out[i] = make([][]msg, eps)
+			for j := range out[i] {
+				for k := 0; k < count; k++ {
+					n := stressSize(rng)
+					m := msg{
+						match: uint64(dir)<<40 | uint64(i)<<32 | uint64(j)<<16 | uint64(k),
+						src:   srcH.Alloc(n), dst: dstH.Alloc(n), size: n,
+					}
+					m.src.Fill(byte(rng.Intn(255) + 1))
+					out[i][j] = append(out[i][j], m)
+				}
+			}
+		}
+		return out
+	}
+	ab := plan(a, b, 0)
+	ba := plan(b, a, 1)
+
+	completed := 0
+	want := 0
+	spawn := func(name string, ep openmx.Endpoint, peers []openmx.Endpoint, out [][]msg, in [][]msg, shuffle *rand.Rand) {
+		// Gather this endpoint's sends and expected receives, then
+		// post them interleaved in a seeded random order — arrival
+		// order and posting order must not matter.
+		type op struct {
+			send bool
+			m    msg
+			peer openmx.Endpoint
+		}
+		var ops []op
+		for j, ms := range out {
+			for _, m := range ms {
+				ops = append(ops, op{send: true, m: m, peer: peers[j]})
+			}
+		}
+		for _, ms := range in {
+			for _, m := range ms {
+				ops = append(ops, op{m: m})
+			}
+		}
+		shuffle.Shuffle(len(ops), func(x, y int) { ops[x], ops[y] = ops[y], ops[x] })
+		c.Go(name, func(p *sim.Proc) {
+			var reqs []openmx.Request
+			for _, o := range ops {
+				if o.send {
+					reqs = append(reqs, ep.ISend(p, o.peer.Addr(), o.m.match, o.m.src, 0, o.m.size))
+				} else {
+					reqs = append(reqs, ep.IRecv(p, o.m.match, ^uint64(0), o.m.dst, 0, o.m.size))
+				}
+			}
+			for _, r := range reqs {
+				ep.Wait(p, r)
+				completed++
+			}
+		})
+	}
+	for i := 0; i < eps; i++ {
+		// in[j][k] for endpoint i on A: messages B's endpoint j sends to A's i.
+		inA := make([][]msg, eps)
+		inB := make([][]msg, eps)
+		for j := 0; j < eps; j++ {
+			inA[j] = ba[j][i]
+			inB[j] = ab[j][i]
+		}
+		spawn(fmt.Sprintf("A%d", i), epsA[i], epsB, ab[i], inA, rand.New(rand.NewSource(seed+int64(i)+100)))
+		spawn(fmt.Sprintf("B%d", i), epsB[i], epsA, ba[i], inB, rand.New(rand.NewSource(seed+int64(i)+200)))
+		for j := 0; j < eps; j++ {
+			want += len(ab[i][j]) + len(ba[i][j]) // sends
+		}
+	}
+	want *= 2 // each message completes once as a send, once as a receive
+
+	c.RunFor(120 * sim.Second)
+	defer c.Close()
+	if completed != want {
+		t.Fatalf("%s↔%s seed %d: %d/%d operations completed (deadlock or lost message)",
+			kindA, kindB, seed, completed, want)
+	}
+	bad := 0
+	check := func(flows [][][]msg) {
+		for _, byPeer := range flows {
+			for _, ms := range byPeer {
+				for _, m := range ms {
+					if !cluster.Equal(m.src, m.dst) {
+						bad++
+					}
+				}
+			}
+		}
+	}
+	check(ab)
+	check(ba)
+	if bad > 0 {
+		t.Fatalf("%s↔%s seed %d: %d corrupted payloads", kindA, kindB, seed, bad)
+	}
+	if ns := c.NetStats(); ns.TotalWireLoss() == 0 {
+		t.Fatalf("%s↔%s seed %d: impairment lost nothing — storm too small to mean anything", kindA, kindB, seed)
+	}
+}
+
+// TestStressStormUnderImpairment is the storm battery across the
+// three stack combinations.
+func TestStressStormUnderImpairment(t *testing.T) {
+	seeds := stressSeeds(t)
+	eps, count := 3, 3
+	if testing.Short() {
+		eps, count = 2, 2
+	}
+	for _, combo := range stressCombos() {
+		combo := combo
+		t.Run(fmt.Sprintf("%s-%s", combo[0], combo[1]), func(t *testing.T) {
+			for s := 0; s < seeds; s++ {
+				runStorm(t, combo[0], combo[1], int64(1000+s*17), eps, count)
+			}
+		})
+	}
+}
+
+// TestStormThroughCongestedSwitch runs the Open-MX storm through a
+// switch with tiny bounded output queues plus background cross
+// traffic: congestion tail-drop must be survivable, and the drop
+// counters must show it happened.
+func TestStormThroughCongestedSwitch(t *testing.T) {
+	c := cluster.New(nil)
+	a, b := c.NewHost("hostA"), c.NewHost("hostB")
+	g := c.NewHost("hostG") // cross-traffic generator
+	sw := c.NewSwitch(cluster.SwitchQueue(8))
+	sw.Attach(a)
+	sw.Attach(b)
+	sw.Attach(g)
+	ta := stressStack("openmx", a)
+	tb := stressStack("openmx", b)
+	stressStack("openmx", g) // gives the generator's frames a discarding stack
+	ea, eb := ta.Open(0, 2), tb.Open(0, 2)
+	c.StartCrossTraffic(g, b, cluster.CrossTrafficConfig{
+		Seed: 5, BytesPerSec: 600e6, FrameBytes: 4096, Duration: 200 * sim.Millisecond,
+	})
+
+	const count = 20
+	n := 64 * 1024
+	srcs := make([]*cluster.Buffer, count)
+	dsts := make([]*cluster.Buffer, count)
+	for i := range srcs {
+		srcs[i], dsts[i] = a.Alloc(n), b.Alloc(n)
+		srcs[i].Fill(byte(i + 1))
+	}
+	done := 0
+	c.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < count; i++ {
+			r := eb.IRecv(p, uint64(i), ^uint64(0), dsts[i], 0, n)
+			eb.Wait(p, r)
+			done++
+		}
+	})
+	c.Go("send", func(p *sim.Proc) {
+		var reqs []openmx.Request
+		for i := 0; i < count; i++ {
+			reqs = append(reqs, ea.ISend(p, eb.Addr(), uint64(i), srcs[i], 0, n))
+		}
+		for _, r := range reqs {
+			ea.Wait(p, r)
+		}
+	})
+	c.RunFor(60 * sim.Second)
+	defer c.Close()
+	if done != count {
+		t.Fatalf("completed %d/%d through the congested switch", done, count)
+	}
+	for i := range srcs {
+		if !cluster.Equal(srcs[i], dsts[i]) {
+			t.Fatalf("message %d corrupted", i)
+		}
+	}
+	ns := c.NetStats()
+	if len(ns.Switches) != 1 {
+		t.Fatalf("switches in stats: %d", len(ns.Switches))
+	}
+	var tailDrops int64
+	for _, p := range ns.Switches[0].Ports {
+		tailDrops += p.Out.TailDrops
+	}
+	if tailDrops == 0 {
+		t.Fatal("congested switch tail-dropped nothing — queue bound not exercised")
+	}
+}

@@ -14,6 +14,7 @@
 //	omxsim timeline         Figs. 5/6 receive timelines (ASCII)
 //	omxsim nasis            NAS IS proxy comparison
 //	omxsim coll             collective latency, I/OAT on/off, 4-16 procs
+//	omxsim loss             goodput/latency/retransmits vs frame loss
 //	omxsim all              everything above
 //
 // Each figure shards its independent simulation points across a
@@ -124,6 +125,7 @@ var commands = []command{
 	{"timeline", "Figs. 5/6: receive timelines", runTimeline},
 	{"nasis", "NAS IS proxy", runNASIS},
 	{"coll", "collective latency vs size, I/OAT on/off, 4-16 procs", runColl},
+	{"loss", "goodput/latency/retransmits vs frame-loss rate, both stacks", runLoss},
 	{"ablate", "ablations: thresholds, pull window, IRQ steering, extensions", runAblate},
 }
 
@@ -179,6 +181,10 @@ func runColl() string {
 		return out + figures.RenderColl(nil)
 	}
 	return figures.RenderColl(tables)
+}
+
+func runLoss() string {
+	return figures.RenderLoss(figures.LossSweep())
 }
 
 func runAblate() string {

@@ -24,7 +24,13 @@
 //   - internal/... — the machine model (cpu, hostmem, memmodel, bus,
 //     nic, wire, ioat) and the protocol stacks (core is the Open-MX
 //     library + driver, internal/mxoe the native firmware baseline).
-//   - cluster — hosts, links and switches composed into a testbed.
+//   - cluster — hosts, links and switches composed into a testbed,
+//     plus the network-impairment surface: seeded deterministic
+//     loss/reorder/duplication/jitter/rate-asymmetry profiles on any
+//     link direction or switch port (cluster.Impair, SwitchImpair),
+//     bounded switch output queues with tail-drop (SwitchQueue),
+//     background cross-traffic generators (StartCrossTraffic) and
+//     the NetStats counter snapshot.
 //   - openmx, mxoe — the public endpoint APIs over either stack.
 //   - mpi — an MPI layer over the transport-neutral endpoint
 //     interface: point-to-point plus the full collective set
@@ -59,11 +65,17 @@
 //	go run ./cmd/omxsim all
 //
 // or one figure at a time (fig3, fig7 … fig12, micro, timeline,
-// nasis, coll, ablate); add -progress for live sweep progress and
-// ETA, and -plot for ASCII plots. The coll figure goes beyond the
-// paper: collective latency versus message size with I/OAT offload
-// on/off at 4–16 processes, the larger worlds connected through a
-// simulated Ethernet switch. The IMB suite runs standalone via
+// nasis, coll, loss, ablate); add -progress for live sweep progress
+// and ETA, and -plot for ASCII plots. Two figures go beyond the
+// paper: coll sweeps collective latency versus message size with
+// I/OAT offload on/off at 4–16 processes (larger worlds connected
+// through a simulated Ethernet switch), and loss sweeps frame-loss
+// rate × message size on a seeded impaired link, reporting goodput,
+// p50/p99 latency and retransmission counts for both stacks — the
+// reliability paths (cumulative acks with wraparound-safe serial
+// arithmetic, duplicate suppression, exponential-backoff
+// retransmission, pull-block retry) recover everything
+// deterministically. The IMB suite runs standalone via
 //
 //	go run ./cmd/omx-imb -test all -ppn 2
 //	go run ./cmd/omx-imb -test allreduce,alltoall,bcast -nodes 8 -ppn 2

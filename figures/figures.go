@@ -31,8 +31,25 @@ type Stack struct {
 	Kind string
 	// OMX configures the Open-MX stack (Kind "openmx").
 	OMX openmx.Config
-	// MXRegCache configures the native stack (Kind "mxoe").
+	// MXRegCache enables the native stack's registration cache
+	// (Kind "mxoe").
 	MXRegCache bool
+	// MX carries the native stack's remaining options (retransmit
+	// tuning for impaired sweeps); MXRegCache wins over MX.RegCache
+	// when set.
+	MX mxoe.Config
+}
+
+// mxConfig resolves the native-stack configuration: MX carries the
+// full option set, with the legacy MXRegCache flag overriding its
+// RegCache field when set. Every figure that attaches an mxoe stack
+// must go through this one merge.
+func (s Stack) mxConfig() mxoe.Config {
+	cfg := s.MX
+	if s.MXRegCache {
+		cfg.RegCache = true
+	}
+	return cfg
 }
 
 // Name returns the paper-style legend label for the stack.
@@ -99,7 +116,7 @@ func newTestbedN(s Stack, nodes, ppn int) *testbed {
 	open := func(h *cluster.Host) openmx.Transport {
 		switch s.Kind {
 		case "mxoe":
-			return mxoe.Attach(h, mxoe.Config{RegCache: s.MXRegCache})
+			return mxoe.Attach(h, s.mxConfig())
 		case "openmx":
 			return openmx.Attach(h, s.OMX)
 		}

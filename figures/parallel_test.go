@@ -69,6 +69,29 @@ func TestParallelMatchesSerialFig12(t *testing.T) {
 	}
 }
 
+// TestParallelMatchesSerialLoss: the determinism guardrail extended
+// to impaired sweeps — seeded loss injection must be exactly as
+// reproducible as a clean run, so sharding the loss figure across
+// workers changes nothing but wall time.
+func TestParallelMatchesSerialLoss(t *testing.T) {
+	rates := []float64{0, 0.03}
+	sizes := []int{64 << 10}
+	run := func(workers int) (pts []LossPoint) {
+		withPool(workers, func() { pts = lossSweepOver(rates, sizes, 10) })
+		return pts
+	}
+	serial, parallel := run(1), run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("parallel loss sweep differs from serial:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+	// And run-to-run: a second serial sweep must be bit-identical.
+	if again := run(1); !reflect.DeepEqual(serial, again) {
+		t.Errorf("loss sweep not run-to-run deterministic:\nfirst:  %+v\nsecond: %+v",
+			serial, again)
+	}
+}
+
 // TestSharedCurveCache: regenerating Figures 3 and 8 on one pool
 // simulates their three shared curves once — the repeated-sweep
 // optimization the runner cache exists for.

@@ -79,6 +79,12 @@ type Config struct {
 	// RetransmitTimeout for pull blocks, rendezvous requests and
 	// unacked eager messages.
 	RetransmitTimeout sim.Duration
+	// RetransmitBackoff multiplies the timeout after every
+	// consecutive unanswered retransmission (exponential backoff;
+	// 1 disables). RetransmitMax caps the backed-off timeout.
+	// Attempt counters reset on any acknowledged progress.
+	RetransmitBackoff float64
+	RetransmitMax     sim.Duration
 	// DeferredAckDelay before an explicit ack frame is emitted when no
 	// reverse traffic piggybacks it.
 	DeferredAckDelay sim.Duration
@@ -112,6 +118,8 @@ func Defaults() Config {
 		PullBlocks:        2,
 		RingSlots:         512,
 		RetransmitTimeout: 50 * sim.Millisecond,
+		RetransmitBackoff: 2,
+		RetransmitMax:     800 * sim.Millisecond,
 		DeferredAckDelay:  100 * sim.Microsecond,
 	}
 }
@@ -141,6 +149,14 @@ func (c *Config) fillDefaults() {
 	}
 	if c.RetransmitTimeout == 0 {
 		c.RetransmitTimeout = d.RetransmitTimeout
+	}
+	if c.RetransmitBackoff == 0 {
+		c.RetransmitBackoff = d.RetransmitBackoff
+	}
+	if c.RetransmitMax == 0 {
+		// Scale the cap with a custom base timeout: 16x the base,
+		// i.e. four doublings at the default backoff of 2.
+		c.RetransmitMax = 16 * c.RetransmitTimeout
 	}
 	if c.DeferredAckDelay == 0 {
 		c.DeferredAckDelay = d.DeferredAckDelay
@@ -193,8 +209,13 @@ type Stack struct {
 	pulls      map[int]*largePull // by receiver handle
 
 	// Rendezvous dedup: remembers handled rendezvous by (src, seq) so
-	// retransmitted requests don't restart transfers.
+	// retransmitted requests don't restart transfers. Completed
+	// entries are kept (to re-ack lost RndvAcks) in a bounded FIFO:
+	// rndvDone evicts the oldest past proto.RndvDedupWindow, so the
+	// map cannot grow without bound and a wrapped-around sequence
+	// number cannot collide with an ancient entry.
 	rndvSeen map[rndvKey]*rndvState
+	rndvDone []rndvKey
 
 	Stats Stats
 }
@@ -251,8 +272,10 @@ type largeSend struct {
 	buf    *hostmem.Buffer
 	off, n int
 	seq    uint32
-	// rtx re-sends the rendezvous request if no pull ever arrives.
+	// rtx re-sends the rendezvous request if no pull ever arrives;
+	// attempts drives its exponential backoff.
 	rtx      *sim.Timer
+	attempts int
 	pulled   bool
 	finished bool
 }
@@ -299,6 +322,7 @@ type pullBlock struct {
 	fragCount int
 	gotMask   uint64
 	timer     *sim.Timer
+	attempts  int // consecutive timer expiries without progress
 }
 
 func (b *pullBlock) fullMask() uint64 { return (uint64(1) << b.fragCount) - 1 }

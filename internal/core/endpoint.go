@@ -115,13 +115,14 @@ type uxMsg struct {
 }
 
 // txChan is the reliability state towards one remote endpoint: unacked
-// eager sends and the retransmission timer.
+// eager sends, the retransmission timer and its backoff attempt count.
 type txChan struct {
-	dst      proto.Addr
-	nextSeq  uint32
-	ackedSeq uint32
-	unacked  []*eagerSend
-	rtx      *sim.Timer
+	dst         proto.Addr
+	nextSeq     uint32
+	ackedSeq    uint32
+	unacked     []*eagerSend
+	rtx         *sim.Timer
+	rtxAttempts int
 }
 
 type eagerSend struct {
@@ -135,12 +136,19 @@ type eagerSend struct {
 // rxChan is the receive-side state from one remote endpoint:
 // reassembly, cumulative-ack tracking and the deferred-ack timer.
 type rxChan struct {
-	src          proto.Addr
-	completeSeq  uint32 // cumulative: all sequences ≤ this fully received
-	completedSet map[uint32]bool
-	asm          map[uint32]*assembly
-	lastAckSent  uint32
-	ackTimer     *sim.Timer
+	src proto.Addr
+	// win is the shared cumulative completion window (the wire
+	// semantics both stacks must agree on live in internal/proto).
+	win proto.Window
+	asm map[uint32]*assembly
+	// fragSeen is the driver-side per-message fragment bitmap:
+	// retransmitted duplicates of individual fragments are dropped in
+	// the bottom half, before they can consume a ring slot or queue
+	// an event the library might never process (entries retire when
+	// the message completes and isDup takes over).
+	fragSeen    map[uint32]uint64
+	lastAckSent uint32
+	ackTimer    *sim.Timer
 }
 
 type assembly struct {
@@ -210,7 +218,12 @@ func (ep *Endpoint) txChan(dst proto.Addr) *txChan {
 func (ep *Endpoint) rxChan(src proto.Addr) *rxChan {
 	c := ep.rxChans[src]
 	if c == nil {
-		c = &rxChan{src: src, completedSet: make(map[uint32]bool), asm: make(map[uint32]*assembly)}
+		c = &rxChan{
+			src:      src,
+			win:      proto.NewWindow(),
+			asm:      make(map[uint32]*assembly),
+			fragSeen: make(map[uint32]uint64),
+		}
 		ep.rxChans[src] = c
 	}
 	return c
@@ -267,8 +280,8 @@ func (ep *Endpoint) takeAck(dst proto.Addr) uint32 {
 		c.ackTimer.Stop()
 		c.ackTimer = nil
 	}
-	c.lastAckSent = c.completeSeq
-	return c.completeSeq
+	c.lastAckSent = c.win.Edge()
+	return c.win.Edge()
 }
 
 // matches implements MX matching: the receive's masked match value
@@ -329,25 +342,66 @@ func (ep *Endpoint) IRecv(p *sim.Proc, match, mask uint64, buf *hostmem.Buffer, 
 	}
 
 	// In-progress unexpected assemblies may be claimed by a new post.
+	// Candidate selection must not depend on Go map iteration order:
+	// with several matching partial messages (wildcard masks under
+	// reordering), the lowest (source, sequence) wins, keeping runs
+	// bit-reproducible.
+	var claim *assembly
 	for _, c := range ep.rxChans {
 		for _, a := range c.asm {
-			if a.dst == nil && matches(match, mask, a.match) {
-				a.dst = r
-				if a.arrived > 0 && a.tmp != nil {
-					bytes := min(min(a.arrived*proto.MediumFragSize, a.msgLen), r.n)
-					if bytes > 0 {
-						d := ep.S.H.Copy.Memcpy(r.buf, r.off, a.tmp, 0, bytes, ep.Core)
-						ep.core().RunOn(p, cpu.UserLib, d)
-					}
-				}
-				a.tmp = nil
-				return r
+			if a.dst == nil && matches(match, mask, a.match) && (claim == nil || claimBefore(a, claim)) {
+				claim = a
 			}
 		}
+	}
+	if claim != nil {
+		claim.dst = r
+		if claim.arrived > 0 && claim.tmp != nil {
+			ep.claimArrived(p, r, claim.got, claim.arrived, claim.msgLen, claim.tmp)
+		}
+		claim.tmp = nil
+		return r
 	}
 
 	ep.posted = append(ep.posted, r)
 	return r
+}
+
+// claimBefore orders claim candidates deterministically (see
+// proto.ClaimBefore).
+func claimBefore(a, b *assembly) bool {
+	return proto.ClaimBefore(a.src, a.seq, b.src, b.seq)
+}
+
+// claimArrived copies the already-arrived fragments of a claimed
+// in-progress assembly from its temporary storage into the posted
+// receive. A contiguous prefix (the loss-free case) moves as one
+// memcpy; with holes — retransmission still in flight — each arrived
+// fragment is copied at its own offset, because a prefix copy would
+// silently drop data that arrived beyond the first hole and will
+// never be retransmitted.
+func (ep *Endpoint) claimArrived(p *sim.Proc, r *Request, got uint64, arrived, msgLen int, tmp *hostmem.Buffer) {
+	limit := min(msgLen, r.n)
+	if got == (uint64(1)<<uint(arrived))-1 {
+		bytes := min(arrived*proto.MediumFragSize, limit)
+		if bytes > 0 {
+			d := ep.S.H.Copy.Memcpy(r.buf, r.off, tmp, 0, bytes, ep.Core)
+			ep.core().RunOn(p, cpu.UserLib, d)
+		}
+		return
+	}
+	for f := 0; got>>uint(f) != 0; f++ {
+		if got&(uint64(1)<<uint(f)) == 0 {
+			continue
+		}
+		off := f * proto.MediumFragSize
+		n := min(proto.MediumFragSize, limit-off)
+		if n <= 0 {
+			continue
+		}
+		d := ep.S.H.Copy.Memcpy(r.buf, r.off+off, tmp, off, n, ep.Core)
+		ep.core().RunOn(p, cpu.UserLib, d)
+	}
 }
 
 // Wait blocks p until r completes, running the library progress engine
@@ -416,7 +470,7 @@ func (ep *Endpoint) handleEvent(p *sim.Proc, ev *event) {
 // Figure 2), reassemble, complete.
 func (ep *Endpoint) handleEagerFrag(p *sim.Proc, ev *event) {
 	c := ep.rxChan(ev.src)
-	if ev.seq <= c.completeSeq || c.completedSet[ev.seq] {
+	if c.isDup(ev.seq) {
 		// Duplicate of a fully received message that slipped past the
 		// driver check (completed between BH and library processing):
 		// drop payload, make sure an ack goes out.
@@ -477,8 +531,7 @@ func (ep *Endpoint) handleEagerFrag(p *sim.Proc, ev *event) {
 
 	if a.arrived == a.fragCnt {
 		delete(c.asm, ev.seq)
-		c.completedSet[ev.seq] = true
-		c.advanceCumulative()
+		c.markComplete(ev.seq)
 		if a.dst != nil {
 			ep.completeRecv(a.dst, a.src, a.match, min(a.msgLen, a.dst.n))
 		} else {
@@ -494,13 +547,6 @@ func (ep *Endpoint) releaseSlot(ev *event) {
 	}
 }
 
-func (c *rxChan) advanceCumulative() {
-	for c.completedSet[c.completeSeq+1] {
-		c.completeSeq++
-		delete(c.completedSet, c.completeSeq)
-	}
-}
-
 func (ep *Endpoint) completeRecv(r *Request, src proto.Addr, match uint64, n int) {
 	r.Len = n
 	r.SenderAddr = src
@@ -513,11 +559,10 @@ func (ep *Endpoint) completeRecv(r *Request, src proto.Addr, match uint64, n int
 // reliability), then match or queue it.
 func (ep *Endpoint) handleRndv(p *sim.Proc, ev *event) {
 	c := ep.rxChan(ev.src)
-	if ev.seq <= c.completeSeq || c.completedSet[ev.seq] {
+	if c.isDup(ev.seq) {
 		return // duplicate
 	}
-	c.completedSet[ev.seq] = true
-	c.advanceCumulative()
+	c.markComplete(ev.seq)
 	ep.scheduleAck(c)
 	u := &uxMsg{kind: uxRndv, src: ev.src, match: ev.match, seq: ev.seq, msgLen: ev.msgLen, handle: ev.handle}
 	for i, r := range ep.posted {
@@ -552,8 +597,7 @@ func (ep *Endpoint) handleLocalMsg(p *sim.Proc, ev *event) {
 func (ep *Endpoint) eagerSendOp(p *sim.Proc, r *Request) {
 	s := ep.S
 	tc := ep.txChan(r.dst)
-	tc.nextSeq++
-	r.seq = tc.nextSeq
+	r.seq = tc.nextTxSeq()
 	frags := proto.MediumFragsOf(r.n)
 	cost := sim.Duration(s.H.P.SyscallCost + int64(frags)*s.H.P.OMXTxBuildCost)
 	ep.core().RunOn(p, cpu.DriverCmd, cost)
@@ -588,17 +632,20 @@ func (s *Stack) transmitEager(ep *Endpoint, tc *txChan, seq uint32, match uint64
 	}
 }
 
-// armEagerRtx (re)arms the eager retransmission timer for a channel.
+// armEagerRtx (re)arms the eager retransmission timer for a channel,
+// backing off exponentially while the peer shows no progress (any
+// cumulative-ack advance resets the attempt count).
 func (ep *Endpoint) armEagerRtx(tc *txChan) {
 	if tc.rtx != nil || len(tc.unacked) == 0 {
 		return
 	}
 	s := ep.S
-	tc.rtx = s.H.E.Schedule(s.Cfg.RetransmitTimeout, func() {
+	tc.rtx = s.H.E.Schedule(s.Cfg.rtxTimeout(tc.rtxAttempts), func() {
 		tc.rtx = nil
 		if len(tc.unacked) == 0 {
 			return
 		}
+		tc.rtxAttempts++
 		s.Stats.EagerRetransmits++
 		// Rebuild and resend every unacked message; receivers dedup.
 		var build int64
@@ -622,8 +669,7 @@ func (ep *Endpoint) armEagerRtx(tc *txChan) {
 func (ep *Endpoint) rndvSend(p *sim.Proc, r *Request) {
 	s := ep.S
 	tc := ep.txChan(r.dst)
-	tc.nextSeq++
-	r.seq = tc.nextSeq
+	r.seq = tc.nextTxSeq()
 	cost := sim.Duration(s.H.P.SyscallCost+s.H.P.OMXTxBuildCost) + ep.pinCost(r.buf, r.n)
 	ep.core().RunOn(p, cpu.DriverCmd, cost)
 
@@ -644,15 +690,21 @@ func (s *Stack) transmitRndv(ls *largeSend) {
 	}, nil)
 }
 
+// armRndvRtx watches a rendezvous send for progress; without any it
+// re-sends the request, backing off exponentially until the receiver
+// answers (progress resets the backoff).
 func (s *Stack) armRndvRtx(ls *largeSend) {
-	ls.rtx = s.H.E.Schedule(s.Cfg.RetransmitTimeout, func() {
+	ls.rtx = s.H.E.Schedule(s.Cfg.rtxTimeout(ls.attempts), func() {
 		if ls.finished {
 			return
 		}
 		if !ls.pulled {
 			// The request (or everything since) was lost: resend it.
+			ls.attempts++
 			s.Stats.RndvRetransmits++
 			s.transmitRndv(ls)
+		} else {
+			ls.attempts = 0
 		}
 		ls.pulled = false // expect further progress before next firing
 		s.armRndvRtx(ls)

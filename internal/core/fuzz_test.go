@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"omxsim/internal/proto"
+)
+
+// FuzzReliabilityWindow drives the reliability window and cumulative
+// ack state machines (reliability.go) with an arbitrary operation
+// program, starting just below the 32-bit sequence wraparound so
+// every run crosses it. Operations: issue a new sequence, deliver an
+// issued sequence (possibly again — a retransmission), apply the
+// receiver's current cumulative ack, and replay an arbitrary stale
+// ack. A shadow model checks the invariants the protocol relies on:
+//
+//   - a sequence is reported fresh exactly once (duplicates are
+//     always flagged, fresh traffic never is);
+//   - sequence 0 is never issued (it is the wire's no-ack sentinel);
+//   - the cumulative edge only covers delivered sequences;
+//   - acks complete each send exactly once, in serial order, and
+//     stale or duplicate acks complete nothing;
+//   - every unacked send stays strictly after the acked edge.
+//
+// The committed seed corpus (testdata/fuzz/FuzzReliabilityWindow)
+// runs as plain tests in the fast CI job.
+func FuzzReliabilityWindow(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 1, 0, 2, 0})
+	// Issue a window's worth, deliver out of order, ack mid-stream.
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 1, 3, 1, 1, 1, 0, 2, 0, 1, 2, 2, 0})
+	// Duplicate deliveries and stale acks.
+	f.Add([]byte{0, 0, 1, 0, 1, 0, 2, 0, 2, 0, 3, 7, 3, 0, 0, 0, 1, 1, 1, 1})
+	// Long run: march the window well past the wraparound.
+	long := make([]byte, 0, 512)
+	for i := 0; i < 128; i++ {
+		long = append(long, 0, 0, 1, byte(i), 2, 0, 3, byte(i*3))
+	}
+	f.Add(long)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const base = uint32(0xFFFFFF80) // 128 sequences before wrap
+		rx := &rxChan{
+			win:      proto.NewWindowAt(base),
+			asm:      make(map[uint32]*assembly),
+			fragSeen: make(map[uint32]uint64),
+		}
+		tx := &txChan{nextSeq: base, ackedSeq: base}
+
+		delivered := make(map[uint32]bool)
+		ackedReq := make(map[*Request]bool)
+		var issued []uint32
+		var ackValues []uint32 // cumulative edges seen, for stale replay
+
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i]%4, data[i+1]
+			switch op {
+			case 0: // sender issues a new message
+				seq := tx.nextTxSeq()
+				if seq == 0 {
+					t.Fatal("sequence 0 issued")
+				}
+				tx.unacked = append(tx.unacked, &eagerSend{seq: seq, req: &Request{}})
+				issued = append(issued, seq)
+			case 1: // deliver an issued sequence (dup if re-delivered)
+				if len(issued) == 0 {
+					continue
+				}
+				seq := issued[int(arg)%len(issued)]
+				wasDup := rx.isDup(seq)
+				if wasDup != delivered[seq] {
+					t.Fatalf("isDup(%d) = %v, model says delivered=%v", seq, wasDup, delivered[seq])
+				}
+				if !wasDup {
+					rx.markComplete(seq)
+					delivered[seq] = true
+					if !rx.isDup(seq) {
+						t.Fatalf("seq %d not dup immediately after completion", seq)
+					}
+				}
+			case 2: // receiver acks its current cumulative edge
+				edge := rx.win.Edge()
+				ackValues = append(ackValues, edge)
+				done := tx.applyCumulative(edge)
+				for _, r := range done {
+					if ackedReq[r] {
+						t.Fatal("request completed twice")
+					}
+					ackedReq[r] = true
+				}
+				if len(done) > 0 && tx.ackedSeq != edge {
+					t.Fatalf("ackedSeq %d after applying edge %d", tx.ackedSeq, edge)
+				}
+			case 3: // replay an old ack (stale/duplicate)
+				if len(ackValues) == 0 {
+					continue
+				}
+				old := ackValues[int(arg)%len(ackValues)]
+				if !proto.SeqAfter(old, tx.ackedSeq) {
+					if done := tx.applyCumulative(old); done != nil {
+						t.Fatalf("stale ack %d (edge %d) completed %d sends", old, tx.ackedSeq, len(done))
+					}
+				}
+			}
+			// Standing invariants.
+			for _, es := range tx.unacked {
+				if !proto.SeqAfter(es.seq, tx.ackedSeq) {
+					t.Fatalf("unacked seq %d not after acked edge %d", es.seq, tx.ackedSeq)
+				}
+			}
+			if !rx.isDup(rx.win.Edge()) && rx.win.Edge() != base {
+				t.Fatalf("cumulative edge %d not covered by its own window", rx.win.Edge())
+			}
+		}
+		// The cumulative edge must cover only delivered sequences:
+		// walk back from the edge to the base.
+		for s := rx.win.Edge(); s != base; s-- {
+			if s == 0 {
+				continue // skipped sentinel
+			}
+			if !delivered[s] {
+				t.Fatalf("edge %d covers undelivered seq %d", rx.win.Edge(), s)
+			}
+		}
+	})
+}

@@ -1,0 +1,16 @@
+package core
+
+import "testing"
+
+// TestRingSlotLeakRegression replays a seed that once leaked a ring
+// slot: a retransmitted fragment of a still-assembling message
+// arrived in the bottom half moments after the receiving process's
+// last Wait drained the event queue; the duplicate consumed a slot
+// and queued an event nobody would ever process. The driver-side
+// per-fragment bitmap (rxChan.fragSeen) now rejects it before it can
+// touch the ring.
+func TestRingSlotLeakRegression(t *testing.T) {
+	if !propertyStressRun(t, 4172331362154327243) {
+		t.Fatal("seed regressed")
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"omxsim/internal/proto"
+	"omxsim/sim"
+)
+
+// Reliability-window primitives shared by the receive dedup path and
+// the cumulative-ack machinery. Sequence numbers are 32-bit and wrap:
+// all comparisons use serial-number arithmetic (RFC 1982 style), so a
+// channel that has carried 2^32 messages keeps deduplicating and
+// acking correctly across the wraparound. These methods are pure
+// state-machine transitions — no simulated time, no I/O — and are the
+// surface the reliability fuzz target drives.
+
+// nextTxSeq issues the channel's next message sequence (skipping the
+// "no ack" sentinel 0 on wraparound; see proto.NextSeq).
+func (tc *txChan) nextTxSeq() uint32 { return proto.NextSeq(&tc.nextSeq) }
+
+// isDup reports whether seq was already fully received on the
+// channel: covered by the cumulative window or individually recorded
+// ahead of it. Retransmissions of such sequences carry no new data
+// and must only refresh the ack.
+func (c *rxChan) isDup(seq uint32) bool { return c.win.IsDup(seq) }
+
+// markComplete records seq as fully received and advances the
+// cumulative edge over any contiguous run it completes. The
+// per-fragment bitmap retires with it: isDup covers the whole
+// message from here on.
+func (c *rxChan) markComplete(seq uint32) {
+	c.win.MarkComplete(seq)
+	delete(c.fragSeen, seq)
+}
+
+// fragSeenBefore reports whether fragment fragID of message seq was
+// already accepted — the driver-side duplicate check that keeps
+// retransmitted fragments from consuming ring slots or queuing
+// events the library might never drain.
+func (c *rxChan) fragSeenBefore(seq uint32, fragID int) bool {
+	return c.fragSeen[seq]&(uint64(1)<<uint(fragID)) != 0
+}
+
+// markFrag records fragment fragID of message seq as accepted. Only
+// accepted fragments are recorded: a fragment dropped for lack of a
+// ring slot must stay unseen so its retransmission is let through.
+func (c *rxChan) markFrag(seq uint32, fragID int) {
+	c.fragSeen[seq] |= uint64(1) << uint(fragID)
+}
+
+// applyCumulative advances the channel's cumulative ack to ackSeq and
+// returns the sends it completes, oldest first. Stale and duplicate
+// acks (not after the current edge in serial arithmetic) return nil
+// and change nothing; an ack that does advance the edge also resets
+// the retransmission backoff — the peer is alive.
+func (tc *txChan) applyCumulative(ackSeq uint32) []*Request {
+	if ackSeq == 0 || !proto.SeqAfter(ackSeq, tc.ackedSeq) {
+		return nil
+	}
+	tc.ackedSeq = ackSeq
+	tc.rtxAttempts = 0
+	acked, keep := proto.TrimAcked(tc.unacked, func(es *eagerSend) uint32 { return es.seq }, ackSeq)
+	tc.unacked = keep
+	done := make([]*Request, 0, len(acked))
+	for _, es := range acked {
+		done = append(done, es.req)
+	}
+	return done
+}
+
+// rtxTimeout returns the retransmission timeout after the given
+// number of consecutive unanswered attempts: exponential backoff by
+// RetransmitBackoff, capped at RetransmitMax. Attempt counters reset
+// whenever the peer shows progress, so a transient outage does not
+// leave a channel permanently slow.
+func (c *Config) rtxTimeout(attempts int) sim.Duration {
+	return proto.Backoff(c.RetransmitTimeout, c.RetransmitMax, c.RetransmitBackoff, attempts)
+}

@@ -48,27 +48,18 @@ func (s *Stack) chargeEvent(p *sim.Proc, core *cpu.Core) {
 
 // applyAck advances a tx channel's cumulative ack (from an explicit
 // ack frame or a piggybacked AckSeq) and hands completed sends to the
-// library.
+// library. Stale and duplicate acks are ignored (serial arithmetic,
+// so the channel survives sequence wraparound).
 func (s *Stack) applyAck(p *sim.Proc, core *cpu.Core, epID int, from proto.Addr, ackSeq uint32) {
 	ep := s.endpoints[epID]
 	if ep == nil || ackSeq == 0 {
 		return
 	}
 	tc := ep.txChans[from]
-	if tc == nil || ackSeq <= tc.ackedSeq {
+	if tc == nil {
 		return
 	}
-	tc.ackedSeq = ackSeq
-	var done []*Request
-	var keep []*eagerSend
-	for _, es := range tc.unacked {
-		if es.seq <= ackSeq {
-			done = append(done, es.req)
-		} else {
-			keep = append(keep, es)
-		}
-	}
-	tc.unacked = keep
+	done := tc.applyCumulative(ackSeq)
 	if len(tc.unacked) == 0 && tc.rtx != nil {
 		tc.rtx.Stop()
 		tc.rtx = nil
@@ -96,9 +87,16 @@ func (s *Stack) rxEager(p *sim.Proc, core *cpu.Core, skb *nic.Skb, m *proto.Eage
 	// never saw it. This must not depend on the application calling
 	// into the library: acks are a transport responsibility.
 	ch := ep.rxChan(m.Src)
-	if m.Seq <= ch.completeSeq || ch.completedSet[m.Seq] {
+	if ch.isDup(m.Seq) {
 		s.Stats.DupFrags++
 		ep.forceAck(ch)
+		return
+	}
+	if ch.fragSeenBefore(m.Seq, m.FragID) {
+		// A retransmitted fragment of a message still assembling:
+		// the original already holds a ring slot and queued its
+		// event, so this copy must not consume either.
+		s.Stats.DupFrags++
 		return
 	}
 	n := len(skb.Buf.Data)
@@ -111,6 +109,7 @@ func (s *Stack) rxEager(p *sim.Proc, core *cpu.Core, skb *nic.Skb, m *proto.Eage
 	case m.MsgLen <= proto.TinyMax && m.FragCount == 1:
 		// Tiny: payload rides inline in the event; the copy is the
 		// event write itself.
+		ch.markFrag(m.Seq, m.FragID)
 		if n > 0 {
 			ev.inline = append([]byte(nil), skb.Buf.Data...)
 			if !s.Cfg.SkipBHCopy {
@@ -121,8 +120,9 @@ func (s *Stack) rxEager(p *sim.Proc, core *cpu.Core, skb *nic.Skb, m *proto.Eage
 		slot := ep.allocSlot()
 		if slot < 0 {
 			s.Stats.RingDrops++
-			return // dropped; sender retransmission recovers
+			return // dropped (and not recorded); retransmission recovers
 		}
+		ch.markFrag(m.Seq, m.FragID)
 		ev.slot = slot
 		off := ep.slotOff(slot)
 		switch {
@@ -260,6 +260,7 @@ func (s *Stack) rxLargeFrag(p *sim.Proc, core *cpu.Core, skb *nic.Skb, m *proto.
 		return
 	}
 	blk.gotMask |= bit
+	blk.attempts = 0 // fresh data: the sender is making progress
 	lp.received++
 
 	n := len(skb.Buf.Data)
@@ -361,11 +362,15 @@ func (s *Stack) rxLargeFrag(p *sim.Proc, core *cpu.Core, skb *nic.Skb, m *proto.
 }
 
 // markRndvDone flags the rendezvous as complete so duplicate requests
-// get re-acked instead of restarting the transfer.
+// get re-acked instead of restarting the transfer, evicting the
+// oldest completed entry beyond the dedup window.
 func (s *Stack) markRndvDone(lp *largePull) {
-	if st := s.rndvSeen[lp.key]; st != nil {
-		st.done = true
+	st := s.rndvSeen[lp.key]
+	if st == nil {
+		return
 	}
+	st.done = true
+	s.rndvDone = proto.EvictOldest(s.rndvSeen, s.rndvDone, lp.key, proto.RndvDedupWindow)
 }
 
 // cleanup is the paper's Section III-B routine: poll the DMA engine's
@@ -439,15 +444,17 @@ func (s *Stack) sendPullBlock(lp *largePull, blockIdx int, mask uint64) {
 // armBlockTimer (re)arms a pull block's retransmission timer: on
 // expiry, re-request the missing fragments and run the cleanup routine
 // (Section III-B: "this routine is also invoked when the
-// retransmission timeout expires").
+// retransmission timeout expires"). Consecutive expiries without any
+// fragment arriving back off exponentially.
 func (s *Stack) armBlockTimer(lp *largePull, blk *pullBlock) {
 	if blk.timer != nil {
 		blk.timer.Stop()
 	}
-	blk.timer = s.H.E.Schedule(s.Cfg.RetransmitTimeout, func() {
+	blk.timer = s.H.E.Schedule(s.Cfg.rtxTimeout(blk.attempts), func() {
 		if lp.done || blk.complete() {
 			return
 		}
+		blk.attempts++
 		s.Stats.PullRetransmits++
 		need := ^blk.gotMask & blk.fullMask()
 		irq := s.H.Sys.Core(s.H.NIC.IRQCore)
@@ -468,7 +475,7 @@ func (s *Stack) armBlockTimer(lp *largePull, blk *pullBlock) {
 // (piggybacking on reverse traffic usually wins the race and disarms
 // it via takeAck).
 func (ep *Endpoint) scheduleAck(c *rxChan) {
-	if c.completeSeq == c.lastAckSent || c.ackTimer != nil {
+	if c.win.Edge() == c.lastAckSent || c.ackTimer != nil {
 		return
 	}
 	ep.armAckTimer(c, false)
@@ -487,11 +494,11 @@ func (ep *Endpoint) armAckTimer(c *rxChan, force bool) {
 	s := ep.S
 	c.ackTimer = s.H.E.Schedule(s.Cfg.DeferredAckDelay, func() {
 		c.ackTimer = nil
-		if !force && c.completeSeq == c.lastAckSent {
+		if !force && c.win.Edge() == c.lastAckSent {
 			return
 		}
-		c.lastAckSent = c.completeSeq
-		s.transmit(c.src, &proto.Ack{Src: c.src, Dst: ep.Addr(), AckSeq: c.completeSeq}, nil)
+		c.lastAckSent = c.win.Edge()
+		s.transmit(c.src, &proto.Ack{Src: c.src, Dst: ep.Addr(), AckSeq: c.win.Edge()}, nil)
 		s.Stats.AcksSent++
 	})
 }

@@ -15,13 +15,15 @@ const mxBlockFrags = 32
 // interrupt, no bottom half, no host CPU. Data movement happens by NIC
 // DMA whose latency is modelled; everything else is "free" for the
 // host, which is exactly what makes native MX the paper's baseline.
+// Reliability — duplicate suppression, cumulative acks, retransmission
+// — also lives here, below the host's sight, as on real Myri-10G
+// boards.
 func (s *Stack) firmwareRx(f *wire.Frame) {
 	switch m := f.Msg.(type) {
 	case *proto.Eager:
 		s.fwEager(f, m)
 	case *proto.Ack:
-		// Firmware-level transport ack: nothing to do for the MX
-		// model (sends complete at post time for eager messages).
+		s.fwAck(m)
 	case *proto.RndvRequest:
 		s.fwRndv(m)
 	case *proto.Pull:
@@ -38,16 +40,66 @@ func (s *Stack) dmaDelay(n int) sim.Duration {
 	return sim.Duration(s.H.P.NICFixedLatency) + sim.Duration(float64(n)/float64(s.H.P.NICDMARate))
 }
 
+// fwAck applies a (cumulative) transport ack to the sending
+// endpoint's channel, releasing retransmission snapshots.
+func (s *Stack) fwAck(m *proto.Ack) {
+	ep := s.endpoints[m.Src.EP]
+	if ep == nil {
+		return
+	}
+	tc := ep.tx[m.Dst]
+	if tc == nil {
+		return
+	}
+	tc.applyCumulative(m.AckSeq)
+	if len(tc.unacked) == 0 && tc.rtx != nil {
+		tc.rtx.Stop()
+		tc.rtx = nil
+	}
+}
+
 // fwEager deposits an eager fragment into the endpoint's receive
 // queue by DMA and raises a completion event; the library does the
-// single copy to the destination after matching.
+// single copy to the destination after matching. The firmware window
+// suppresses duplicates (re-acking completed messages, since a
+// duplicate proves the sender missed the ack) and tracks per-message
+// fragment bitmaps so retransmissions never double-deliver.
 func (s *Stack) fwEager(f *wire.Frame, m *proto.Eager) {
 	ep := s.endpoints[m.Dst.EP]
 	if ep == nil {
 		return
 	}
+	if m.AckSeq != 0 {
+		s.fwAck(&proto.Ack{Src: m.Dst, Dst: m.Src, AckSeq: m.AckSeq})
+	}
+	ch := ep.mxRx(m.Src)
+	if ch.isDup(m.Seq) {
+		s.Stats.DupFrags++
+		// The sender clearly lost our ack: refresh it immediately.
+		s.transmit(m.Src, &proto.Ack{Src: m.Src, Dst: ep.Addr(), AckSeq: ch.win.Edge()}, nil)
+		return
+	}
+	a := ch.asm[m.Seq]
+	if a == nil {
+		a = &fwAsm{cnt: m.FragCount}
+		ch.asm[m.Seq] = a
+	}
+	bit := uint64(1) << uint(m.FragID)
+	if a.got&bit != 0 {
+		s.Stats.DupFrags++
+		return
+	}
 	if len(ep.freeSlots) == 0 {
-		return // queue overrun; MX flow control normally prevents this
+		// Queue overrun: drop without recording the fragment; the
+		// sender's retransmission timer recovers it.
+		s.Stats.QueueDrops++
+		return
+	}
+	a.got |= bit
+	a.arrived++
+	if a.arrived == a.cnt {
+		delete(ch.asm, m.Seq)
+		ch.markComplete(m.Seq)
 	}
 	slot := ep.freeSlots[len(ep.freeSlots)-1]
 	ep.freeSlots = ep.freeSlots[:len(ep.freeSlots)-1]
@@ -66,11 +118,28 @@ func (s *Stack) fwEager(f *wire.Frame, m *proto.Eager) {
 }
 
 // fwRndv raises a rendezvous event after firmware matching delay.
+// Duplicate requests (the sender's request-retransmission racing a
+// lost answer) are suppressed; if the transfer already finished, the
+// final ack is re-sent instead.
 func (s *Stack) fwRndv(m *proto.RndvRequest) {
 	ep := s.endpoints[m.Dst.EP]
 	if ep == nil {
 		return
 	}
+	if m.AckSeq != 0 {
+		s.fwAck(&proto.Ack{Src: m.Dst, Dst: m.Src, AckSeq: m.AckSeq})
+	}
+	key := rndvKey{src: m.Src, dst: m.Dst.EP, seq: m.Seq}
+	if st := s.rndvSeen[key]; st != nil {
+		if st.done {
+			s.transmit(m.Src, &proto.RndvAck{Src: ep.Addr(), Dst: m.Src, SenderHandle: st.sender}, nil)
+		}
+		return // in progress: pull-block timers drive recovery
+	}
+	s.rndvSeen[key] = &rndvState{sender: m.SenderHandle, recvEP: m.Dst.EP}
+	// A rendezvous consumes a sequence number on the eager channel so
+	// cumulative acks can advance across it.
+	ep.mxRx(m.Src).markComplete(m.Seq)
 	s.H.E.Schedule(sim.Duration(s.H.P.MXFirmwareMatchCost), func() {
 		ep.pushEvent(&event{kind: evRndv, src: m.Src, match: m.Match, seq: m.Seq,
 			msgLen: m.MsgLen, handle: m.SenderHandle})
@@ -79,19 +148,29 @@ func (s *Stack) fwRndv(m *proto.RndvRequest) {
 
 // fwPull streams the requested fragments from the pinned user buffer,
 // paced by the firmware's control overhead: this pacing is what puts
-// native MX at ≈1140 MiB/s instead of the 1186 MiB/s line rate.
+// native MX at ≈1140 MiB/s instead of the 1186 MiB/s line rate. The
+// NeedMask selects which fragments of the block to send — all of them
+// on the first request, the missing subset on retransmissions.
 func (s *Stack) fwPull(m *proto.Pull) {
 	ms := s.sends[m.SenderHandle]
 	if ms == nil {
 		return
 	}
-	frag := m.FirstFrag
-	end := m.FirstFrag + m.FragCount
+	ms.pulled = true
+	var frags []int
+	for i := 0; i < m.FragCount; i++ {
+		if m.NeedMask&(uint64(1)<<uint(i)) != 0 {
+			frags = append(frags, m.FirstFrag+i)
+		}
+	}
+	idx := 0
 	var sendNext func()
 	sendNext = func() {
-		if frag >= end {
+		if idx >= len(frags) {
 			return
 		}
+		frag := frags[idx]
+		idx++
 		fo := frag * proto.LargeFragSize
 		fl := min(proto.LargeFragSize, ms.n-fo)
 		if fl <= 0 {
@@ -104,9 +183,8 @@ func (s *Stack) fwPull(m *proto.Pull) {
 			RecvHandle: m.RecvHandle, Block: m.Block,
 			FragID: frag, Offset: fo, MsgLen: ms.n,
 		}, payload)
-		s.FragsSent++
-		frag++
-		if frag < end {
+		s.Stats.FragsSent++
+		if idx < len(frags) {
 			// Pace at wire time plus the control-overhead fraction.
 			wireTime := float64(fl+s.H.P.OMXHeaderBytes+s.H.P.EthFrameOverhead) / float64(s.H.P.WireRate)
 			gap := sim.Duration(wireTime * (1 + s.H.P.MXControlOverhead))
@@ -118,11 +196,31 @@ func (s *Stack) fwPull(m *proto.Pull) {
 
 // fwLargeFrag deposits a pulled fragment directly into the pinned
 // destination buffer — the zero-copy receive that commodity Ethernet
-// NICs cannot do — and requests further blocks as they complete.
+// NICs cannot do — and requests further blocks as transfers progress.
+// Per-block bitmaps suppress duplicate fragments, and completed
+// blocks retire their retransmission timers.
 func (s *Stack) fwLargeFrag(f *wire.Frame, m *proto.LargeFrag) {
 	lp := s.pulls[m.RecvHandle]
-	if lp == nil {
+	if lp == nil || lp.done {
 		return
+	}
+	blk := lp.blocks[m.Block]
+	if blk == nil {
+		s.Stats.DupFrags++
+		return // block already completed: stale retransmission
+	}
+	bit := uint64(1) << uint(m.FragID-blk.firstFrag)
+	if blk.got&bit != 0 {
+		s.Stats.DupFrags++
+		return
+	}
+	blk.got |= bit
+	blk.attempts = 0
+	if blk.complete() {
+		if blk.timer != nil {
+			blk.timer.Stop()
+		}
+		delete(lp.blocks, m.Block)
 	}
 	n := len(f.Data)
 	s.H.E.Schedule(s.dmaDelay(n), func() {
@@ -130,13 +228,20 @@ func (s *Stack) fwLargeFrag(f *wire.Frame, m *proto.LargeFrag) {
 		copy(lp.buf.Data[dstOff:dstOff+n], f.Data)
 		lp.buf.WrittenByDMA()
 		lp.arrived++
-		// When the just-finished fragment closes a block, ask for the
-		// next outstanding block (two are pipelined).
+		// When another block's worth of fragments has landed, ask for
+		// the next outstanding block (two are pipelined).
 		if lp.arrived%mxBlockFrags == 0 && lp.nextBlock*mxBlockFrags < lp.frags {
 			s.pullNextBlock(lp)
 		}
 		if lp.arrived == lp.frags {
+			lp.done = true
+			for _, b := range lp.blocks {
+				if b.timer != nil {
+					b.timer.Stop()
+				}
+			}
 			delete(s.pulls, lp.handle)
+			s.markRndvDone(lp.key)
 			lp.req.Len = lp.n
 			lp.ep.pushEvent(&event{kind: evRecvDone, req: lp.req})
 			s.transmit(lp.src, &proto.RndvAck{Src: lp.ep.Addr(), Dst: lp.src, SenderHandle: lp.senderHandle}, nil)
@@ -144,27 +249,30 @@ func (s *Stack) fwLargeFrag(f *wire.Frame, m *proto.LargeFrag) {
 	})
 }
 
-// pullNextBlock issues the next block's pull request from firmware.
+// pullNextBlock issues the next block's pull request from firmware
+// and arms its retransmission timer.
 func (s *Stack) pullNextBlock(lp *mxPull) {
 	firstFrag := lp.nextBlock * mxBlockFrags
 	if firstFrag >= lp.frags {
 		return
 	}
 	count := min(mxBlockFrags, lp.frags-firstFrag)
-	s.transmit(lp.src, &proto.Pull{
-		Src: lp.ep.Addr(), Dst: lp.src,
-		SenderHandle: lp.senderHandle, RecvHandle: lp.handle,
-		Block: lp.nextBlock, FirstFrag: firstFrag, FragCount: count,
-		NeedMask: (uint64(1) << count) - 1,
-	}, nil)
+	blk := &mxBlock{idx: lp.nextBlock, firstFrag: firstFrag, count: count}
+	lp.blocks[lp.nextBlock] = blk
 	lp.nextBlock++
+	s.sendPull(lp, blk, blk.fullMask())
 }
 
-// fwRndvAck completes a large send.
+// fwRndvAck completes a large send and retires its request timer.
 func (s *Stack) fwRndvAck(m *proto.RndvAck) {
 	ms := s.sends[m.SenderHandle]
 	if ms == nil {
 		return
+	}
+	ms.finished = true
+	if ms.rtx != nil {
+		ms.rtx.Stop()
+		ms.rtx = nil
 	}
 	delete(s.sends, ms.handle)
 	ms.ep.pushEvent(&event{kind: evSendDone, req: ms.req})

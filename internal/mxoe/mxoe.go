@@ -22,8 +22,12 @@
 //     NIC's translation table must be updated), making the
 //     registration cache matter more (Figure 11).
 //
-// Reliability is assumed to be handled by the firmware and is not
-// modelled (the loss-injection tests target the Open-MX stack).
+// Reliability is handled entirely by the firmware, as on real
+// Myri-10G boards: cumulative acks, duplicate suppression,
+// retransmission with exponential backoff and pull-block retry all
+// run at frame-arrival time with zero host CPU (see reliability.go).
+// On a clean link none of it costs anything — no timer fires and no
+// extra frame is emitted.
 package mxoe
 
 import (
@@ -43,6 +47,30 @@ type Config struct {
 	RegCache bool
 	// RingSlots is the eager receive queue capacity (4 kiB slots).
 	RingSlots int
+	// RetransmitTimeout is the firmware's base retransmission timeout
+	// for unacked eager messages, rendezvous requests and pull
+	// blocks; RetransmitBackoff multiplies it per consecutive
+	// unanswered attempt (1 disables), capped at RetransmitMax.
+	RetransmitTimeout sim.Duration
+	RetransmitBackoff float64
+	RetransmitMax     sim.Duration
+}
+
+// Stats counts firmware protocol activity for tests and diagnostics.
+type Stats struct {
+	EagerSent        int64
+	RndvSent         int64
+	FragsSent        int64
+	EagerRetransmits int64
+	RndvRetransmits  int64
+	PullRetransmits  int64
+	DupFrags         int64
+	QueueDrops       int64
+}
+
+// Retransmits sums every retransmission class.
+func (st Stats) Retransmits() int64 {
+	return st.EagerRetransmits + st.RndvRetransmits + st.PullRetransmits
 }
 
 // Stack is the native MXoE instance of one host.
@@ -50,13 +78,19 @@ type Stack struct {
 	H   *host.Host
 	Cfg Config
 
-	endpoints  map[int]*Endpoint
-	sends      map[int]*mxSend
-	pulls      map[int]*mxPull
+	endpoints map[int]*Endpoint
+	sends     map[int]*mxSend
+	pulls     map[int]*mxPull
+	// rndvSeen deduplicates retransmitted rendezvous requests;
+	// completed entries are bounded by the rndvDone FIFO (oldest
+	// evicted past proto.RndvDedupWindow) so the map cannot grow
+	// without bound and wrapped sequence numbers cannot hit ancient
+	// entries.
+	rndvSeen   map[rndvKey]*rndvState
+	rndvDone   []rndvKey
 	nextHandle int
 
-	// Stats.
-	EagerSent, RndvSent, FragsSent int64
+	Stats Stats
 }
 
 // Attach builds a native MX stack on h, switching the NIC to firmware
@@ -65,12 +99,22 @@ func Attach(h *host.Host, cfg Config) *Stack {
 	if cfg.RingSlots == 0 {
 		cfg.RingSlots = 512
 	}
+	if cfg.RetransmitTimeout == 0 {
+		cfg.RetransmitTimeout = 50 * sim.Millisecond
+	}
+	if cfg.RetransmitBackoff == 0 {
+		cfg.RetransmitBackoff = 2
+	}
+	if cfg.RetransmitMax == 0 {
+		cfg.RetransmitMax = 16 * cfg.RetransmitTimeout
+	}
 	s := &Stack{
 		H:         h,
 		Cfg:       cfg,
 		endpoints: make(map[int]*Endpoint),
 		sends:     make(map[int]*mxSend),
 		pulls:     make(map[int]*mxPull),
+		rndvSeen:  make(map[rndvKey]*rndvState),
 	}
 	h.NIC.SetFirmware(s.firmwareRx)
 	return s
@@ -92,7 +136,10 @@ type Endpoint struct {
 	ux     []*uxMsg
 	asm    map[asmKey]*assembly
 
-	txSeq    map[proto.Addr]uint32
+	// Firmware reliability state, per peer.
+	tx map[proto.Addr]*mxTxChan
+	rx map[proto.Addr]*mxRxChan
+
 	regcache map[*hostmem.Buffer]bool
 }
 
@@ -152,6 +199,7 @@ type uxMsg struct {
 	kind   uxKind
 	src    proto.Addr
 	match  uint64
+	seq    uint32
 	msgLen int
 	tmp    *hostmem.Buffer
 	handle int
@@ -176,8 +224,15 @@ type mxSend struct {
 	handle int
 	ep     *Endpoint
 	req    *Request
+	dst    proto.Addr
+	seq    uint32
 	buf    *hostmem.Buffer
 	off, n int
+	// Firmware request-retransmission state.
+	rtx      *sim.Timer
+	attempts int
+	pulled   bool
+	finished bool
 }
 
 type mxPull struct {
@@ -186,11 +241,14 @@ type mxPull struct {
 	req          *Request
 	src          proto.Addr
 	senderHandle int
+	key          rndvKey
 	buf          *hostmem.Buffer
 	off, n       int
 	frags        int
 	arrived      int
 	nextBlock    int
+	blocks       map[int]*mxBlock
+	done         bool
 }
 
 // OpenEndpoint creates endpoint id bound to a core.
@@ -203,7 +261,8 @@ func (s *Stack) OpenEndpoint(id, coreID int) *Endpoint {
 		ring:     s.H.Alloc(s.Cfg.RingSlots * proto.MediumFragSize),
 		evSig:    sim.NewSignal(),
 		asm:      make(map[asmKey]*assembly),
-		txSeq:    make(map[proto.Addr]uint32),
+		tx:       make(map[proto.Addr]*mxTxChan),
+		rx:       make(map[proto.Addr]*mxRxChan),
 		regcache: make(map[*hostmem.Buffer]bool),
 	}
 	for i := s.Cfg.RingSlots - 1; i >= 0; i-- {
@@ -270,22 +329,24 @@ func (ep *Endpoint) ISend(p *sim.Proc, dst proto.Addr, match uint64, buf *hostme
 	if dst.Host == s.H.Name {
 		return ep.shmSend(p, r)
 	}
-	ep.txSeq[dst]++
-	seq := ep.txSeq[dst]
+	tc := ep.mxTx(dst)
+	seq := tc.next()
 	if n > 32*1024 {
 		cost := sim.Duration(s.H.P.MXPostCost) + ep.pinCost(buf, n)
 		ep.core().RunOn(p, cpu.UserLib, cost)
 		s.nextHandle++
-		ms := &mxSend{handle: s.nextHandle, ep: ep, req: r, buf: buf, off: off, n: n}
+		ms := &mxSend{handle: s.nextHandle, ep: ep, req: r, dst: dst, seq: seq, buf: buf, off: off, n: n}
 		s.sends[ms.handle] = ms
 		s.transmit(dst, &proto.RndvRequest{
 			Src: ep.Addr(), Dst: dst, Match: match, Seq: seq, MsgLen: n, SenderHandle: ms.handle,
 		}, nil)
-		s.RndvSent++
+		s.Stats.RndvSent++
+		s.armRndvRtx(ms)
 		return r
 	}
 	ep.core().RunOn(p, cpu.UserLib, sim.Duration(s.H.P.MXPostCost))
 	frags := proto.MediumFragsOf(n)
+	u := &mxUnacked{seq: seq}
 	for f := 0; f < frags; f++ {
 		fo := f * proto.MediumFragSize
 		fl := min(proto.MediumFragSize, n-fo)
@@ -297,14 +358,21 @@ func (ep *Endpoint) ISend(p *sim.Proc, dst proto.Addr, match uint64, buf *hostme
 			payload = make([]byte, fl)
 			copy(payload, buf.Data[off+fo:off+fo+fl])
 		}
-		s.transmit(dst, &proto.Eager{
+		m := &proto.Eager{
 			Src: ep.Addr(), Dst: dst, Match: match, Seq: seq, MsgLen: n,
 			FragID: f, FragCount: frags, Offset: fo,
-		}, payload)
+		}
+		u.msgs = append(u.msgs, m)
+		u.loads = append(u.loads, payload)
+		s.transmit(dst, m, payload)
 	}
-	s.EagerSent++
+	s.Stats.EagerSent++
+	// The firmware keeps the frame snapshots until the peer's
+	// cumulative ack covers them, retransmitting on timeout.
+	tc.unacked = append(tc.unacked, u)
+	ep.armEagerRtx(tc)
 	// Eager sends complete at post time: the NIC has snapshot the data
-	// and firmware-level flow control guarantees delivery.
+	// and firmware-level retransmission guarantees delivery.
 	r.done = true
 	return r
 }
@@ -331,8 +399,54 @@ func (ep *Endpoint) IRecv(p *sim.Proc, match, mask uint64, buf *hostmem.Buffer, 
 		}
 		return r
 	}
+	// In-progress unexpected assemblies may be claimed by a new post.
+	// Without this, a message whose first fragment arrived before the
+	// post — possible whenever retransmission delays a fragment —
+	// would complete into the unexpected queue and never be matched.
+	// Selection is by lowest (source, sequence), never by map order,
+	// so runs stay bit-reproducible.
+	var claim *assembly
+	var claimKey asmKey
+	for k, a := range ep.asm {
+		if a.dst == nil && matches(match, mask, a.match) && (claim == nil || claimKeyBefore(k, claimKey)) {
+			claim, claimKey = a, k
+		}
+	}
+	if claim != nil {
+		claim.dst = r
+		if claim.arrived > 0 && claim.tmp != nil {
+			ep.claimArrived(p, r, claim.got, claim.msgLen, claim.tmp)
+		}
+		claim.tmp = nil
+		return r
+	}
 	ep.posted = append(ep.posted, r)
 	return r
+}
+
+// claimKeyBefore orders claim candidates deterministically (see
+// proto.ClaimBefore).
+func claimKeyBefore(a, b asmKey) bool {
+	return proto.ClaimBefore(a.src, a.seq, b.src, b.seq)
+}
+
+// claimArrived copies the already-arrived fragments of a claimed
+// assembly into the posted receive, fragment by fragment (arrivals
+// need not be contiguous once retransmission is involved).
+func (ep *Endpoint) claimArrived(p *sim.Proc, r *Request, got uint64, msgLen int, tmp *hostmem.Buffer) {
+	limit := min(msgLen, r.n)
+	for f := 0; got>>uint(f) != 0; f++ {
+		if got&(uint64(1)<<uint(f)) == 0 {
+			continue
+		}
+		off := f * proto.MediumFragSize
+		n := min(proto.MediumFragSize, limit-off)
+		if n <= 0 {
+			continue
+		}
+		d := ep.S.H.Copy.Memcpy(r.buf, r.off+off, tmp, off, n, ep.Core)
+		ep.core().RunOn(p, cpu.UserLib, d)
+	}
 }
 
 // Wait drives library progress until r completes.
@@ -369,7 +483,7 @@ func (ep *Endpoint) handleEvent(p *sim.Proc, ev *event) {
 	case evEagerFrag:
 		ep.handleEagerFrag(p, ev)
 	case evRndv:
-		u := &uxMsg{kind: uxRndv, src: ev.src, match: ev.match, msgLen: ev.msgLen, handle: ev.handle}
+		u := &uxMsg{kind: uxRndv, src: ev.src, match: ev.match, seq: ev.seq, msgLen: ev.msgLen, handle: ev.handle}
 		for i, r := range ep.posted {
 			if matches(r.match, r.mask, ev.match) {
 				ep.posted = append(ep.posted[:i], ep.posted[i+1:]...)
@@ -444,9 +558,16 @@ func (ep *Endpoint) handleEagerFrag(p *sim.Proc, ev *event) {
 		} else {
 			ep.ux = append(ep.ux, &uxMsg{kind: uxEager, src: ev.src, match: a.match, msgLen: a.msgLen, tmp: a.tmp})
 		}
-		// Transport-level ack so interoperating Open-MX senders can
-		// complete and release their buffers.
-		ep.S.transmit(ev.src, &proto.Ack{Src: ev.src, Dst: ep.Addr(), AckSeq: ev.seq}, nil)
+		// Transport-level cumulative ack: it completes interoperating
+		// Open-MX senders and releases this firmware's own
+		// retransmission snapshots on a native peer. The firmware
+		// window advanced when the last fragment arrived, so its edge
+		// covers ev.seq (and anything completed before it).
+		ack := ev.seq
+		if ch := ep.rx[ev.src]; ch != nil {
+			ack = ch.win.Edge()
+		}
+		ep.S.transmit(ev.src, &proto.Ack{Src: ev.src, Dst: ep.Addr(), AckSeq: ack}, nil)
 	}
 }
 
@@ -462,7 +583,9 @@ func (ep *Endpoint) startPull(p *sim.Proc, r *Request, u *uxMsg) {
 	s.nextHandle++
 	lp := &mxPull{
 		handle: s.nextHandle, ep: ep, req: r, src: u.src, senderHandle: u.handle,
+		key: rndvKey{src: u.src, dst: ep.ID, seq: u.seq},
 		buf: r.buf, off: r.off, n: n, frags: proto.FragsOf(n),
+		blocks: make(map[int]*mxBlock),
 	}
 	r.MatchInfo, r.SenderAddr = u.match, u.src
 	s.pulls[lp.handle] = lp

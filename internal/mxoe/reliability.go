@@ -1,0 +1,233 @@
+package mxoe
+
+import (
+	"omxsim/internal/proto"
+	"omxsim/sim"
+)
+
+// Firmware-level reliability for the native MX stack. The real
+// Myri-10G firmware guarantees delivery below the host's sight: no
+// interrupt, no kernel, no host CPU cycle is spent on acks or
+// retransmission. The model mirrors that — every structure here is
+// mutated in firmware context (frame arrival or timer expiry) and
+// charges nothing to any core. On a clean link with a progressing
+// receiver none of these timers ever fires and no extra frame is
+// emitted, so the loss-free fast path is bit-identical to the
+// unhardened stack.
+//
+// One deliberate asymmetry: the *initial* ack of an eager message is
+// emitted when the receiving library processes the completion event
+// (mxoe.go, handleEagerFrag), not at firmware deposit time — exactly
+// where the unhardened stack emitted it, keeping clean-path wire
+// timing unchanged. A receiver that stalls longer than the sender's
+// timeout therefore costs at most one spurious retransmission, whose
+// duplicate the firmware answers with an immediate ack of its own
+// (fwEager's dup path) — after that the sender is quiet again.
+//
+// The wire protocol is the shared MXoE one (internal/proto), so the
+// hardened firmware stays interoperable with Open-MX peers: cumulative
+// acks use the same serial-number semantics as internal/core.
+
+// mxTxChan is the firmware's per-(endpoint, peer) transmit
+// reliability state: unacked eager messages and a retransmission
+// timer with exponential backoff.
+type mxTxChan struct {
+	dst      proto.Addr
+	nextSeq  uint32
+	ackedSeq uint32
+	unacked  []*mxUnacked
+	rtx      *sim.Timer
+	attempts int
+}
+
+// mxUnacked snapshots one eager message's frames for retransmission
+// (the NIC keeps the data; the host buffer was released at post).
+type mxUnacked struct {
+	seq   uint32
+	msgs  []*proto.Eager
+	loads [][]byte
+}
+
+// next issues the channel's next sequence (skipping the "no ack"
+// sentinel 0 on wraparound; see proto.NextSeq).
+func (tc *mxTxChan) next() uint32 { return proto.NextSeq(&tc.nextSeq) }
+
+// applyCumulative advances the cumulative ack, drops covered messages
+// from the unacked list and resets the retransmission backoff. Stale
+// or duplicate acks change nothing.
+func (tc *mxTxChan) applyCumulative(ackSeq uint32) bool {
+	if ackSeq == 0 || !proto.SeqAfter(ackSeq, tc.ackedSeq) {
+		return false
+	}
+	tc.ackedSeq = ackSeq
+	tc.attempts = 0
+	_, keep := proto.TrimAcked(tc.unacked, func(u *mxUnacked) uint32 { return u.seq }, ackSeq)
+	tc.unacked = keep
+	return true
+}
+
+// mxRxChan is the firmware's per-(endpoint, peer) receive window:
+// the shared cumulative completion window plus per-message fragment
+// bitmaps for duplicate suppression.
+type mxRxChan struct {
+	win proto.Window
+	asm map[uint32]*fwAsm
+}
+
+// fwAsm tracks which fragments of one in-flight eager message the
+// firmware has accepted.
+type fwAsm struct {
+	got     uint64
+	arrived int
+	cnt     int
+}
+
+// isDup reports whether seq was already fully received.
+func (c *mxRxChan) isDup(seq uint32) bool { return c.win.IsDup(seq) }
+
+// markComplete records seq as fully received and advances the
+// cumulative edge.
+func (c *mxRxChan) markComplete(seq uint32) { c.win.MarkComplete(seq) }
+
+// mxTx returns (creating on demand) the firmware tx channel to dst.
+func (ep *Endpoint) mxTx(dst proto.Addr) *mxTxChan {
+	tc := ep.tx[dst]
+	if tc == nil {
+		tc = &mxTxChan{dst: dst}
+		ep.tx[dst] = tc
+	}
+	return tc
+}
+
+// mxRx returns (creating on demand) the firmware rx window from src.
+func (ep *Endpoint) mxRx(src proto.Addr) *mxRxChan {
+	c := ep.rx[src]
+	if c == nil {
+		c = &mxRxChan{win: proto.NewWindow(), asm: make(map[uint32]*fwAsm)}
+		ep.rx[src] = c
+	}
+	return c
+}
+
+// rtxTimeout is the backoff-scaled retransmission timeout after the
+// given number of consecutive unanswered attempts.
+func (s *Stack) rtxTimeout(attempts int) sim.Duration {
+	return proto.Backoff(s.Cfg.RetransmitTimeout, s.Cfg.RetransmitMax, s.Cfg.RetransmitBackoff, attempts)
+}
+
+// armEagerRtx (re)arms a channel's eager retransmission timer. On
+// expiry the firmware re-streams every unacked message from its
+// snapshot; receivers deduplicate.
+func (ep *Endpoint) armEagerRtx(tc *mxTxChan) {
+	if tc.rtx != nil || len(tc.unacked) == 0 {
+		return
+	}
+	s := ep.S
+	tc.rtx = s.H.E.Schedule(s.rtxTimeout(tc.attempts), func() {
+		tc.rtx = nil
+		if len(tc.unacked) == 0 {
+			return
+		}
+		tc.attempts++
+		s.Stats.EagerRetransmits++
+		for _, u := range tc.unacked {
+			for i, m := range u.msgs {
+				s.transmit(tc.dst, m, u.loads[i])
+			}
+		}
+		ep.armEagerRtx(tc)
+	})
+}
+
+// armRndvRtx watches a rendezvous send: with no pull progress since
+// the last expiry it re-sends the request (the receiver deduplicates
+// and, if the transfer already finished, re-acks).
+func (s *Stack) armRndvRtx(ms *mxSend) {
+	ms.rtx = s.H.E.Schedule(s.rtxTimeout(ms.attempts), func() {
+		if ms.finished {
+			return
+		}
+		if !ms.pulled {
+			ms.attempts++
+			s.Stats.RndvRetransmits++
+			s.transmit(ms.dst, &proto.RndvRequest{
+				Src: ms.ep.Addr(), Dst: ms.dst,
+				Match: ms.req.MatchInfo, Seq: ms.seq, MsgLen: ms.n,
+				SenderHandle: ms.handle,
+			}, nil)
+		} else {
+			ms.attempts = 0
+		}
+		ms.pulled = false
+		s.armRndvRtx(ms)
+	})
+}
+
+// mxBlock is one outstanding pull block on the receiver: accepted
+// fragments and the retransmission timer that re-requests the rest.
+type mxBlock struct {
+	idx       int
+	firstFrag int
+	count     int
+	got       uint64
+	timer     *sim.Timer
+	attempts  int
+}
+
+func (b *mxBlock) fullMask() uint64 { return (uint64(1) << b.count) - 1 }
+func (b *mxBlock) complete() bool   { return b.got == b.fullMask() }
+
+// armBlockTimer (re)arms a pull block's retransmission timer: on
+// expiry the firmware re-requests the block's missing fragments.
+func (s *Stack) armBlockTimer(lp *mxPull, blk *mxBlock) {
+	if blk.timer != nil {
+		blk.timer.Stop()
+	}
+	blk.timer = s.H.E.Schedule(s.rtxTimeout(blk.attempts), func() {
+		if lp.done || blk.complete() {
+			return
+		}
+		blk.attempts++
+		s.Stats.PullRetransmits++
+		s.sendPull(lp, blk, ^blk.got&blk.fullMask())
+	})
+}
+
+// sendPull transmits one pull request for the masked fragments of a
+// block and arms its retransmission timer.
+func (s *Stack) sendPull(lp *mxPull, blk *mxBlock, mask uint64) {
+	s.transmit(lp.src, &proto.Pull{
+		Src: lp.ep.Addr(), Dst: lp.src,
+		SenderHandle: lp.senderHandle, RecvHandle: lp.handle,
+		Block: blk.idx, FirstFrag: blk.firstFrag, FragCount: blk.count,
+		NeedMask: mask,
+	}, nil)
+	s.armBlockTimer(lp, blk)
+}
+
+// rndvKey identifies a rendezvous for duplicate suppression.
+type rndvKey struct {
+	src proto.Addr
+	dst int
+	seq uint32
+}
+
+// rndvState remembers a handled rendezvous so retransmitted requests
+// do not restart transfers, and finished ones can be re-acked.
+type rndvState struct {
+	sender int
+	recvEP int
+	done   bool
+}
+
+// markRndvDone flags a completed rendezvous for duplicate re-acking
+// and evicts the oldest completed entry beyond the dedup window
+// (mirrors internal/core's markRndvDone).
+func (s *Stack) markRndvDone(key rndvKey) {
+	st := s.rndvSeen[key]
+	if st == nil {
+		return
+	}
+	st.done = true
+	s.rndvDone = proto.EvictOldest(s.rndvSeen, s.rndvDone, key, proto.RndvDedupWindow)
+}

@@ -152,8 +152,79 @@ func TestRingOverflowDrops(t *testing.T) {
 	if fx.b.RxDrops == 0 {
 		t.Fatal("expected ring overflow drops")
 	}
-	if fx.b.RxFrames+fx.b.RxDrops != 50 {
-		t.Fatalf("frames %d + drops %d != 50", fx.b.RxFrames, fx.b.RxDrops)
+	// The wire counters prove where every frame went: all 50 made it
+	// onto the wire (the link itself is perfect) and every delivered
+	// frame was either received or ring-dropped — no timing
+	// inference, no frame counted twice.
+	ws := fx.a.Hose().Stats()
+	if ws.FramesSent != 50 || ws.FramesDropped != 0 || ws.FramesLost != 0 || ws.TailDrops != 0 {
+		t.Fatalf("wire stats: %+v, want 50 sent and no wire-level drops", ws)
+	}
+	if fx.b.RxFrames+fx.b.RxDrops != ws.FramesSent {
+		t.Fatalf("rx %d + ringdrops %d != wire-delivered %d", fx.b.RxFrames, fx.b.RxDrops, ws.FramesSent)
+	}
+}
+
+// TestSwitchTailDropAndRingDropDisjoint: congestion loss at the
+// switch and ring-overflow loss at the NIC are different events on
+// different frames — a tail-dropped frame never reaches the NIC, so
+// the two counters can never double-count. The accounting identity
+// forwarded == tail-dropped + ring-dropped + received must hold
+// exactly.
+func TestSwitchTailDropAndRingDropDisjoint(t *testing.T) {
+	e := sim.New()
+	p := platform.Clovertown()
+	p.RxRingSize = 4
+	defer e.Close()
+	mk := func(name string) *NIC {
+		return New(e, p, cpu.NewSystem(e, p), hostmem.New(p), name)
+	}
+	a, b, c := mk("a"), mk("b"), mk("c")
+	sw := wire.NewSwitch(e, p)
+	sw.OutputQueueFrames = 2
+	ha := sw.Attach(a)
+	sw.Attach(b)
+	hc := sw.Attach(c)
+	a.SetHose(ha)
+	c.SetHose(hc)
+	blocked := true
+	b.SetRxHandler(func(pr *sim.Proc, core *cpu.Core, skb *Skb) {
+		if blocked {
+			core.RunOn(pr, cpu.BHProc, sim.Millisecond) // overwhelm the ring
+		}
+		skb.Free()
+	})
+	// Incast from two senders: the switch output queue overflows AND
+	// the slow receiver's ring overflows.
+	for i := 0; i < 40; i++ {
+		fa := frame(8192, i)
+		fa.DstAddr = "b"
+		a.Transmit(fa)
+		fc := frame(8192, 100+i)
+		fc.DstAddr = "b"
+		c.Transmit(fc)
+	}
+	e.RunUntil(200 * sim.Millisecond)
+	out := sw.OutHose("b").Stats()
+	if out.TailDrops == 0 {
+		t.Fatal("no switch tail drops under incast")
+	}
+	if b.RxDrops == 0 {
+		t.Fatal("no NIC ring drops behind the slow handler")
+	}
+	if sw.FramesForwarded != 80 || sw.FramesUnknown != 0 {
+		t.Fatalf("forwarded %d unknown %d, want 80/0", sw.FramesForwarded, sw.FramesUnknown)
+	}
+	// Exact conservation: every forwarded frame was tail-dropped,
+	// ring-dropped, or received — once.
+	if out.TailDrops+b.RxDrops+b.RxFrames != sw.FramesForwarded {
+		t.Fatalf("taildrop %d + ringdrop %d + rx %d != forwarded %d (double count?)",
+			out.TailDrops, b.RxDrops, b.RxFrames, sw.FramesForwarded)
+	}
+	// And the wire's own view agrees: frames that left the output
+	// port equal delivered frames.
+	if out.FramesSent != b.RxFrames+b.RxDrops {
+		t.Fatalf("port sent %d != NIC saw %d", out.FramesSent, b.RxFrames+b.RxDrops)
 	}
 }
 

@@ -1,0 +1,173 @@
+package wire
+
+import (
+	"hash/fnv"
+
+	"omxsim/sim"
+)
+
+// Impairment describes the misbehaviour profile of one link
+// direction. The zero value is a perfect link and costs nothing: a
+// hose with no impairment attached draws no random numbers and
+// schedules no extra events, so the zero-impairment fast path is
+// bit-identical to an unimpaired build.
+//
+// All randomness is drawn from a private splitmix64 stream seeded by
+// Seed, so a given (profile, frame sequence) always produces the same
+// loss/reorder/duplication pattern — experiments under impairment are
+// as deterministic and repeatable as clean ones.
+type Impairment struct {
+	// Seed selects the deterministic random stream. Two hoses with
+	// the same profile and seed misbehave identically.
+	Seed int64
+
+	// LossRate is the probability that a frame is silently discarded
+	// after serialization (the wire ate it; FramesLost counts these).
+	LossRate float64
+	// DupRate is the probability that a frame is delivered twice
+	// (FramesDuped counts the extra copies).
+	DupRate float64
+	// ReorderRate is the probability that a frame's propagation is
+	// inflated by ReorderDelay, letting frames serialized after it
+	// overtake it (FramesReordered counts them).
+	ReorderRate float64
+	// ReorderDelay is the extra delay applied to reordered frames.
+	// Zero with a nonzero ReorderRate defaults to 20 µs — several
+	// 8 KiB serialization times, enough to reorder a busy link.
+	ReorderDelay sim.Duration
+	// JitterMax adds a uniform [0, JitterMax) latency jitter to every
+	// frame's propagation.
+	JitterMax sim.Duration
+	// RateScale scales the direction's signalling rate: 0.1 models a
+	// link negotiated down to 1 GbE in this direction (asymmetric
+	// links). Zero or one means the platform's nominal rate.
+	RateScale float64
+}
+
+// Enabled reports whether the profile perturbs anything.
+func (im Impairment) Enabled() bool {
+	return im.LossRate > 0 || im.DupRate > 0 || im.ReorderRate > 0 ||
+		im.JitterMax > 0 || (im.RateScale != 0 && im.RateScale != 1)
+}
+
+// WithPortSeed derives a per-port profile from im: the same shape,
+// reseeded by the port address so every port of a switch misbehaves
+// independently but deterministically.
+func (im Impairment) WithPortSeed(addr string) Impairment {
+	h := fnv.New64a()
+	h.Write([]byte(addr))
+	im.Seed ^= int64(h.Sum64())
+	return im
+}
+
+// Rand is the impairment subsystem's deterministic random stream
+// (splitmix64): tiny, fast, identical on every platform, and — unlike
+// math/rand's global state — private per consumer, so one impaired
+// hose's draws can never perturb another's. Exported for the cluster
+// layer's cross-traffic generators and for seeded tests.
+type Rand struct{ s uint64 }
+
+// NewRand returns a stream seeded by seed. The seed is pre-mixed so
+// seed 0 is as good as any other.
+func NewRand(seed int64) *Rand {
+	return &Rand{s: uint64(seed)*0x9E3779B97F4A7C15 + 0x1F123BB5159A55E5}
+}
+
+// Uint64 draws the next value.
+func (r *Rand) Uint64() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 draws a uniform [0,1) float.
+func (r *Rand) Float64() float64 { return float64(r.Uint64()>>11) / (1 << 53) }
+
+// Intn draws a uniform [0,n) int; n must be positive.
+func (r *Rand) Intn(n int) int { return int(r.Uint64() % uint64(n)) }
+
+// impairState is the live per-hose impairment: profile plus the
+// private random stream.
+type impairState struct {
+	prof Impairment
+	rng  *Rand
+}
+
+func newImpairState(im Impairment) *impairState {
+	if im.ReorderRate > 0 && im.ReorderDelay == 0 {
+		im.ReorderDelay = 20 * sim.Microsecond
+	}
+	return &impairState{prof: im, rng: NewRand(im.Seed)}
+}
+
+// chance draws a uniform [0,1) float and compares it to p.
+func (s *impairState) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return s.rng.Float64() < p
+}
+
+// extraDelay draws a uniform [0, max) duration.
+func (s *impairState) extraDelay(max sim.Duration) sim.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return sim.Duration(s.rng.Uint64() % uint64(max))
+}
+
+// HoseStats is a snapshot of one transmit hose's counters.
+type HoseStats struct {
+	// FramesSent/BytesSent count frames that made it onto the wire
+	// (after impairment loss).
+	FramesSent int64
+	BytesSent  int64
+	// FramesDropped counts frames discarded by the legacy Drop
+	// predicate (targeted loss injection in tests).
+	FramesDropped int64
+	// FramesLost counts frames discarded by Impairment.LossRate.
+	FramesLost int64
+	// FramesDuped counts extra deliveries from Impairment.DupRate.
+	FramesDuped int64
+	// FramesReordered counts frames delayed by Impairment.ReorderRate.
+	FramesReordered int64
+	// TailDrops counts frames rejected because the output queue was
+	// at QueueLimit (congestion loss, distinct from impairment loss
+	// and from the receiving NIC's ring drops: a tail-dropped frame
+	// never reaches the NIC, so the two counters never double-count
+	// one frame).
+	TailDrops int64
+	// MaxQueue is the high-water mark of the output queue depth
+	// (including the frame being serialized).
+	MaxQueue int
+}
+
+// Stats snapshots the hose's counters.
+func (h *Hose) Stats() HoseStats {
+	return HoseStats{
+		FramesSent:      h.FramesSent,
+		BytesSent:       h.BytesSent,
+		FramesDropped:   h.FramesDropped,
+		FramesLost:      h.FramesLost,
+		FramesDuped:     h.FramesDuped,
+		FramesReordered: h.FramesReordered,
+		TailDrops:       h.TailDrops,
+		MaxQueue:        h.MaxQueue,
+	}
+}
+
+// SetImpairment installs (or, with a zero profile, removes) the
+// hose's impairment. Must be called before traffic flows for
+// reproducible streams.
+func (h *Hose) SetImpairment(im Impairment) {
+	if !im.Enabled() {
+		h.imp = nil
+		return
+	}
+	h.imp = newImpairState(im)
+}
+
+// Impaired reports whether an impairment profile is active.
+func (h *Hose) Impaired() bool { return h.imp != nil }

@@ -1,0 +1,238 @@
+package wire
+
+import (
+	"testing"
+
+	"omxsim/platform"
+	"omxsim/sim"
+)
+
+// impSink records arrivals and per-frame delivery counts.
+type impSink struct {
+	name    string
+	frames  []*Frame
+	arrived map[int]int // Msg (int id) → copies seen
+}
+
+func newImpSink(name string) *impSink { return &impSink{name: name, arrived: make(map[int]int)} }
+
+func (s *impSink) Address() string { return s.name }
+func (s *impSink) Arrive(f *Frame) {
+	s.frames = append(s.frames, f)
+	if id, ok := f.Msg.(int); ok {
+		s.arrived[id]++
+	}
+}
+
+func sendN(e *sim.Engine, h *Hose, n, size int) {
+	for i := 0; i < n; i++ {
+		h.Send(&Frame{Data: make([]byte, size), WireLen: size + 32, Msg: i})
+	}
+	e.RunUntil(e.Now() + 10*sim.Second)
+}
+
+func newHoseTo(s *impSink) (*sim.Engine, *Hose) {
+	e := sim.New()
+	p := platform.Clovertown()
+	return e, NewHose(e, p, s)
+}
+
+func TestImpairmentZeroProfileIsTransparent(t *testing.T) {
+	s := newImpSink("s")
+	e, h := newHoseTo(s)
+	h.SetImpairment(Impairment{Seed: 7}) // no rates: must disable
+	if h.Impaired() {
+		t.Fatal("zero profile left impairment enabled")
+	}
+	sendN(e, h, 10, 1024)
+	if len(s.frames) != 10 || h.FramesSent != 10 || h.FramesLost != 0 {
+		t.Fatalf("frames=%d sent=%d lost=%d", len(s.frames), h.FramesSent, h.FramesLost)
+	}
+}
+
+func TestImpairmentLossIsDeterministicAndProportional(t *testing.T) {
+	run := func(seed int64) (delivered int, lost int64, order []int) {
+		s := newImpSink("s")
+		e, h := newHoseTo(s)
+		h.SetImpairment(Impairment{Seed: seed, LossRate: 0.1})
+		sendN(e, h, 2000, 256)
+		ids := make([]int, 0, len(s.frames))
+		for _, f := range s.frames {
+			ids = append(ids, f.Msg.(int))
+		}
+		return len(s.frames), h.FramesLost, ids
+	}
+	d1, l1, o1 := run(42)
+	d2, l2, o2 := run(42)
+	if d1 != d2 || l1 != l2 {
+		t.Fatalf("same seed diverged: %d/%d vs %d/%d", d1, l1, d2, l2)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("same seed, different surviving frame at %d", i)
+		}
+	}
+	if d1+int(l1) != 2000 {
+		t.Fatalf("accounting: delivered %d + lost %d != 2000", d1, l1)
+	}
+	// 10% nominal loss on 2000 frames: expect within a wide band.
+	if l1 < 120 || l1 > 300 {
+		t.Fatalf("lost %d of 2000 at 10%%, outside [120,300]", l1)
+	}
+	d3, _, _ := run(43)
+	if d3 == d1 {
+		t.Log("different seeds delivered the same count (possible, but suspicious)")
+	}
+}
+
+func TestImpairmentDuplication(t *testing.T) {
+	s := newImpSink("s")
+	e, h := newHoseTo(s)
+	h.SetImpairment(Impairment{Seed: 1, DupRate: 0.5})
+	sendN(e, h, 500, 128)
+	if h.FramesDuped == 0 {
+		t.Fatal("no duplicates at 50% dup rate")
+	}
+	if int64(len(s.frames)) != 500+h.FramesDuped {
+		t.Fatalf("arrivals %d != 500 + dups %d", len(s.frames), h.FramesDuped)
+	}
+	// Every original delivered at least once, none more than twice.
+	for id := 0; id < 500; id++ {
+		if c := s.arrived[id]; c < 1 || c > 2 {
+			t.Fatalf("frame %d delivered %d times", id, c)
+		}
+	}
+}
+
+func TestImpairmentReorder(t *testing.T) {
+	s := newImpSink("s")
+	e, h := newHoseTo(s)
+	h.SetImpairment(Impairment{Seed: 3, ReorderRate: 0.2, ReorderDelay: 50 * sim.Microsecond})
+	sendN(e, h, 200, 256)
+	if h.FramesReordered == 0 {
+		t.Fatal("nothing reordered at 20%")
+	}
+	if len(s.frames) != 200 {
+		t.Fatalf("delivered %d", len(s.frames))
+	}
+	inversions := 0
+	prev := -1
+	for _, f := range s.frames {
+		if id := f.Msg.(int); id < prev {
+			inversions++
+		} else {
+			prev = f.Msg.(int)
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("reorder delay produced no out-of-order arrivals")
+	}
+}
+
+func TestImpairmentJitterDelaysButDelivers(t *testing.T) {
+	s := newImpSink("s")
+	e, h := newHoseTo(s)
+	h.SetImpairment(Impairment{Seed: 5, JitterMax: 10 * sim.Microsecond})
+	sendN(e, h, 100, 64)
+	if len(s.frames) != 100 {
+		t.Fatalf("delivered %d", len(s.frames))
+	}
+}
+
+func TestImpairmentRateAsymmetry(t *testing.T) {
+	s := newImpSink("s")
+	_, h := newHoseTo(s)
+	nominal := h.SerializeTime(8192)
+	h.SetImpairment(Impairment{Seed: 1, RateScale: 0.1})
+	slowed := h.SerializeTime(8192)
+	if slowed < 9*nominal || slowed > 11*nominal {
+		t.Fatalf("RateScale 0.1: serialize %v, want ≈10x %v", slowed, nominal)
+	}
+}
+
+func TestTailDropAtQueueLimit(t *testing.T) {
+	s := newImpSink("s")
+	e, h := newHoseTo(s)
+	h.QueueLimit = 4
+	for i := 0; i < 20; i++ {
+		h.Send(&Frame{Data: make([]byte, 8192), WireLen: 8192 + 32, Msg: i})
+	}
+	e.RunUntil(10 * sim.Millisecond)
+	if h.TailDrops == 0 {
+		t.Fatal("no tail drops with a 4-frame queue and a 20-frame burst")
+	}
+	if int64(len(s.frames))+h.TailDrops != 20 {
+		t.Fatalf("delivered %d + taildrops %d != 20", len(s.frames), h.TailDrops)
+	}
+	if h.MaxQueue > 4 {
+		t.Fatalf("queue high-water %d exceeds limit 4", h.MaxQueue)
+	}
+	// First frame dequeues before the burst finishes, so at least
+	// QueueLimit+1 frames get through.
+	if len(s.frames) < 4 {
+		t.Fatalf("only %d frames delivered", len(s.frames))
+	}
+}
+
+func TestSwitchPortStatsAndCongestion(t *testing.T) {
+	e := sim.New()
+	p := platform.Clovertown()
+	sw := NewSwitch(e, p)
+	sw.OutputQueueFrames = 2
+	a, b, c := newImpSink("a"), newImpSink("b"), newImpSink("c")
+	ha := sw.Attach(a)
+	sw.Attach(b)
+	hc := sw.Attach(c)
+	// Incast: two senders converge on b's output port, which drains
+	// at half their combined arrival rate — the queue must overflow.
+	for i := 0; i < 30; i++ {
+		ha.Send(&Frame{Data: make([]byte, 8192), WireLen: 8192 + 32, Msg: i, DstAddr: "b", SrcAddr: "a"})
+		hc.Send(&Frame{Data: make([]byte, 8192), WireLen: 8192 + 32, Msg: 100 + i, DstAddr: "b", SrcAddr: "c"})
+	}
+	e.RunUntil(10 * sim.Millisecond)
+	ports := sw.Ports()
+	if len(ports) != 3 || ports[0].Addr != "a" || ports[1].Addr != "b" {
+		t.Fatalf("ports: %+v", ports)
+	}
+	pb := ports[1]
+	if pb.TailDrops == 0 {
+		t.Fatal("no tail drops on the congested output port")
+	}
+	if pb.MaxQueue > 2 {
+		t.Fatalf("port queue high-water %d > limit 2", pb.MaxQueue)
+	}
+	if int64(len(b.frames)) != pb.FramesSent {
+		t.Fatalf("b received %d, port sent %d", len(b.frames), pb.FramesSent)
+	}
+	if pb.FramesSent+pb.TailDrops != sw.FramesForwarded {
+		t.Fatalf("sent %d + taildrop %d != forwarded %d", pb.FramesSent, pb.TailDrops, sw.FramesForwarded)
+	}
+}
+
+func TestSwitchPortImpairmentIsPerPortDeterministic(t *testing.T) {
+	run := func() (la, lb int64) {
+		e := sim.New()
+		p := platform.Clovertown()
+		sw := NewSwitch(e, p)
+		sw.PortImpair = Impairment{Seed: 9, LossRate: 0.2}
+		a, b := newImpSink("a"), newImpSink("b")
+		ha := sw.Attach(a)
+		sw.Attach(b)
+		for i := 0; i < 500; i++ {
+			ha.Send(&Frame{Data: make([]byte, 256), WireLen: 256 + 32, Msg: i, DstAddr: "b"})
+		}
+		e.RunUntil(sim.Second)
+		return sw.OutHose("a").FramesLost, sw.OutHose("b").FramesLost
+	}
+	la1, lb1 := run()
+	la2, lb2 := run()
+	if la1 != la2 || lb1 != lb2 {
+		t.Fatalf("per-port impairment not deterministic: (%d,%d) vs (%d,%d)", la1, lb1, la2, lb2)
+	}
+	if lb1 == 0 {
+		t.Fatal("no loss on impaired output port")
+	}
+	if la1 != 0 {
+		t.Fatalf("port a carried no traffic but lost %d", la1)
+	}
+}

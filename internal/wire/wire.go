@@ -1,6 +1,10 @@
 // Package wire models Ethernet links: FIFO serialization at the
 // signalling rate, per-frame framing overhead, propagation delay,
-// deterministic loss injection, and a small store-and-forward switch.
+// targeted and profiled loss injection (see Impairment: seeded
+// deterministic loss, duplication, reordering, jitter and rate
+// asymmetry), bounded transmit queues with tail-drop, and a
+// store-and-forward switch with per-port counters and congestible
+// output queues.
 //
 // Frames carry a snapshot of their real payload bytes (taken when the
 // sending NIC's DMA engine read them from host memory), so data
@@ -60,10 +64,24 @@ type Hose struct {
 	// injection for retransmission tests).
 	Drop func(f *Frame) bool
 
+	// QueueLimit bounds the output queue (frames, including the one
+	// serializing); 0 means unbounded. Frames sent into a full queue
+	// are tail-dropped — the congested-switch failure mode.
+	QueueLimit int
+
+	// imp, when non-nil, perturbs the direction (loss, reorder,
+	// duplication, jitter, rate asymmetry). See Impairment.
+	imp *impairState
+
 	// Stats.
-	FramesSent    int64
-	BytesSent     int64
-	FramesDropped int64
+	FramesSent      int64
+	BytesSent       int64
+	FramesDropped   int64
+	FramesLost      int64
+	FramesDuped     int64
+	FramesReordered int64
+	TailDrops       int64
+	MaxQueue        int
 }
 
 // NewHose returns a transmit hose towards peer.
@@ -75,28 +93,53 @@ func NewHose(e *sim.Engine, p *platform.Platform, peer Port) *Hose {
 func (h *Hose) Peer() Port { return h.peer }
 
 // SerializeTime reports the wire occupancy of a frame with the given
-// payload length (adding Ethernet framing overhead).
+// payload length (adding Ethernet framing overhead), honouring the
+// direction's rate asymmetry.
 func (h *Hose) SerializeTime(wireLen int) sim.Duration {
 	bits := float64(wireLen + h.P.EthFrameOverhead)
-	return sim.Duration(bits / float64(h.P.WireRate))
+	rate := float64(h.P.WireRate)
+	if h.imp != nil && h.imp.prof.RateScale > 0 {
+		rate *= h.imp.prof.RateScale
+	}
+	return sim.Duration(bits / rate)
 }
 
 // Send queues a frame for transmission. The frame arrives at the peer
 // after all previously queued frames serialize, plus this frame's own
-// serialization time, plus propagation.
+// serialization time, plus propagation. When QueueLimit is set and the
+// queue is full, the frame is tail-dropped instead.
 func (h *Hose) Send(f *Frame) {
 	if f.WireLen < 0 {
 		panic(fmt.Sprintf("wire: negative frame length %d", f.WireLen))
 	}
+	if h.QueueLimit > 0 && h.occupancy() >= h.QueueLimit {
+		h.TailDrops++
+		return
+	}
 	h.queue = append(h.queue, f)
+	if occ := h.occupancy(); occ > h.MaxQueue {
+		h.MaxQueue = occ
+	}
 	if !h.busy {
 		h.busy = true
 		h.startNext()
 	}
 }
 
-// QueueLen reports frames waiting (including the one serializing).
-func (h *Hose) QueueLen() int { return len(h.queue) }
+// occupancy counts frames in the device: waiting plus the one being
+// serialized (startNext pops that one off the queue while it's on
+// the wire).
+func (h *Hose) occupancy() int {
+	n := len(h.queue)
+	if h.busy {
+		n++
+	}
+	return n
+}
+
+// QueueLen reports frames in the device (including the one
+// serializing).
+func (h *Hose) QueueLen() int { return h.occupancy() }
 
 func (h *Hose) startNext() {
 	if len(h.queue) == 0 {
@@ -106,15 +149,44 @@ func (h *Hose) startNext() {
 	f := h.queue[0]
 	h.queue = h.queue[1:]
 	h.E.Schedule(h.SerializeTime(f.WireLen), func() {
-		if h.Drop != nil && h.Drop(f) {
+		switch {
+		case h.Drop != nil && h.Drop(f):
 			h.FramesDropped++
-		} else {
+		case h.imp != nil:
+			h.impairedDeliver(f)
+		default:
 			h.FramesSent++
 			h.BytesSent += int64(f.WireLen)
 			h.E.Schedule(sim.Duration(h.P.WirePropagation), func() { h.peer.Arrive(f) })
 		}
 		h.startNext()
 	})
+}
+
+// impairedDeliver applies the impairment profile to one serialized
+// frame: loss, then per-copy jitter/reorder delay, then duplication.
+// Draw order is fixed (loss, delay, dup) so streams are reproducible.
+func (h *Hose) impairedDeliver(f *Frame) {
+	im := h.imp
+	if im.chance(im.prof.LossRate) {
+		h.FramesLost++
+		return
+	}
+	h.FramesSent++
+	h.BytesSent += int64(f.WireLen)
+	deliver := func() {
+		d := sim.Duration(h.P.WirePropagation) + im.extraDelay(im.prof.JitterMax)
+		if im.chance(im.prof.ReorderRate) {
+			h.FramesReordered++
+			d += im.prof.ReorderDelay
+		}
+		h.E.Schedule(d, func() { h.peer.Arrive(f) })
+	}
+	deliver()
+	if im.chance(im.prof.DupRate) {
+		h.FramesDuped++
+		deliver()
+	}
 }
 
 // Connect builds a full-duplex point-to-point link between two ports
@@ -126,14 +198,23 @@ func Connect(e *sim.Engine, p *platform.Platform, a, b Port) (ab, ba *Hose) {
 // Switch is a minimal store-and-forward Ethernet switch: each attached
 // port gets a dedicated full-duplex link to the switch; the switch
 // forwards by destination address with one additional serialization on
-// the output link (plus a fixed forwarding latency).
+// the output link (plus a fixed forwarding latency). Output queues may
+// be bounded (OutputQueueFrames) to model a congested switch that
+// tail-drops, and every output port can carry an impairment profile.
 type Switch struct {
 	E *sim.Engine
 	P *platform.Platform
 	// ForwardLatency is the switch's own cut-through/lookup latency.
 	ForwardLatency sim.Duration
+	// OutputQueueFrames bounds each output port's queue (0 =
+	// unbounded). Applied to ports attached after it is set.
+	OutputQueueFrames int
+	// PortImpair, when enabled, is installed on every subsequently
+	// attached output port, reseeded per port address.
+	PortImpair Impairment
 
 	byAddr map[string]*Hose // dest address → output hose (switch→NIC)
+	order  []string         // attach order, for deterministic stats
 
 	// FramesForwarded counts successfully routed frames; unroutable
 	// frames are counted in FramesUnknown and discarded.
@@ -165,9 +246,36 @@ func (sp *switchPort) Arrive(f *Frame) {
 }
 
 // Attach connects a device port to the switch and returns the hose the
-// device must transmit on (device → switch).
+// device must transmit on (device → switch). The output (switch →
+// device) hose inherits the switch's queue bound and per-port
+// impairment profile.
 func (s *Switch) Attach(dev Port) *Hose {
-	s.byAddr[dev.Address()] = NewHose(s.E, s.P, dev)
+	out := NewHose(s.E, s.P, dev)
+	out.QueueLimit = s.OutputQueueFrames
+	if s.PortImpair.Enabled() {
+		out.SetImpairment(s.PortImpair.WithPortSeed(dev.Address()))
+	}
+	s.byAddr[dev.Address()] = out
+	s.order = append(s.order, dev.Address())
 	sp := &switchPort{sw: s, addr: "switch:" + dev.Address()}
 	return NewHose(s.E, s.P, sp)
 }
+
+// PortStats is a per-output-port counter snapshot.
+type PortStats struct {
+	Addr string
+	HoseStats
+}
+
+// Ports snapshots every output port's counters in attach order.
+func (s *Switch) Ports() []PortStats {
+	out := make([]PortStats, 0, len(s.order))
+	for _, addr := range s.order {
+		out = append(out, PortStats{Addr: addr, HoseStats: s.byAddr[addr].Stats()})
+	}
+	return out
+}
+
+// OutHose returns the output hose towards addr, or nil (for tests and
+// the cluster stats snapshot).
+func (s *Switch) OutHose(addr string) *Hose { return s.byAddr[addr] }

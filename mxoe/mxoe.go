@@ -19,7 +19,18 @@ type Config struct {
 	// than in Open-MX: MX registration updates NIC translation
 	// tables).
 	RegCache bool
+	// RetransmitTimeout is the firmware's base retransmission
+	// timeout (default 50 ms); RetransmitBackoff multiplies it per
+	// consecutive unanswered attempt (default 2), capped at
+	// RetransmitMax (default 16× the timeout). All firmware-level:
+	// retransmission costs the host no CPU.
+	RetransmitTimeout sim.Duration
+	RetransmitBackoff float64
+	RetransmitMax     sim.Duration
 }
+
+// Stats re-exports the firmware protocol counters.
+type Stats = mxoe.Stats
 
 // Stack is a native MXoE instance attached to a host (its NIC runs in
 // firmware mode: no interrupts, no bottom halves).
@@ -30,8 +41,17 @@ type Stack struct {
 
 // Attach builds the native stack on a host.
 func Attach(h *cluster.Host, cfg Config) *Stack {
-	return &Stack{h: h, s: mxoe.Attach(h.Machine(), mxoe.Config{RegCache: cfg.RegCache})}
+	return &Stack{h: h, s: mxoe.Attach(h.Machine(), mxoe.Config{
+		RegCache:          cfg.RegCache,
+		RetransmitTimeout: cfg.RetransmitTimeout,
+		RetransmitBackoff: cfg.RetransmitBackoff,
+		RetransmitMax:     cfg.RetransmitMax,
+	})}
 }
+
+// Stats exposes the firmware's protocol counters (retransmissions,
+// duplicate suppression, queue drops) for tests and diagnostics.
+func (s *Stack) Stats() Stats { return s.s.Stats }
 
 // HostName implements openmx.Transport.
 func (s *Stack) HostName() string { return s.h.Name }
