@@ -9,7 +9,7 @@ GO ?= go
 STATICCHECK ?= $(GO) run honnef.co/go/tools/cmd/staticcheck@2024.1.1
 
 .PHONY: all build test test-short race fmt fmt-check vet lint bench bench-ci \
-	golden golden-check stress ci-fast ci-full
+	golden golden-check stress examples linkcheck ci-fast ci-full
 
 all: build
 
@@ -70,6 +70,16 @@ stress:
 		-run 'Stress|Storm|Loss|Impair|Recover|Fuzz' \
 		./cluster ./internal/core ./internal/mxoe ./internal/interop ./figures
 
-ci-fast: build vet lint fmt-check test-short
+# Run every committed godoc example (they are living documentation
+# with verified Output comments).
+examples:
+	$(GO) test -run Example ./...
+
+# Verify every relative link in every committed markdown file
+# resolves (offline; external URLs are out of scope).
+linkcheck:
+	$(GO) test -run TestMarkdownLinks .
+
+ci-fast: build vet lint fmt-check examples linkcheck test-short
 
 ci-full: race stress

@@ -186,6 +186,25 @@ func BenchmarkColl(b *testing.B) {
 	}
 }
 
+// BenchmarkAvail regenerates the CPU-availability sweep, reporting
+// the 512 kB remote overlap achieved with and without offload.
+func BenchmarkAvail(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := figures.AvailSweep()
+		for _, p := range pts {
+			if p.Place != "remote" || p.Bytes != 512<<10 {
+				continue
+			}
+			switch p.Mode {
+			case "memcpy":
+				b.ReportMetric(p.OverlapPct, "memcpy-overlap-%")
+			case "I/OAT":
+				b.ReportMetric(p.OverlapPct, "ioat-overlap-%")
+			}
+		}
+	}
+}
+
 // --- Ablations (design choices DESIGN.md calls out) ---
 
 func BenchmarkAblationMinFrag(b *testing.B) {

@@ -15,6 +15,8 @@
 //	omxsim nasis            NAS IS proxy comparison
 //	omxsim coll             collective latency, I/OAT on/off, 4-16 procs
 //	omxsim loss             goodput/latency/retransmits vs frame loss
+//	omxsim avail            overlap/CPU-availability with injected compute
+//	omxsim ablate           threshold / pull-window / IRQ / extension ablations
 //	omxsim all              everything above
 //
 // Each figure shards its independent simulation points across a
@@ -126,6 +128,7 @@ var commands = []command{
 	{"nasis", "NAS IS proxy", runNASIS},
 	{"coll", "collective latency vs size, I/OAT on/off, 4-16 procs", runColl},
 	{"loss", "goodput/latency/retransmits vs frame-loss rate, both stacks", runLoss},
+	{"avail", "overlap/CPU-availability with injected compute, memcpy vs I/OAT", runAvail},
 	{"ablate", "ablations: thresholds, pull window, IRQ steering, extensions", runAblate},
 }
 
@@ -185,6 +188,10 @@ func runColl() string {
 
 func runLoss() string {
 	return figures.RenderLoss(figures.LossSweep())
+}
+
+func runAvail() string {
+	return figures.RenderAvail(figures.AvailSweep())
 }
 
 func runAblate() string {

@@ -24,6 +24,10 @@
 //   - internal/... — the machine model (cpu, hostmem, memmodel, bus,
 //     nic, wire, ioat) and the protocol stacks (core is the Open-MX
 //     library + driver, internal/mxoe the native firmware baseline).
+//     internal/cpu models each core as a serial two-priority work
+//     queue with per-category busy ledgers (user library, driver,
+//     bottom-half processing and copies, I/OAT submission,
+//     application compute) and deterministic Stats snapshots.
 //   - cluster — hosts, links and switches composed into a testbed,
 //     plus the network-impairment surface: seeded deterministic
 //     loss/reorder/duplication/jitter/rate-asymmetry profiles on any
@@ -31,7 +35,16 @@
 //     bounded switch output queues with tail-drop (SwitchQueue),
 //     background cross-traffic generators (StartCrossTraffic) and
 //     the NetStats counter snapshot.
-//   - openmx, mxoe — the public endpoint APIs over either stack.
+//   - openmx, mxoe — the public endpoint APIs over either stack,
+//     both surfacing the host's CPU ledgers as a deterministic
+//     CPUStats snapshot (Stack.CPUStats / ResetCPUStats). openmx
+//     additionally exposes the adaptive threshold autotuner: either
+//     AutoTuned(platform) for a fully probed configuration, or
+//     Config.AutoTune to run ProbeThresholds when the stack attaches
+//     — it picks the eager→rendezvous switch, the local
+//     memcpy→I/OAT switch and the offload floor from the platform's
+//     cost-curve crossovers (within 2× of every constant the paper
+//     chose by hand on Clovertown).
 //   - mpi — an MPI layer over the transport-neutral endpoint
 //     interface: point-to-point plus the full collective set
 //     (Barrier, Bcast, Reduce, Allreduce, ReduceScatter,
@@ -65,22 +78,29 @@
 //	go run ./cmd/omxsim all
 //
 // or one figure at a time (fig3, fig7 … fig12, micro, timeline,
-// nasis, coll, loss, ablate); add -progress for live sweep progress
-// and ETA, and -plot for ASCII plots. Two figures go beyond the
-// paper: coll sweeps collective latency versus message size with
-// I/OAT offload on/off at 4–16 processes (larger worlds connected
-// through a simulated Ethernet switch), and loss sweeps frame-loss
-// rate × message size on a seeded impaired link, reporting goodput,
-// p50/p99 latency and retransmission counts for both stacks — the
-// reliability paths (cumulative acks with wraparound-safe serial
-// arithmetic, duplicate suppression, exponential-backoff
+// nasis, coll, loss, avail, ablate); add -progress for live sweep
+// progress and ETA, and -plot for ASCII plots. Three figures go
+// beyond the paper: coll sweeps collective latency versus message
+// size with I/OAT offload on/off at 4–16 processes (larger worlds
+// connected through a simulated Ethernet switch); loss sweeps
+// frame-loss rate × message size on a seeded impaired link, reporting
+// goodput, p50/p99 latency and retransmission counts for both stacks
+// — the reliability paths (cumulative acks with wraparound-safe
+// serial arithmetic, duplicate suppression, exponential-backoff
 // retransmission, pull-block retry) recover everything
-// deterministically. The IMB suite runs standalone via
+// deterministically; and avail measures the paper's headline claim
+// directly — a ping-pong with injected compute on the interrupt core,
+// reporting achieved overlap %, non-compute host CPU µs per MiB and
+// goodput for memcpy versus I/OAT receive paths, remote and local,
+// with the autotuner's chosen thresholds in the footer. The IMB suite
+// runs standalone via
 //
 //	go run ./cmd/omx-imb -test all -ppn 2
 //	go run ./cmd/omx-imb -test allreduce,alltoall,bcast -nodes 8 -ppn 2
 //
 // Start with package cluster to build a testbed, package openmx (or
 // mxoe) for endpoints, and package figures to regenerate the paper's
-// evaluation. See README.md for the CI gates and Makefile targets.
+// evaluation. See README.md for the CI gates and Makefile targets,
+// and docs/ARCHITECTURE.md for the layer diagram and two event-flow
+// walkthroughs naming the functions and costs on every hop.
 package omxsim

@@ -1,0 +1,94 @@
+package omxsim
+
+// The markdown link checker the fast CI job runs: every relative link
+// in every committed markdown file must resolve to a file or
+// directory in the repository, so docs cannot silently rot as files
+// move. External (http/https/mailto) links are out of scope — CI must
+// not depend on the network.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links/images: [text](target). Code
+// spans are stripped before matching.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// refDef matches reference-style link definitions: [label]: target.
+var refDef = regexp.MustCompile(`(?m)^\s*\[[^\]]+\]:\s+(\S+)`)
+
+// codeSpan strips inline code and fenced blocks so example snippets
+// (e.g. badge templates with placeholder OWNER/REPO) are not checked.
+var codeSpan = regexp.MustCompile("`[^`]*`")
+
+func markdownFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip hidden trees (.git, .claude worktrees/skills, editor
+			// state) and testdata: the gate covers the documentation
+			// tree, not scratch or tool-managed files.
+			if name := d.Name(); name == "testdata" ||
+				(strings.HasPrefix(name, ".") && path != ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found — checker miswired?")
+	}
+	return files
+}
+
+func TestMarkdownLinks(t *testing.T) {
+	for _, file := range markdownFiles(t) {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var clean []string
+		inFence := false
+		for _, line := range strings.Split(string(raw), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if !inFence {
+				clean = append(clean, codeSpan.ReplaceAllString(line, ""))
+			}
+		}
+		text := strings.Join(clean, "\n")
+		links := mdLink.FindAllStringSubmatch(text, -1)
+		links = append(links, refDef.FindAllStringSubmatch(text, -1)...)
+		for _, m := range links {
+			target := m[1]
+			switch {
+			case strings.Contains(target, "://"), strings.HasPrefix(target, "mailto:"):
+				continue // external: not checked offline
+			case strings.HasPrefix(target, "#"):
+				continue // intra-document anchor
+			}
+			target, _, _ = strings.Cut(target, "#")
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken relative link %q (resolved %q): %v", file, m[1], resolved, err)
+			}
+		}
+	}
+}

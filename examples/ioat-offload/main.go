@@ -67,7 +67,8 @@ func stream(ioat bool) (mibps, cpuPct float64) {
 	elapsed := (t1 - t0).Seconds()
 	mibps = float64(msgSize) * float64(rounds-1) / 1024 / 1024 / elapsed
 	busy := recvSys.BusyByCategory()
-	total := busy[cpu.UserLib] + busy[cpu.DriverCmd] + busy[cpu.BHProc] + busy[cpu.BHCopy]
+	total := busy[cpu.UserLib] + busy[cpu.DriverCmd] + busy[cpu.BHProc] +
+		busy[cpu.BHCopy] + busy[cpu.IOATSubmit]
 	cpuPct = float64(total) / float64(t1-t0) * 100
 	return mibps, cpuPct
 }

@@ -99,8 +99,8 @@ func fig9Point(size int, withIOAT bool) Fig9Row {
 		Bytes:      size,
 		UserPct:    pct(cpu.UserLib),
 		DriverPct:  pct(cpu.DriverCmd),
-		BHPct:      pct(cpu.BHProc, cpu.BHCopy),
-		ComputePct: pct(cpu.Other),
+		BHPct:      pct(cpu.BHProc, cpu.BHCopy, cpu.IOATSubmit),
+		ComputePct: pct(cpu.AppCompute, cpu.Other),
 	}
 }
 

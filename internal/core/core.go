@@ -51,12 +51,22 @@ type Config struct {
 	// RegCache enables the registration cache: pin once per buffer,
 	// defer unpinning (Figure 11's "regcache" curves).
 	RegCache bool
+	// AutoTune replaces the hand-set thresholds with the adaptive
+	// autotuner: when the stack attaches (just before its first
+	// endpoint opens), ProbeThresholds probes the platform's memcpy
+	// and I/OAT cost curves and fills LargeThreshold, IOATMinMsg,
+	// IOATMinFrag and ShmIOATThreshold with the measured crossover
+	// points. Thresholds set explicitly in the Config win over the
+	// probe.
+	AutoTune bool
 	// SkipBHCopy is the Figure 3 prediction knob: data still moves
 	// (so integrity holds) but the bottom-half copy costs nothing.
 	SkipBHCopy bool
 
 	// LargeThreshold: messages strictly larger use the rendezvous
-	// pull protocol (paper: 32 kB).
+	// pull protocol (paper: 32 kB). Capped at 64 eager fragments
+	// (256 kB): the driver's per-message dedup/assembly bitmaps are
+	// 64 bits wide, so fillDefaults clamps larger values.
 	LargeThreshold int
 	// IOATMinMsg / IOATMinFrag: offload copies only for messages ≥
 	// IOATMinMsg whose fragments are ≥ IOATMinFrag ("we have
@@ -124,10 +134,17 @@ func Defaults() Config {
 	}
 }
 
+// maxEagerBytes is the largest message the eager path can carry: the
+// per-message fragment dedup and assembly bitmaps are 64 bits wide.
+const maxEagerBytes = 64 * proto.MediumFragSize
+
 func (c *Config) fillDefaults() {
 	d := Defaults()
 	if c.LargeThreshold == 0 {
 		c.LargeThreshold = d.LargeThreshold
+	}
+	if c.LargeThreshold > maxEagerBytes {
+		c.LargeThreshold = maxEagerBytes
 	}
 	if c.IOATMinMsg == 0 {
 		c.IOATMinMsg = d.IOATMinMsg
@@ -233,8 +250,25 @@ type rndvState struct {
 }
 
 // Attach builds an Open-MX stack on h and registers its receive
-// callback with the NIC (generic Ethernet mode).
+// callback with the NIC (generic Ethernet mode). With Config.AutoTune
+// the startup threshold probe runs here, against h's platform.
 func Attach(h *host.Host, cfg Config) *Stack {
+	if cfg.AutoTune && (cfg.LargeThreshold == 0 || cfg.IOATMinMsg == 0 ||
+		cfg.IOATMinFrag == 0 || cfg.ShmIOATThreshold == 0) {
+		th := ProbeThresholds(h.P)
+		if cfg.LargeThreshold == 0 {
+			cfg.LargeThreshold = th.LargeThreshold
+		}
+		if cfg.IOATMinMsg == 0 {
+			cfg.IOATMinMsg = th.IOATMinMsg
+		}
+		if cfg.IOATMinFrag == 0 {
+			cfg.IOATMinFrag = th.IOATMinFrag
+		}
+		if cfg.ShmIOATThreshold == 0 {
+			cfg.ShmIOATThreshold = th.ShmIOATThreshold
+		}
+	}
 	cfg.fillDefaults()
 	s := &Stack{
 		H:         h,

@@ -23,6 +23,100 @@ import (
 //     (Config.StripeChannels; the paper's reference [22] reports
 //     ≈+40 % from using all four channels).
 
+// Thresholds is the full set of offload/protocol thresholds the
+// adaptive autotuner derives from the platform's cost curves. The
+// paper fixes all four by hand (Section III/IV: 1 kB fragments, 64 kB
+// offload floor, 32 kB rendezvous switch, 32 kB local I/OAT switch);
+// ProbeThresholds recovers them from first principles so a different
+// modelled platform re-tunes itself.
+type Thresholds struct {
+	// IOATMinFrag / IOATMinMsg gate the asynchronous receive offload
+	// (paper defaults 1 kB / 64 kB).
+	IOATMinFrag int
+	IOATMinMsg  int
+	// LargeThreshold is the eager→rendezvous protocol switch (paper
+	// default 32 kB).
+	LargeThreshold int
+	// ShmIOATThreshold is the local one-copy memcpy→I/OAT switch
+	// (paper default 32 kB, Figure 10).
+	ShmIOATThreshold int
+}
+
+// ProbeThresholds runs the Section VI startup microbenchmarks against
+// the platform's cost models and picks every crossover point:
+//
+//   - IOATMinFrag / IOATMinMsg exactly as AutoTune always has;
+//   - LargeThreshold where the rendezvous protocol's fixed costs
+//     (request/ack handshake round trip plus destination pinning) are
+//     amortized by the copy it saves — eager delivery crosses payload
+//     memory twice (NIC ring and then ring→user), the pull protocol
+//     once, directly into the pinned destination;
+//   - ShmIOATThreshold where a blocking I/OAT copy (start latency,
+//     doorbell, per-page descriptor setup, engine rate) overtakes the
+//     processor copy of the local one-copy path.
+//
+// Both new probes scan at page granularity, the unit the driver pins
+// and the engine's descriptors address.
+func ProbeThresholds(p *platform.Platform) Thresholds {
+	t := Thresholds{}
+	t.IOATMinFrag, t.IOATMinMsg = AutoTune(p)
+
+	pageNs := func(per int64, n int) float64 {
+		return float64(per) * float64((n+p.PageSize-1)/p.PageSize)
+	}
+	// One-way software latency of a control frame: NIC store-and-DMA on
+	// both ends, the wire, interrupt delivery, and the driver's generic
+	// + protocol processing of the frame.
+	oneWayNs := float64(2*p.NICFixedLatency + p.WirePropagation + p.IRQLatency +
+		p.SkbPerFrameCost + p.OMXRecvCallbackCost)
+	// Rendezvous handshake: the request travels forward, the first pull
+	// request back, plus the receiver's syscall/event bookkeeping.
+	handshakeNs := 2*oneWayNs + float64(p.SyscallCost+p.OMXEventCost+p.OMXLibPickupCost)
+	// The half-warm processor copy is the yardstick for both probes:
+	// the eager ring is constantly reused (ring→user copy), and the
+	// typical local one-copy has one side warm.
+	halfWarmMemcpyNs := func(n int) float64 {
+		return float64(p.MemcpyCallCost) + float64(n)/float64(p.MemcpyHalfWarmRate)
+	}
+	// Copy the eager path pays on top of the pull path: the ring→user
+	// library copy.
+	rndvExtraNs := func(n int) float64 {
+		return handshakeNs + pageNs(p.PinPerPage, n)
+	}
+	// The probe is bounded by the eager path's hard capacity (the
+	// 64-bit per-message fragment bitmaps): past it, rendezvous is
+	// mandatory whatever the cost curves say. Dispatch sends messages
+	// *strictly larger* than the threshold through rendezvous, so the
+	// threshold is one page below the probed crossover — the largest
+	// size where eager still wins.
+	t.LargeThreshold = probePages(p, maxEagerBytes, func(n int) bool {
+		return rndvExtraNs(n) <= halfWarmMemcpyNs(n)
+	}) - p.PageSize
+
+	// Local one-copy: processor memcpy versus a blocking I/OAT copy
+	// of page-sized descriptors.
+	ioatShmNs := func(n int) float64 {
+		return float64(p.IOATStartLatency+p.IOATDoorbellCost) +
+			pageNs(p.IOATPerDescSubmit+p.IOATDescSetup, n) +
+			float64(n)/float64(p.IOATEngineRate)
+	}
+	t.ShmIOATThreshold = probePages(p, 16<<20, func(n int) bool {
+		return ioatShmNs(n) <= halfWarmMemcpyNs(n)
+	})
+	return t
+}
+
+// probePages returns the smallest page multiple (up to limit) where
+// better holds, or limit when it never does.
+func probePages(p *platform.Platform, limit int, better func(n int) bool) int {
+	for n := p.PageSize; n < limit; n += p.PageSize {
+		if better(n) {
+			return n
+		}
+	}
+	return limit
+}
+
 // AutoTune derives the I/OAT offload thresholds from the platform's
 // copy models, the way Section VI proposes running microbenchmarks at
 // startup: the minimum fragment size is where an offloaded chunk
@@ -55,13 +149,17 @@ func AutoTune(p *platform.Platform) (minFrag, minMsg int) {
 	return minFrag, minMsg
 }
 
-// AutoTuned returns a configuration whose offload thresholds come
-// from AutoTune instead of the paper's empirical constants.
+// AutoTuned returns a configuration whose offload and protocol
+// thresholds all come from ProbeThresholds instead of the paper's
+// empirical constants.
 func AutoTuned(p *platform.Platform) Config {
 	cfg := Defaults()
 	cfg.IOAT = true
 	cfg.RegCache = true
-	cfg.IOATMinFrag, cfg.IOATMinMsg = AutoTune(p)
+	th := ProbeThresholds(p)
+	cfg.IOATMinFrag, cfg.IOATMinMsg = th.IOATMinFrag, th.IOATMinMsg
+	cfg.LargeThreshold = th.LargeThreshold
+	cfg.ShmIOATThreshold = th.ShmIOATThreshold
 	return cfg
 }
 

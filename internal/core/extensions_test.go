@@ -26,6 +26,69 @@ func TestAutoTuneMatchesEmpiricalThresholds(t *testing.T) {
 	}
 }
 
+func TestProbeThresholdsWithin2xOfPaper(t *testing.T) {
+	// The paper fixes the eager→rendezvous switch and the local
+	// memcpy→I/OAT switch at 32 kB each; the probe must recover both
+	// from the Clovertown cost curves within a factor of two.
+	th := ProbeThresholds(platform.Clovertown())
+	const paper = 32 * 1024
+	if th.LargeThreshold < paper/2 || th.LargeThreshold > paper*2 {
+		t.Errorf("probed LargeThreshold = %d, want within 2x of %d", th.LargeThreshold, paper)
+	}
+	if th.ShmIOATThreshold < paper/2 || th.ShmIOATThreshold > paper*2 {
+		t.Errorf("probed ShmIOATThreshold = %d, want within 2x of %d", th.ShmIOATThreshold, paper)
+	}
+	// Thresholds are page multiples (the unit the driver pins).
+	p := platform.Clovertown()
+	if th.LargeThreshold%p.PageSize != 0 || th.ShmIOATThreshold%p.PageSize != 0 {
+		t.Errorf("thresholds not page multiples: %+v", th)
+	}
+	cfg := AutoTuned(p)
+	if cfg.LargeThreshold != th.LargeThreshold || cfg.ShmIOATThreshold != th.ShmIOATThreshold {
+		t.Errorf("AutoTuned did not adopt probed thresholds: %+v vs %+v", cfg, th)
+	}
+}
+
+func TestLargeThresholdClampedToEagerCapacity(t *testing.T) {
+	// The eager path's dedup/assembly bitmaps are 64 bits wide, so a
+	// threshold beyond 64 fragments must be clamped — past it a
+	// retransmitted high fragment would leak ring slots and corrupt
+	// reassembly.
+	pr := newPair(t, Config{LargeThreshold: 1 << 20}, Config{LargeThreshold: 1 << 20})
+	if got := pr.sa.Cfg.LargeThreshold; got != maxEagerBytes {
+		t.Fatalf("LargeThreshold = %d, want clamped to %d", got, maxEagerBytes)
+	}
+	// A message at the clamped threshold still moves eagerly and
+	// verifies end to end (64 fragments, full bitmap).
+	sendRecv(t, pr, maxEagerBytes)
+	if pr.sa.Stats.RndvSent != 0 {
+		t.Fatalf("%d-byte message used rendezvous below threshold", maxEagerBytes)
+	}
+}
+
+func TestAutoTuneKnobAppliesAtAttach(t *testing.T) {
+	p := platform.Clovertown()
+	th := ProbeThresholds(p)
+	pr := newPair(t, Config{IOAT: true, AutoTune: true}, Config{IOAT: true, AutoTune: true})
+	got := pr.sa.Cfg
+	if got.LargeThreshold != th.LargeThreshold || got.ShmIOATThreshold != th.ShmIOATThreshold ||
+		got.IOATMinFrag != th.IOATMinFrag || got.IOATMinMsg != th.IOATMinMsg {
+		t.Errorf("AutoTune knob: attached config %+v, probe %+v", got, th)
+	}
+	// The tuned stack still moves bytes correctly.
+	sendRecv(t, pr, 1<<20)
+
+	// Explicitly set thresholds win over the probe.
+	pr2 := newPair(t, Config{IOAT: true, AutoTune: true, LargeThreshold: 8 << 10},
+		Config{IOAT: true, AutoTune: true})
+	if pr2.sa.Cfg.LargeThreshold != 8<<10 {
+		t.Errorf("explicit LargeThreshold overridden by autotune: %d", pr2.sa.Cfg.LargeThreshold)
+	}
+	if pr2.sa.Cfg.ShmIOATThreshold != th.ShmIOATThreshold {
+		t.Errorf("unset threshold not tuned: %d", pr2.sa.Cfg.ShmIOATThreshold)
+	}
+}
+
 func TestHybridWarmupStillDeliversAndWarmsCache(t *testing.T) {
 	cfg := Config{IOAT: true, HybridWarmupBytes: 64 * 1024}
 	pr := newPair(t, cfg, cfg)

@@ -64,6 +64,10 @@ func (ep *Endpoint) localPull(p *sim.Proc, r *Request, lm *localMsg) {
 		// overlap for now", Section IV-C); Config.StripeChannels and
 		// Config.PredictiveSleep enable its Section V/VI extensions.
 		chunks := pageChunks(r.off, n, s.H.P.PageSize)
+		// The whole local transfer happens inside one system call, so
+		// its submission cost is accounted as driver time (the
+		// cpu.IOATSubmit ledger tracks bottom-half submissions, whose
+		// softirq priority must not apply in process context).
 		ep.core().RunOn(p, cpu.DriverCmd, s.H.IOAT.SubmitCost(len(chunks)))
 		k := max(1, s.Cfg.StripeChannels)
 		seqs := s.stripedSubmit(r.buf, r.off, lm.buf, lm.off, chunks, k)

@@ -162,7 +162,7 @@ func (s *Stack) ioatSyncCopy(p *sim.Proc, core *cpu.Core, cat cpu.Category, ep *
 		reqs = append(reqs, ioat.CopyReq{Dst: ep.ring, DstOff: off + so, Src: skb.Buf, SrcOff: so, N: c})
 		so += c
 	}
-	core.RunOn(p, cat, s.H.IOAT.SubmitCost(len(reqs)))
+	core.RunOn(p, cpu.IOATSubmit, s.H.IOAT.SubmitCost(len(reqs)))
 	s.Stats.IOATSubmits += int64(len(reqs))
 	seq := ch.Submit(reqs...)
 	core.RunOnDyn(p, cat, func(finish func(extra sim.Duration)) {
@@ -294,7 +294,7 @@ func (s *Stack) rxLargeFrag(p *sim.Proc, core *cpu.Core, skb *nic.Skb, m *proto.
 			so += c
 		}
 		t1 := p.Now()
-		core.RunOn(p, cpu.BHCopy, s.H.IOAT.SubmitCost(len(reqs)))
+		core.RunOn(p, cpu.IOATSubmit, s.H.IOAT.SubmitCost(len(reqs)))
 		if s.Trace != nil {
 			s.Trace(TraceEvent{Kind: "submit", Frag: m.FragID, Start: t1, End: p.Now()})
 			subEnd := p.Now()

@@ -2,14 +2,24 @@
 // queues with two priority levels (softirq work runs ahead of process
 // context) and per-category busy-time accounting.
 //
-// The accounting categories mirror Figure 9 of the paper: user-library
-// time, driver command-processing time (system calls, pinning) and
-// bottom-half receive time (further split into protocol processing and
-// data copying so the copy-offload effect is directly visible).
+// The accounting categories mirror Figure 9 of the paper and extend
+// it for the availability evaluation: application compute, user-library
+// time (polling, matching, eager copies), driver command-processing
+// time (system calls, pinning, one-copy local transfers), bottom-half
+// receive time (split into protocol processing and data copying so the
+// copy-offload effect is directly visible), and I/OAT descriptor
+// submission (the doorbell + per-descriptor setup the CPU still pays
+// when the engine moves the bytes).
+//
+// System.Snapshot turns the ledgers into a deterministic Stats value —
+// per-core busy time per category plus the idle remainder of the
+// accounting window — which the public openmx and mxoe stacks re-export
+// as their CPUStats surface.
 package cpu
 
 import (
 	"fmt"
+	"strings"
 
 	"omxsim/platform"
 	"omxsim/sim"
@@ -20,15 +30,30 @@ type Category int
 
 // Accounting categories.
 const (
-	UserLib   Category = iota // user-space library work
-	DriverCmd                 // driver work in syscall context (incl. pinning)
-	BHProc                    // bottom-half protocol processing
-	BHCopy                    // bottom-half data copies (memcpy or I/OAT submit/wait)
-	Other                     // anything else (MX firmware emulation, benchmarks)
+	UserLib    Category = iota // user-space library work (polling, matching, eager copies)
+	DriverCmd                  // driver work in syscall context (incl. pinning, local one-copy)
+	BHProc                     // bottom-half protocol processing (interrupt/NAPI context)
+	BHCopy                     // bottom-half data copies (memcpy or I/OAT completion wait)
+	IOATSubmit                 // I/OAT descriptor submission (doorbell + per-descriptor setup)
+	AppCompute                 // application computation (reductions, injected compute)
+	Other                      // anything else (MX firmware emulation, benchmarks)
 	numCategories
 )
 
-var categoryNames = [...]string{"user-lib", "driver", "bh-proc", "bh-copy", "other"}
+// NumCategories is the number of accounting categories (the length of
+// a CoreStats.Busy ledger).
+const NumCategories = int(numCategories)
+
+// Categories returns every accounting category in ledger order.
+func Categories() []Category {
+	out := make([]Category, numCategories)
+	for i := range out {
+		out[i] = Category(i)
+	}
+	return out
+}
+
+var categoryNames = [...]string{"user-lib", "driver", "bh-proc", "bh-copy", "ioat-submit", "compute", "other"}
 
 func (c Category) String() string {
 	if c < 0 || int(c) >= len(categoryNames) {
@@ -48,7 +73,7 @@ const (
 
 func priorityOf(c Category) priority {
 	switch c {
-	case BHProc, BHCopy:
+	case BHProc, BHCopy, IOATSubmit:
 		return prioSoftirq
 	default:
 		return prioProcess
@@ -79,6 +104,10 @@ type System struct {
 	E     *sim.Engine
 	P     *platform.Platform
 	Cores []*Core
+
+	// resetAt is the start of the current accounting window (the last
+	// ResetAccounting call; zero for a fresh system).
+	resetAt sim.Time
 }
 
 // NewSystem builds the core set described by p.
@@ -93,12 +122,14 @@ func NewSystem(e *sim.Engine, p *platform.Platform) *System {
 // Core returns core i.
 func (s *System) Core(i int) *Core { return s.Cores[i] }
 
-// ResetAccounting zeroes all busy counters on all cores.
+// ResetAccounting zeroes all busy counters on all cores and starts a
+// new accounting window at the current simulated time.
 func (s *System) ResetAccounting() {
 	for _, c := range s.Cores {
 		c.busyNs = [numCategories]sim.Duration{}
 		c.totalNs = 0
 	}
+	s.resetAt = s.E.Now()
 }
 
 // BusyByCategory sums busy nanoseconds per category across all cores.
@@ -121,6 +152,109 @@ func (s *System) TotalBusy() sim.Duration {
 		t += c.totalNs
 	}
 	return t
+}
+
+// CoreStats is one core's ledger inside a Stats snapshot: busy time
+// per category plus the idle remainder of the accounting window.
+type CoreStats struct {
+	Core int
+	// Busy is indexed by Category (ledger order, see Categories).
+	Busy [NumCategories]sim.Duration
+	// Idle is the window time the core spent executing nothing.
+	Idle sim.Duration
+}
+
+// TotalBusy sums the core's busy time across categories.
+func (c CoreStats) TotalBusy() sim.Duration {
+	var t sim.Duration
+	for _, d := range c.Busy {
+		t += d
+	}
+	return t
+}
+
+// Stats is a deterministic snapshot of per-core CPU accounting over
+// one window (since the last ResetAccounting). Cores appear in
+// ascending ID order and categories in ledger order, so two snapshots
+// of identical runs compare equal with reflect.DeepEqual and render to
+// identical text.
+type Stats struct {
+	// Window is the wall (virtual) time covered by the snapshot.
+	Window sim.Duration
+	Cores  []CoreStats
+}
+
+// Snapshot captures the current accounting window. Work still
+// executing on a core is not yet attributed (ledgers are updated when
+// a task retires), so snapshots are normally taken at quiesce points —
+// after Cluster.Run or between benchmark phases.
+func (s *System) Snapshot() Stats {
+	st := Stats{Window: s.E.Now() - s.resetAt}
+	for _, c := range s.Cores {
+		cs := CoreStats{Core: c.ID, Busy: c.busyNs}
+		if idle := st.Window - c.totalNs; idle > 0 {
+			cs.Idle = idle
+		}
+		st.Cores = append(st.Cores, cs)
+	}
+	return st
+}
+
+// Busy sums busy time for the given categories across all cores (all
+// categories when none are given).
+func (st Stats) Busy(cats ...Category) sim.Duration {
+	var t sim.Duration
+	for _, c := range st.Cores {
+		if len(cats) == 0 {
+			t += c.TotalBusy()
+			continue
+		}
+		for _, cat := range cats {
+			t += c.Busy[cat]
+		}
+	}
+	return t
+}
+
+// BusyPct reports busy time for the given categories as a percentage
+// of one core's window (so a host with two saturated cores reports
+// 200 %). Zero when the window is empty.
+func (st Stats) BusyPct(cats ...Category) float64 {
+	if st.Window <= 0 {
+		return 0
+	}
+	return float64(st.Busy(cats...)) / float64(st.Window) * 100
+}
+
+// Render formats the snapshot as an aligned text table: one row per
+// core that was busy at all, one column per category, a totals row at
+// the bottom. The output is deterministic.
+func (st Stats) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s", "core")
+	for _, cat := range Categories() {
+		fmt.Fprintf(&b, " %12s", cat.String())
+	}
+	fmt.Fprintf(&b, " %12s\n", "idle")
+	us := func(d sim.Duration) string { return fmt.Sprintf("%.1f", sim.Time(d).Micros()) }
+	var idle sim.Duration
+	for _, c := range st.Cores {
+		idle += c.Idle
+		if c.TotalBusy() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-6d", c.Core)
+		for _, cat := range Categories() {
+			fmt.Fprintf(&b, " %12s", us(c.Busy[cat]))
+		}
+		fmt.Fprintf(&b, " %12s\n", us(c.Idle))
+	}
+	fmt.Fprintf(&b, "%-6s", "total")
+	for _, cat := range Categories() {
+		fmt.Fprintf(&b, " %12s", us(st.Busy(cat)))
+	}
+	fmt.Fprintf(&b, " %12s\n", us(idle))
+	return b.String()
 }
 
 // Busy reports whether the core is currently executing a task.

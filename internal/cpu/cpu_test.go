@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -216,7 +217,88 @@ func TestCategoryString(t *testing.T) {
 	if UserLib.String() != "user-lib" || BHCopy.String() != "bh-copy" {
 		t.Fatal("category names wrong")
 	}
+	if IOATSubmit.String() != "ioat-submit" || AppCompute.String() != "compute" {
+		t.Fatal("new category names wrong")
+	}
 	if Category(99).String() != "cat(99)" {
 		t.Fatal("out-of-range name wrong")
+	}
+	if len(Categories()) != NumCategories {
+		t.Fatalf("Categories() = %d entries, want %d", len(Categories()), NumCategories)
+	}
+}
+
+func TestSnapshotLedger(t *testing.T) {
+	e, s := newSys()
+	s.Core(0).Exec(UserLib, 100, nil)
+	s.Core(0).Exec(IOATSubmit, 50, nil)
+	s.Core(3).Exec(AppCompute, 200, nil)
+	e.Run()
+	e.RunUntil(1000)
+	st := s.Snapshot()
+	if st.Window != 1000 {
+		t.Fatalf("window = %v, want 1000", st.Window)
+	}
+	if len(st.Cores) != 8 || st.Cores[0].Core != 0 || st.Cores[7].Core != 7 {
+		t.Fatalf("cores not in ascending ID order: %+v", st.Cores)
+	}
+	if st.Cores[0].Busy[UserLib] != 100 || st.Cores[0].Busy[IOATSubmit] != 50 {
+		t.Fatalf("core0 ledger = %+v", st.Cores[0].Busy)
+	}
+	if st.Cores[0].Idle != 850 {
+		t.Fatalf("core0 idle = %v, want 850", st.Cores[0].Idle)
+	}
+	if st.Cores[3].Busy[AppCompute] != 200 || st.Cores[3].Idle != 800 {
+		t.Fatalf("core3 ledger = %+v idle=%v", st.Cores[3].Busy, st.Cores[3].Idle)
+	}
+	if st.Cores[1].TotalBusy() != 0 || st.Cores[1].Idle != 1000 {
+		t.Fatalf("untouched core1 = %+v", st.Cores[1])
+	}
+	if st.Busy() != 350 || st.Busy(UserLib) != 100 || st.Busy(UserLib, IOATSubmit) != 150 {
+		t.Fatalf("Busy sums wrong: %v %v %v", st.Busy(), st.Busy(UserLib), st.Busy(UserLib, IOATSubmit))
+	}
+	if pct := st.BusyPct(AppCompute); pct != 20 {
+		t.Fatalf("BusyPct(AppCompute) = %v, want 20", pct)
+	}
+}
+
+func TestSnapshotWindowFollowsReset(t *testing.T) {
+	e, s := newSys()
+	s.Core(0).Exec(UserLib, 100, nil)
+	e.Run()
+	s.ResetAccounting()
+	s.Core(0).Exec(BHProc, 40, nil)
+	e.Run()
+	st := s.Snapshot()
+	if st.Window != 40 {
+		t.Fatalf("window after reset = %v, want 40", st.Window)
+	}
+	if st.Busy(UserLib) != 0 || st.Busy(BHProc) != 40 {
+		t.Fatalf("ledger after reset: %v / %v", st.Busy(UserLib), st.Busy(BHProc))
+	}
+}
+
+func TestSnapshotDeterministicRender(t *testing.T) {
+	run := func() Stats {
+		e, s := newSys()
+		s.Core(2).Exec(BHCopy, 300, nil)
+		s.Core(2).Exec(BHProc, 100, nil)
+		s.Core(5).Exec(DriverCmd, 70, nil)
+		e.Run()
+		return s.Snapshot()
+	}
+	a, b := run(), run()
+	if a.Render() != b.Render() {
+		t.Fatalf("render not deterministic:\n%s\nvs\n%s", a.Render(), b.Render())
+	}
+	out := a.Render()
+	for _, want := range []string{"bh-copy", "ioat-submit", "compute", "idle", "total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Idle cores are elided: only cores 2 and 5 plus header and total.
+	if got := strings.Count(out, "\n"); got != 4 {
+		t.Fatalf("render has %d lines, want 4:\n%s", got, out)
 	}
 }

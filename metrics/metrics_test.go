@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -116,5 +117,98 @@ func TestTableEqual(t *testing.T) {
 	}
 	if !(*Series)(nil).Equal(nil) || a.Series[0].Equal(nil) {
 		t.Fatal("nil series handling wrong")
+	}
+}
+
+// NaN poisons equality on purpose: the determinism guardrails compare
+// regenerated figures bit for bit, and a NaN in a series means some
+// computation produced garbage — two such runs must never be declared
+// "equal", even when the garbage is identical, so the guardrail trips
+// and the figure gets fixed rather than golden-ed.
+func TestSeriesEqualNaN(t *testing.T) {
+	mk := func() *Series {
+		s := &Series{Name: "n"}
+		s.Add(1, math.NaN())
+		return s
+	}
+	a, b := mk(), mk()
+	if a.Equal(b) {
+		t.Fatal("series containing NaN compared equal")
+	}
+	if a.Equal(a) {
+		t.Fatal("NaN series compared equal to itself")
+	}
+	// NaN in X poisons too.
+	c := &Series{Name: "n"}
+	c.Add(math.NaN(), 1)
+	if c.Equal(c) {
+		t.Fatal("NaN X compared equal")
+	}
+	// Signed zero is the same value (0 == -0 in IEEE comparison): two
+	// runs producing differently signed zeros still agree numerically.
+	z1 := &Series{Name: "z"}
+	z1.Add(1, 0)
+	z2 := &Series{Name: "z"}
+	z2.Add(1, math.Copysign(0, -1))
+	if !z1.Equal(z2) {
+		t.Fatal("0 and -0 compared unequal")
+	}
+}
+
+func TestSeriesEqualLengthMismatch(t *testing.T) {
+	a := &Series{Name: "s"}
+	a.Add(1, 10)
+	a.Add(2, 20)
+	prefix := &Series{Name: "s"}
+	prefix.Add(1, 10)
+	if a.Equal(prefix) || prefix.Equal(a) {
+		t.Fatal("prefix series compared equal (either direction)")
+	}
+	empty := &Series{Name: "s"}
+	if a.Equal(empty) || !empty.Equal(&Series{Name: "s"}) {
+		t.Fatal("empty-series handling wrong")
+	}
+	// Same points, different order: unequal — point order is part of
+	// the result (sweeps emit in deterministic sweep order).
+	ab := &Series{Name: "s"}
+	ab.Add(1, 10)
+	ab.Add(2, 20)
+	ba := &Series{Name: "s"}
+	ba.Add(2, 20)
+	ba.Add(1, 10)
+	if ab.Equal(ba) {
+		t.Fatal("reordered points compared equal")
+	}
+}
+
+// Label drift: a renamed series or relabelled axis is a real figure
+// change (legends are part of the committed golden) and must show up
+// as inequality even when every number matches.
+func TestEqualLabelDrift(t *testing.T) {
+	a := &Series{Name: "Open-MX"}
+	a.Add(1, 1)
+	b := &Series{Name: "Open-MX I/OAT"}
+	b.Add(1, 1)
+	if a.Equal(b) {
+		t.Fatal("renamed series compared equal")
+	}
+	mk := func() *Table {
+		tab := NewTable("t", "msgsize", "MiB/s")
+		tab.AddSeries("a").Add(1, 1)
+		return tab
+	}
+	x := mk()
+	xl := mk()
+	xl.XLabel = "bytes"
+	yl := mk()
+	yl.YLabel = "GiB/s"
+	if x.Equal(xl) || x.Equal(yl) {
+		t.Fatal("tables differing only in axis labels compared equal")
+	}
+	// Same series under a different count: unequal both ways.
+	extra := mk()
+	extra.AddSeries("b")
+	if x.Equal(extra) || extra.Equal(x) {
+		t.Fatal("series-count mismatch compared equal")
 	}
 }

@@ -161,13 +161,26 @@ func (r *Rank) nextCollTag() int {
 // chargeCompute accounts local computation (reduction arithmetic).
 func (r *Rank) chargeCompute(bytes int) {
 	d := sim.Duration(float64(bytes) / float64(r.Host.C.P.ReduceRate))
-	r.Host.Machine().Sys.Core(r.Core).RunOn(r.p, cpu.Other, d)
+	r.Host.Machine().Sys.Core(r.Core).RunOn(r.p, cpu.AppCompute, d)
 }
 
 // Compute charges application computation time proportional to the
 // bytes processed (at the platform's streaming compute rate). Used by
 // application-level workloads such as the NAS IS proxy.
 func (r *Rank) Compute(bytes int) { r.chargeCompute(bytes) }
+
+// ComputeFor occupies the rank's core with application computation
+// for exactly d, accounted to the app-compute CPU ledger (the
+// methodology behind the `omxsim avail` figure). Slice long
+// computations into quanta — calling ComputeFor repeatedly with
+// Test/Progress in between — so bottom-half work can interleave, as
+// it would under a preemptive kernel.
+func (r *Rank) ComputeFor(d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	r.Host.Machine().Sys.Core(r.Core).RunOn(r.p, cpu.AppCompute, d)
+}
 
 // sumInto adds src's float64 values into dst (little-endian), the
 // MPI_SUM/MPI_FLOAT reduction IMB uses. Only whole 8-byte words are

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"omxsim/cluster"
+	"omxsim/internal/cpu"
 	"omxsim/mxoe"
 	"omxsim/openmx"
 	"omxsim/sim"
@@ -336,5 +337,32 @@ func TestCollectiveSequenceIsolation(t *testing.T) {
 	})
 	if !ok {
 		t.Fatal("collective rounds crossed")
+	}
+}
+
+// ComputeFor charges exactly the requested duration to the rank's
+// core under the app-compute ledger, and advances virtual time by it.
+func TestComputeForChargesAppCompute(t *testing.T) {
+	c, w := world(t, "openmx", 1)
+	var before, after sim.Time
+	runWorld(t, c, w, func(r *Rank) {
+		if r.ID != 0 {
+			return
+		}
+		sys := r.Host.Machine().Sys
+		sys.ResetAccounting()
+		before = r.Now()
+		for i := 0; i < 4; i++ {
+			r.ComputeFor(25 * sim.Microsecond)
+		}
+		r.ComputeFor(0)  // no-op
+		r.ComputeFor(-1) // guarded no-op
+		after = r.Now()
+		if got := sys.Core(r.Core).BusyNs(cpu.AppCompute); got != 100*sim.Microsecond {
+			t.Errorf("app-compute ledger = %v, want 100µs", got)
+		}
+	})
+	if after-before != 100*sim.Microsecond {
+		t.Errorf("ComputeFor advanced %v of virtual time, want 100µs", after-before)
 	}
 }

@@ -7,6 +7,7 @@ package mxoe
 
 import (
 	"omxsim/cluster"
+	"omxsim/internal/cpu"
 	"omxsim/internal/mxoe"
 	"omxsim/internal/proto"
 	"omxsim/openmx"
@@ -52,6 +53,39 @@ func Attach(h *cluster.Host, cfg Config) *Stack {
 // Stats exposes the firmware's protocol counters (retransmissions,
 // duplicate suppression, queue drops) for tests and diagnostics.
 func (s *Stack) Stats() Stats { return s.s.Stats }
+
+// CPUStats re-exports the deterministic per-core CPU ledger snapshot
+// (see openmx.CPUStats). Native MX leaves the receive path to NIC
+// firmware, so its snapshots show essentially only user-library and
+// application-compute time — the baseline the paper's availability
+// argument is measured against.
+type CPUStats = openmx.CPUStats
+
+// CPUCategory labels one busy-time ledger (see CPUCategories).
+type CPUCategory = cpu.Category
+
+// The accounting categories, mirrored here so mxoe-only consumers
+// can interpret CPUStats without importing openmx.
+const (
+	CPUUserLib    = cpu.UserLib
+	CPUDriver     = cpu.DriverCmd
+	CPUBHProc     = cpu.BHProc
+	CPUBHCopy     = cpu.BHCopy
+	CPUIOATSubmit = cpu.IOATSubmit
+	CPUAppCompute = cpu.AppCompute
+	CPUOther      = cpu.Other
+)
+
+// CPUCategories returns every accounting category in ledger order.
+func CPUCategories() []CPUCategory { return cpu.Categories() }
+
+// CPUStats snapshots the host's CPU accounting since the last
+// ResetCPUStats (or the start of the run).
+func (s *Stack) CPUStats() CPUStats { return s.s.H.Sys.Snapshot() }
+
+// ResetCPUStats zeroes the host's CPU ledgers and starts a new
+// accounting window.
+func (s *Stack) ResetCPUStats() { s.s.H.Sys.ResetAccounting() }
 
 // HostName implements openmx.Transport.
 func (s *Stack) HostName() string { return s.h.Name }

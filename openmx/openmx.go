@@ -26,6 +26,7 @@ package openmx
 import (
 	"omxsim/cluster"
 	"omxsim/internal/core"
+	"omxsim/internal/cpu"
 	"omxsim/internal/proto"
 	"omxsim/platform"
 	"omxsim/sim"
@@ -49,11 +50,23 @@ type Config = core.Config
 // Defaults returns the paper's default thresholds.
 func Defaults() Config { return core.Defaults() }
 
-// AutoTuned returns an I/OAT-enabled configuration whose offload
-// thresholds are derived from startup microbenchmarks of the given
-// platform instead of the paper's empirical constants (the Section VI
-// auto-tuning proposal).
+// AutoTuned returns an I/OAT-enabled configuration whose offload and
+// protocol thresholds are derived from startup microbenchmarks of the
+// given platform instead of the paper's empirical constants (the
+// Section VI auto-tuning proposal). Setting Config.AutoTune instead
+// runs the same probe when the stack attaches, filling only the
+// thresholds the caller left unset.
 func AutoTuned(p *platform.Platform) Config { return core.AutoTuned(p) }
+
+// Thresholds is the full set of protocol/offload thresholds the
+// adaptive autotuner derives (see ProbeThresholds).
+type Thresholds = core.Thresholds
+
+// ProbeThresholds probes the platform's memcpy and I/OAT cost curves
+// and returns the crossover points the autotuner would pick: the
+// eager→rendezvous switch, the local memcpy→I/OAT switch, and the
+// asynchronous-offload floor (minimum message and fragment sizes).
+func ProbeThresholds(p *platform.Platform) Thresholds { return core.ProbeThresholds(p) }
 
 // Request is a transport-neutral in-flight operation handle.
 type Request interface {
@@ -102,6 +115,42 @@ func (s *Stack) HostName() string { return s.h.Name }
 // Stats exposes protocol counters (retransmissions, I/OAT submits,
 // cleanup frees, ...) for tests and diagnostics.
 func (s *Stack) Stats() core.Stats { return s.s.Stats }
+
+// CPUStats is a deterministic snapshot of the host's per-core CPU
+// ledgers: busy time per accounting category (user library, driver,
+// bottom-half processing and copies, I/OAT submission, application
+// compute) plus the idle remainder of the window. See CPUCategories
+// for the ledger order.
+type CPUStats = cpu.Stats
+
+// CPUCategory labels one busy-time ledger; CPUCategories returns them
+// in ledger order.
+type CPUCategory = cpu.Category
+
+// The accounting categories, re-exported for CPUStats consumers.
+const (
+	CPUUserLib    = cpu.UserLib
+	CPUDriver     = cpu.DriverCmd
+	CPUBHProc     = cpu.BHProc
+	CPUBHCopy     = cpu.BHCopy
+	CPUIOATSubmit = cpu.IOATSubmit
+	CPUAppCompute = cpu.AppCompute
+	CPUOther      = cpu.Other
+)
+
+// CPUCategories returns every accounting category in ledger order.
+func CPUCategories() []CPUCategory { return cpu.Categories() }
+
+// CPUStats snapshots the host's CPU accounting since the last
+// ResetCPUStats (or since the start of the run). The snapshot covers
+// the whole machine — every stack and process on the host shares the
+// same cores — and is deterministic: identical runs yield identical
+// snapshots.
+func (s *Stack) CPUStats() CPUStats { return s.s.H.Sys.Snapshot() }
+
+// ResetCPUStats zeroes the host's CPU ledgers and starts a new
+// accounting window (e.g. after a warm-up phase).
+func (s *Stack) ResetCPUStats() { s.s.H.Sys.ResetAccounting() }
 
 // Inner exposes the internal stack for in-module tooling (timeline
 // tracing); external callers should treat it as opaque.

@@ -106,6 +106,76 @@ func TestStatsExposed(t *testing.T) {
 	}
 }
 
+func TestCPUStatsExposed(t *testing.T) {
+	c := cluster.New(nil)
+	defer c.Close()
+	n0, n1 := c.NewHost("n0"), c.NewHost("n1")
+	cluster.Link(n0, n1)
+	s0 := openmx.Attach(n0, openmx.Config{IOAT: true})
+	s1 := openmx.Attach(n1, openmx.Config{IOAT: true})
+	e0, e1 := s0.Open(0, 2), s1.Open(0, 2)
+	src, dst := n0.Alloc(1<<20), n1.Alloc(1<<20)
+	c.Go("recv", func(p *sim.Proc) {
+		r := e1.IRecv(p, 1, ^uint64(0), dst, 0, 1<<20)
+		e1.Wait(p, r)
+	})
+	c.Go("send", func(p *sim.Proc) {
+		e0.Wait(p, e0.ISend(p, e1.Addr(), 1, src, 0, 1<<20))
+	})
+	c.Run()
+	st := s1.CPUStats()
+	if st.Window <= 0 || len(st.Cores) != 8 {
+		t.Fatalf("snapshot shape: window=%v cores=%d", st.Window, len(st.Cores))
+	}
+	// The offloaded receive must show bottom-half, library and
+	// submission time in the ledgers.
+	if st.Busy(openmx.CPUBHProc) == 0 || st.Busy(openmx.CPUUserLib) == 0 ||
+		st.Busy(openmx.CPUIOATSubmit) == 0 {
+		t.Fatalf("ledgers empty:\n%s", st.Render())
+	}
+	// Idle + busy covers each core's window exactly.
+	for _, cs := range st.Cores {
+		if cs.TotalBusy()+cs.Idle != st.Window {
+			t.Fatalf("core %d busy+idle != window:\n%s", cs.Core, st.Render())
+		}
+	}
+	// Reset starts a fresh window.
+	s1.ResetCPUStats()
+	if after := s1.CPUStats(); after.Window != 0 || after.Busy() != 0 {
+		t.Fatalf("reset did not clear the window: %+v", after)
+	}
+	// The native baseline surfaces the same snapshot type with a
+	// firmware receive path: no bottom-half time at all.
+	c2 := cluster.New(nil)
+	defer c2.Close()
+	m0, m1 := c2.NewHost("m0"), c2.NewHost("m1")
+	cluster.Link(m0, m1)
+	t0 := mxoe.Attach(m0, mxoe.Config{})
+	t1 := mxoe.Attach(m1, mxoe.Config{})
+	f0, f1 := t0.Open(0, 2), t1.Open(0, 2)
+	msrc, mdst := m0.Alloc(1<<20), m1.Alloc(1<<20)
+	c2.Go("recv", func(p *sim.Proc) {
+		r := f1.IRecv(p, 1, ^uint64(0), mdst, 0, 1<<20)
+		f1.Wait(p, r)
+	})
+	c2.Go("send", func(p *sim.Proc) {
+		f0.Wait(p, f0.ISend(p, f1.Addr(), 1, msrc, 0, 1<<20))
+	})
+	c2.Run()
+	// The mxoe package mirrors the category constants, so mxoe-only
+	// consumers can interpret the ledgers without importing openmx.
+	mst := t1.CPUStats()
+	if mst.Busy(mxoe.CPUBHProc, mxoe.CPUBHCopy) != 0 {
+		t.Fatalf("native MX shows bottom-half time:\n%s", mst.Render())
+	}
+	if mst.Busy(mxoe.CPUUserLib) == 0 {
+		t.Fatalf("native MX shows no library time:\n%s", mst.Render())
+	}
+	if len(mxoe.CPUCategories()) != len(openmx.CPUCategories()) {
+		t.Fatal("mxoe and openmx disagree on the category set")
+	}
+}
+
 func TestAutoTunedPublic(t *testing.T) {
 	cfg := openmx.AutoTuned(platform.Clovertown())
 	if !cfg.IOAT || cfg.IOATMinFrag == 0 || cfg.IOATMinMsg == 0 {
