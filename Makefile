@@ -9,7 +9,7 @@ GO ?= go
 STATICCHECK ?= $(GO) run honnef.co/go/tools/cmd/staticcheck@2024.1.1
 
 .PHONY: all build test test-short race fmt fmt-check vet lint bench bench-ci \
-	golden golden-check stress examples linkcheck ci-fast ci-full
+	golden golden-check stress multinic examples linkcheck ci-fast ci-full
 
 all: build
 
@@ -70,6 +70,16 @@ stress:
 		-run 'Stress|Storm|Loss|Impair|Recover|Fuzz' \
 		./cluster ./internal/core ./internal/mxoe ./internal/interop ./figures
 
+# Multi-NIC striping battery: the striped storms under per-lane
+# impairment and cross-NIC skew (all three stack pairings), the
+# stripe-reassembly fuzz corpus, per-NIC drop-attribution tests, the
+# multinic figure guardrails and the 1-NIC ≡ legacy-path proof, under
+# the race detector. STRESS_SEEDS widens the storm sweep.
+multinic:
+	OMXSIM_STRESS_SEEDS=$(STRESS_SEEDS) $(GO) test -race -count=1 \
+		-run 'Striping|StripedLoss|StripeReassembly|MultiNIC|RingDropAttributed|1NICMatchesLegacy' \
+		./cluster ./internal/core ./figures
+
 # Run every committed godoc example (they are living documentation
 # with verified Output comments).
 examples:
@@ -82,4 +92,4 @@ linkcheck:
 
 ci-fast: build vet lint fmt-check examples linkcheck test-short
 
-ci-full: race stress
+ci-full: race stress multinic

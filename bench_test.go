@@ -205,6 +205,29 @@ func BenchmarkAvail(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiNIC regenerates the link-aggregation sweep, reporting
+// the 2 MB goodput at 1 and 4 NICs with the per-NIC pull window (the
+// scaling headline) and at 4 NICs with the fixed window (the
+// plateau).
+func BenchmarkMultiNIC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := figures.MultiNICSweep()
+		for _, p := range pts {
+			if p.Mode != "memcpy" || p.Bytes != 2<<20 {
+				continue
+			}
+			switch {
+			case p.Window == "per-NIC" && p.NICs == 1:
+				b.ReportMetric(p.GoodputMiBps, "1nic-MiB/s")
+			case p.Window == "per-NIC" && p.NICs == 4:
+				b.ReportMetric(p.GoodputMiBps, "4nic-MiB/s")
+			case p.Window == "fixed" && p.NICs == 4:
+				b.ReportMetric(p.GoodputMiBps, "4nic-fixed-MiB/s")
+			}
+		}
+	}
+}
+
 // --- Ablations (design choices DESIGN.md calls out) ---
 
 func BenchmarkAblationMinFrag(b *testing.B) {

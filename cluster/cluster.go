@@ -16,6 +16,7 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 
 	"omxsim/internal/host"
 	"omxsim/internal/hostmem"
@@ -50,16 +51,64 @@ type Host struct {
 	m    *host.Host
 }
 
+// HostOption configures one NewHost call.
+type HostOption func(*hostOpts)
+
+type hostOpts struct {
+	nics     int
+	irqCores []int
+}
+
+// MultiNIC equips the host with n NICs for link aggregation. NIC 0
+// keeps the bare host name as its wire address (single-NIC behaviour
+// is untouched); NIC i is addressed "host#i" and, by default, takes
+// its interrupts on core i so the per-NIC bottom halves spread across
+// cores. Hosts that exchange striped traffic must use equal NIC
+// counts (Link enforces it; switched topologies are trusted).
+func MultiNIC(n int, opts ...NICOption) HostOption {
+	if n < 1 {
+		panic(fmt.Sprintf("cluster: MultiNIC count %d out of range", n))
+	}
+	return func(o *hostOpts) {
+		o.nics = n
+		for _, f := range opts {
+			f(o)
+		}
+	}
+}
+
+// NICOption tunes a MultiNIC host.
+type NICOption func(*hostOpts)
+
+// NICIRQCores steers NIC i's interrupts (and its bottom half) to
+// cores[i], overriding the default spread of core i per NIC. Shorter
+// lists fall back to the default for the remaining NICs.
+func NICIRQCores(cores ...int) NICOption {
+	return func(o *hostOpts) { o.irqCores = cores }
+}
+
 // NewHost adds a machine to the cluster. Host names are the network
-// addresses of their NICs and must be unique.
-func (c *Cluster) NewHost(name string) *Host {
+// addresses of their (primary) NICs and must be unique; '#' is
+// reserved for lane addressing (wire.LaneAddr), so a host named
+// "a#1" could collide with lane 1 of a MultiNIC host "a".
+func (c *Cluster) NewHost(name string, opts ...HostOption) *Host {
 	if _, dup := c.hosts[name]; dup {
 		panic(fmt.Sprintf("cluster: duplicate host %q", name))
 	}
-	h := &Host{C: c, Name: name, m: host.New(c.E, c.P, name)}
+	if strings.Contains(name, "#") {
+		panic(fmt.Sprintf("cluster: host name %q contains '#', reserved for NIC lane addresses", name))
+	}
+	o := hostOpts{nics: 1}
+	for _, f := range opts {
+		f(&o)
+	}
+	h := &Host{C: c, Name: name, m: host.NewMulti(c.E, c.P, name, o.nics, o.irqCores)}
 	c.hosts[name] = h
 	return h
 }
+
+// NICCount reports the host's NIC count.
+func (h *Host) NICCount() int { return h.m.Lanes() }
 
 // Host returns a host by name, or nil.
 func (c *Cluster) Host(name string) *Host { return c.hosts[name] }
@@ -69,30 +118,61 @@ func (c *Cluster) Host(name string) *Host { return c.hosts[name] }
 // it as opaque.
 func (h *Host) Machine() *host.Host { return h.m }
 
-// Link connects two hosts back to back with a full-duplex 10 GbE
-// cable, like the paper's switchless testbed. Options add impairment
-// profiles (Impair, ImpairAB, ImpairBA) and a bounded transmit queue
-// (LinkQueue); with no options the link is perfect and the fast path
-// is untouched.
+// Link connects two hosts back to back, like the paper's switchless
+// testbed: one full-duplex 10 GbE cable per NIC pair (lane k of a
+// plugs into lane k of b — link aggregation for MultiNIC hosts, whose
+// NIC counts must match). Options add impairment profiles (Impair,
+// ImpairAB, ImpairBA — reseeded per lane so lanes misbehave
+// independently — and ImpairLane for one cable only) and a bounded
+// transmit queue (LinkQueue); with no options every lane is perfect
+// and the fast path is untouched.
 func Link(a, b *Host, opts ...LinkOption) {
 	var o linkOpts
 	for _, f := range opts {
 		f(&o)
 	}
-	ab, ba := wire.Connect(a.C.E, a.C.P, a.m.NIC, b.m.NIC)
-	ab.SetImpairment(o.ab.wire())
-	ba.SetImpairment(o.ba.wire())
-	ab.QueueLimit = o.queueLimit
-	ba.QueueLimit = o.queueLimit
-	a.m.NIC.SetHose(ab)
-	b.m.NIC.SetHose(ba)
-	a.C.links = append(a.C.links, &linkRec{from: a.Name, to: b.Name, ab: ab, ba: ba})
+	if a.NICCount() != b.NICCount() {
+		panic(fmt.Sprintf("cluster: Link %s (%d NICs) to %s (%d NICs): aggregated links need equal NIC counts",
+			a.Name, a.NICCount(), b.Name, b.NICCount()))
+	}
+	for lane := range o.laneAB {
+		if lane < 0 || lane >= a.NICCount() {
+			panic(fmt.Sprintf("cluster: ImpairLane(%d) on a %d-NIC link (valid lanes 0..%d)",
+				lane, a.NICCount(), a.NICCount()-1))
+		}
+	}
+	rec := &linkRec{from: a.Name, to: b.Name}
+	for lane := 0; lane < a.NICCount(); lane++ {
+		abIm, baIm := laneSeed(o.ab, lane), laneSeed(o.ba, lane)
+		// Explicit per-lane profiles win over the reseeded global ones
+		// and keep their configured seed verbatim.
+		if im, ok := o.laneAB[lane]; ok {
+			abIm = im
+		}
+		if im, ok := o.laneBA[lane]; ok {
+			baIm = im
+		}
+		na, nb := a.m.NICs[lane], b.m.NICs[lane]
+		ab, ba := wire.Connect(a.C.E, a.C.P, na, nb)
+		ab.SetImpairment(abIm.wire())
+		ba.SetImpairment(baIm.wire())
+		ab.QueueLimit = o.queueLimit
+		ba.QueueLimit = o.queueLimit
+		na.SetHose(ab)
+		nb.SetHose(ba)
+		rec.lanes = append(rec.lanes, linkLane{ab: ab, ba: ba})
+	}
+	a.C.links = append(a.C.links, rec)
 }
 
-// LossyLink connects two hosts and installs the given frame-drop
-// predicates on the a→b and b→a directions (nil means no loss). Used
-// by retransmission experiments.
+// LossyLink connects two single-NIC hosts and installs the given
+// frame-drop predicates on the a→b and b→a directions (nil means no
+// loss). Used by retransmission experiments; aggregated links use
+// Link with ImpairLane instead.
 func LossyLink(a, b *Host, dropAB, dropBA func(any) bool) {
+	if a.NICCount() != 1 || b.NICCount() != 1 {
+		panic("cluster: LossyLink requires single-NIC hosts (use Link with ImpairLane)")
+	}
 	ab, ba := wire.Connect(a.C.E, a.C.P, a.m.NIC, b.m.NIC)
 	if dropAB != nil {
 		ab.Drop = func(f *wire.Frame) bool { return dropAB(f.Msg) }
@@ -102,14 +182,14 @@ func LossyLink(a, b *Host, dropAB, dropBA func(any) bool) {
 	}
 	a.m.NIC.SetHose(ab)
 	b.m.NIC.SetHose(ba)
-	a.C.links = append(a.C.links, &linkRec{from: a.Name, to: b.Name, ab: ab, ba: ba})
+	a.C.links = append(a.C.links, &linkRec{from: a.Name, to: b.Name, lanes: []linkLane{{ab: ab, ba: ba}}})
 }
 
 // Switch is a store-and-forward Ethernet switch.
 type Switch struct {
 	c       *Cluster
 	sw      *wire.Switch
-	uplinks map[string]*wire.Hose // host → (host→switch) hose
+	uplinks map[string]*wire.Hose // NIC address → (NIC→switch) hose
 }
 
 // NewSwitch adds a switch to the cluster. Options bound the output
@@ -125,11 +205,17 @@ func (c *Cluster) NewSwitch(opts ...SwitchOption) *Switch {
 	return s
 }
 
-// Attach plugs a host into the switch.
+// Attach plugs a host into the switch: every NIC of a MultiNIC host
+// gets its own switch port (and its own congestible output queue), so
+// striped traffic occupies several ports in parallel. Hosts that
+// exchange striped traffic through a switch must use equal NIC counts
+// — lane k is addressed to the peer's lane-k port.
 func (s *Switch) Attach(h *Host) {
-	up := s.sw.Attach(h.m.NIC)
-	s.uplinks[h.Name] = up
-	h.m.NIC.SetHose(up)
+	for _, n := range h.m.NICs {
+		up := s.sw.Attach(n)
+		s.uplinks[n.Name] = up
+		n.SetHose(up)
+	}
 }
 
 // Buffer is an application payload buffer in a host's memory. It

@@ -60,8 +60,18 @@ func (im Impairment) Enabled() bool { return im.wire().Enabled() }
 
 // linkOpts collects Link options.
 type linkOpts struct {
-	ab, ba     Impairment
-	queueLimit int
+	ab, ba         Impairment
+	laneAB, laneBA map[int]Impairment
+	queueLimit     int
+}
+
+// laneSeed derives lane i's instance of a link-wide profile: lane 0
+// keeps the configured seed verbatim (single-NIC runs are
+// bit-identical to the pre-aggregation wire), later lanes reseed so
+// parallel cables never lose the same pattern.
+func laneSeed(im Impairment, lane int) Impairment {
+	im.Seed ^= int64(lane) * 0x9E3779B97F4A7C1
+	return im
 }
 
 // LinkOption configures one Link call.
@@ -88,11 +98,31 @@ func ImpairBA(im Impairment) LinkOption { return func(o *linkOpts) { o.ba = im }
 // count; frames beyond it are tail-dropped (congestion loss).
 func LinkQueue(frames int) LinkOption { return func(o *linkOpts) { o.queueLimit = frames } }
 
-// linkRec remembers one point-to-point link for NetStats.
+// ImpairLane impairs both directions of one lane of an aggregated
+// link (the reverse direction independently reseeded), leaving every
+// other cable clean — the "one NIC's cable is bad" scenario the
+// striping stress battery attributes per NIC. The profile's seed is
+// used verbatim, overriding any link-wide profile on that lane.
+func ImpairLane(lane int, im Impairment) LinkOption {
+	return func(o *linkOpts) {
+		if o.laneAB == nil {
+			o.laneAB = make(map[int]Impairment)
+			o.laneBA = make(map[int]Impairment)
+		}
+		o.laneAB[lane] = im
+		im.Seed ^= 0x5DEECE66D
+		o.laneBA[lane] = im
+	}
+}
+
+// linkRec remembers one point-to-point (possibly aggregated) link for
+// NetStats, one lane per NIC pair.
 type linkRec struct {
 	from, to string
-	ab, ba   *wire.Hose
+	lanes    []linkLane
 }
+
+type linkLane struct{ ab, ba *wire.Hose }
 
 // SwitchOption configures one NewSwitch call.
 type SwitchOption func(*wire.Switch)
@@ -148,10 +178,36 @@ func dirStats(h wire.HoseStats) DirStats {
 	}
 }
 
-// LinkStats snapshots one point-to-point link.
+// LaneStats snapshots one lane (one NIC-pair cable) of an aggregated
+// link.
+type LaneStats struct {
+	Lane   int
+	AB, BA DirStats
+}
+
+// LinkStats snapshots one point-to-point link. AB and BA aggregate
+// every lane (counters summed, queue high-water maxed) — identical to
+// the single cable's counters on a 1-NIC link — and Lanes attributes
+// them per NIC pair, so loss or tail-drop on one lane of an
+// aggregated link is visible on exactly that lane.
 type LinkStats struct {
 	From, To string
 	AB, BA   DirStats
+	Lanes    []LaneStats
+}
+
+// addDir aggregates one lane direction into a link-wide total.
+func addDir(sum *DirStats, d DirStats) {
+	sum.FramesSent += d.FramesSent
+	sum.BytesSent += d.BytesSent
+	sum.FramesDropped += d.FramesDropped
+	sum.FramesLost += d.FramesLost
+	sum.TailDrops += d.TailDrops
+	sum.FramesDuped += d.FramesDuped
+	sum.FramesReordered += d.FramesReordered
+	if d.MaxQueue > sum.MaxQueue {
+		sum.MaxQueue = d.MaxQueue
+	}
 }
 
 // PortStats snapshots one switch port (Out is the congestible
@@ -168,15 +224,30 @@ type SwitchStats struct {
 	Ports     []PortStats
 }
 
-// HostStats snapshots one host NIC.
+// NICStats snapshots one NIC of a host. RxDrops counts receive-ring
+// overflow at that NIC — a drop that happened after the wire
+// delivered the frame, disjoint from every wire-level counter, and
+// attributable to exactly one NIC's ring.
+type NICStats struct {
+	NIC      string
+	TxFrames int64
+	RxFrames int64
+	RxDrops  int64
+}
+
+// HostStats snapshots one host's NICs: per-NIC counters in lane
+// order, plus host-wide sums (which equal the single NIC's counters
+// on a 1-NIC host).
 type HostStats struct {
 	Host     string
 	TxFrames int64
 	RxFrames int64
-	// RxDrops counts receive-ring overflow at the NIC — drops that
-	// happened after the wire delivered the frame, and therefore
-	// disjoint from every wire-level counter.
+	// RxDrops counts receive-ring overflow — drops that happened after
+	// the wire delivered the frame, and therefore disjoint from every
+	// wire-level counter.
 	RxDrops int64
+	// NICs attributes the sums per NIC (index = lane).
+	NICs []NICStats
 }
 
 // NetStats is a whole-testbed network counter snapshot, ordered
@@ -198,16 +269,26 @@ func (c *Cluster) NetStats() NetStats {
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		nic := c.hosts[n].m.NIC
-		ns.Hosts = append(ns.Hosts, HostStats{
-			Host: n, TxFrames: nic.TxFrames, RxFrames: nic.RxFrames, RxDrops: nic.RxDrops,
-		})
+		hs := HostStats{Host: n}
+		for _, nic := range c.hosts[n].m.NICs {
+			hs.NICs = append(hs.NICs, NICStats{
+				NIC: nic.Name, TxFrames: nic.TxFrames, RxFrames: nic.RxFrames, RxDrops: nic.RxDrops,
+			})
+			hs.TxFrames += nic.TxFrames
+			hs.RxFrames += nic.RxFrames
+			hs.RxDrops += nic.RxDrops
+		}
+		ns.Hosts = append(ns.Hosts, hs)
 	}
 	for _, l := range c.links {
-		ns.Links = append(ns.Links, LinkStats{
-			From: l.from, To: l.to,
-			AB: dirStats(l.ab.Stats()), BA: dirStats(l.ba.Stats()),
-		})
+		ls := LinkStats{From: l.from, To: l.to}
+		for lane, lh := range l.lanes {
+			st := LaneStats{Lane: lane, AB: dirStats(lh.ab.Stats()), BA: dirStats(lh.ba.Stats())}
+			addDir(&ls.AB, st.AB)
+			addDir(&ls.BA, st.BA)
+			ls.Lanes = append(ls.Lanes, st)
+		}
+		ns.Links = append(ns.Links, ls)
 	}
 	for _, s := range c.switches {
 		st := SwitchStats{Forwarded: s.sw.FramesForwarded, Unknown: s.sw.FramesUnknown}

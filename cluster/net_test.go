@@ -5,6 +5,7 @@ import (
 
 	"omxsim/cluster"
 	"omxsim/openmx"
+	"omxsim/platform"
 	"omxsim/sim"
 )
 
@@ -72,6 +73,92 @@ func TestNetStatsImpairedLink(t *testing.T) {
 	}
 	if ns.Hosts[0].TxFrames == 0 || ns.Hosts[1].RxFrames == 0 {
 		t.Fatalf("host counters empty: %+v", ns.Hosts)
+	}
+	// Single-NIC hosts: one per-NIC entry, summing to the host totals,
+	// and the aggregated link stats equal its single lane's.
+	for _, h := range ns.Hosts {
+		if len(h.NICs) != 1 || h.NICs[0].TxFrames != h.TxFrames ||
+			h.NICs[0].RxFrames != h.RxFrames || h.NICs[0].RxDrops != h.RxDrops {
+			t.Fatalf("host %s per-NIC split inconsistent: %+v", h.Host, h)
+		}
+	}
+	if len(l.Lanes) != 1 || l.Lanes[0].AB != l.AB || l.Lanes[0].BA != l.BA {
+		t.Fatalf("1-NIC link lane split inconsistent: %+v", l)
+	}
+}
+
+// TestRingDropAttributedToNIC: ring-overflow loss on a multi-NIC host
+// lands on exactly the NIC whose ring overflowed. With the stripe
+// policy pinned to a single lane and a tiny receive ring, the pull
+// stream overruns NIC 0's ring while NIC 1 stays idle — the per-NIC
+// split must attribute every drop to NIC 0, the wire itself must be
+// loss-free (ring drops and wire drops are disjoint events), and the
+// per-NIC counters must sum exactly to the host totals.
+func TestRingDropAttributedToNIC(t *testing.T) {
+	p := platform.Clovertown()
+	p.RxRingSize = 4 // tiny ring: the BH is slower than the wire
+	c := cluster.New(p)
+	a := c.NewHost("a", cluster.MultiNIC(2))
+	b := c.NewHost("b", cluster.MultiNIC(2))
+	cluster.Link(a, b)
+	cfg := openmx.Config{
+		RegCache: true, StripePolicy: openmx.StripeSingle,
+		RetransmitTimeout: 2 * sim.Millisecond,
+	}
+	ea := openmx.Attach(a, cfg).Open(0, 2)
+	eb := openmx.Attach(b, cfg).Open(0, 2)
+	n := 512 * 1024
+	src, dst := a.Alloc(n), b.Alloc(n)
+	src.Fill(42)
+	done := false
+	c.Go("recv", func(p *sim.Proc) {
+		r := eb.IRecv(p, 7, ^uint64(0), dst, 0, n)
+		eb.Wait(p, r)
+		done = true
+	})
+	c.Go("send", func(p *sim.Proc) { ea.Wait(p, ea.ISend(p, eb.Addr(), 7, src, 0, n)) })
+	c.RunFor(30 * sim.Second)
+	defer c.Close()
+	if !done || !cluster.Equal(src, dst) {
+		t.Fatal("transfer did not complete verified despite retransmission")
+	}
+	ns := c.NetStats()
+	recv := ns.Hosts[1]
+	if recv.Host != "b" || len(recv.NICs) != 2 {
+		t.Fatalf("unexpected host stats: %+v", recv)
+	}
+	if recv.RxDrops == 0 {
+		t.Fatal("tiny ring overflowed nothing — overload not exercised")
+	}
+	if recv.NICs[0].RxDrops != recv.RxDrops || recv.NICs[1].RxDrops != 0 {
+		t.Fatalf("ring drops not attributed to NIC 0: %+v", recv.NICs)
+	}
+	if recv.NICs[1].RxFrames != 0 {
+		t.Fatalf("single-lane policy leaked %d frames onto NIC 1", recv.NICs[1].RxFrames)
+	}
+	var tx, rx, drops int64
+	for _, nicStat := range recv.NICs {
+		tx += nicStat.TxFrames
+		rx += nicStat.RxFrames
+		drops += nicStat.RxDrops
+	}
+	if tx != recv.TxFrames || rx != recv.RxFrames || drops != recv.RxDrops {
+		t.Fatalf("per-NIC sums (%d,%d,%d) != host totals (%d,%d,%d)",
+			tx, rx, drops, recv.TxFrames, recv.RxFrames, recv.RxDrops)
+	}
+	// Disjointness: the drops happened at the ring, not on the wire.
+	if loss := ns.TotalWireLoss(); loss != 0 {
+		t.Fatalf("wire lost %d frames on a clean link (ring drops double-counted?)", loss)
+	}
+	// The wire's per-lane view agrees: everything lane 0 delivered was
+	// received or ring-dropped, nothing ever reached lane 1.
+	lanes := ns.Links[0].Lanes
+	if lanes[0].AB.FramesSent != recv.NICs[0].RxFrames+recv.NICs[0].RxDrops {
+		t.Fatalf("lane 0 delivered %d != NIC 0 rx %d + drops %d",
+			lanes[0].AB.FramesSent, recv.NICs[0].RxFrames, recv.NICs[0].RxDrops)
+	}
+	if lanes[1].AB.FramesSent != 0 {
+		t.Fatalf("lane 1 carried %d frames under the single-lane policy", lanes[1].AB.FramesSent)
 	}
 }
 

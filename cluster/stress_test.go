@@ -83,17 +83,29 @@ type msg struct {
 // endpoint in both directions (shuffled posting order), and verifies
 // every payload byte.
 func runStorm(t *testing.T, kindA, kindB string, seed int64, eps, count int) {
+	runStormWith(t, kindA, kindB, seed, 1, eps, count,
+		cluster.Impair(cluster.Impairment{
+			Seed:        seed,
+			LossRate:    0.01,
+			ReorderRate: 0.05,
+			DupRate:     0.01,
+			JitterMax:   2 * sim.Microsecond,
+		}))
+}
+
+// runStormWith is runStorm over an arbitrary aggregated-link topology:
+// nics NICs per host and explicit link options (per-lane impairment,
+// skew).
+func runStormWith(t *testing.T, kindA, kindB string, seed int64, nics, eps, count int, linkOpts ...cluster.LinkOption) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	c := cluster.New(nil)
-	a, b := c.NewHost("hostA"), c.NewHost("hostB")
-	cluster.Link(a, b, cluster.Impair(cluster.Impairment{
-		Seed:        seed,
-		LossRate:    0.01,
-		ReorderRate: 0.05,
-		DupRate:     0.01,
-		JitterMax:   2 * sim.Microsecond,
-	}))
+	var hostOpts []cluster.HostOption
+	if nics > 1 {
+		hostOpts = append(hostOpts, cluster.MultiNIC(nics))
+	}
+	a, b := c.NewHost("hostA", hostOpts...), c.NewHost("hostB", hostOpts...)
+	cluster.Link(a, b, linkOpts...)
 	ta, tb := stressStack(kindA, a), stressStack(kindB, b)
 	epsA := make([]openmx.Endpoint, eps)
 	epsB := make([]openmx.Endpoint, eps)
@@ -225,6 +237,127 @@ func TestStressStormUnderImpairment(t *testing.T) {
 	}
 }
 
+// TestStressStripingUnderSkew is the striping stress battery: three
+// NICs per host, traffic striped across the aggregated link, with one
+// lane lossy/reordering (per-NIC impairment) and another negotiated
+// down to a quarter of the rate plus jitter (cross-NIC skew) — the
+// adversarial interleavings hole-aware reassembly exists for. All
+// three stack combinations, shuffled posting, every payload verified;
+// OMXSIM_STRESS_SEEDS widens the sweep.
+func TestStressStripingUnderSkew(t *testing.T) {
+	seeds := stressSeeds(t)
+	eps, count := 3, 3
+	if testing.Short() {
+		eps, count = 2, 2
+	}
+	const nics = 3
+	for _, combo := range stressCombos() {
+		combo := combo
+		t.Run(fmt.Sprintf("%s-%s", combo[0], combo[1]), func(t *testing.T) {
+			for s := 0; s < seeds; s++ {
+				seed := int64(4000 + s*31)
+				runStormWith(t, combo[0], combo[1], seed, nics, eps, count,
+					// Lane 1's cable is bad: loss, reordering, duplicates.
+					cluster.ImpairLane(1, cluster.Impairment{
+						Seed:        seed,
+						LossRate:    0.05,
+						ReorderRate: 0.1,
+						DupRate:     0.02,
+					}),
+					// Lane 2 negotiated down and jittery: persistent
+					// cross-NIC skew without loss.
+					cluster.ImpairLane(2, cluster.Impairment{
+						Seed:      seed + 1,
+						RateScale: 0.25,
+						JitterMax: 5 * sim.Microsecond,
+					}),
+				)
+			}
+		})
+	}
+}
+
+// TestStripedLossAttributedToLane: with only lane 1 of an aggregated
+// link impaired, NetStats must attribute every wire loss to exactly
+// that lane — and the clean lanes must still have carried traffic
+// (the striping actually spread the storm).
+func TestStripedLossAttributedToLane(t *testing.T) {
+	c := cluster.New(nil)
+	a := c.NewHost("hostA", cluster.MultiNIC(3))
+	b := c.NewHost("hostB", cluster.MultiNIC(3))
+	cluster.Link(a, b, cluster.ImpairLane(1, cluster.Impairment{Seed: 9, LossRate: 0.05}))
+	ta, tb := stressStack("openmx", a), stressStack("openmx", b)
+	ea, eb := ta.Open(0, 4), tb.Open(0, 4)
+	const count = 12
+	n := 96 * 1024
+	srcs := make([]*cluster.Buffer, count)
+	dsts := make([]*cluster.Buffer, count)
+	for i := range srcs {
+		srcs[i], dsts[i] = a.Alloc(n), b.Alloc(n)
+		srcs[i].Fill(byte(i + 1))
+	}
+	done := 0
+	c.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < count; i++ {
+			r := eb.IRecv(p, uint64(i), ^uint64(0), dsts[i], 0, n)
+			eb.Wait(p, r)
+			done++
+		}
+	})
+	c.Go("send", func(p *sim.Proc) {
+		for i := 0; i < count; i++ {
+			ea.Wait(p, ea.ISend(p, eb.Addr(), uint64(i), srcs[i], 0, n))
+		}
+	})
+	c.RunFor(60 * sim.Second)
+	defer c.Close()
+	if done != count {
+		t.Fatalf("delivered %d/%d over the impaired aggregated link", done, count)
+	}
+	for i := range srcs {
+		if !cluster.Equal(srcs[i], dsts[i]) {
+			t.Fatalf("message %d corrupted", i)
+		}
+	}
+	ns := c.NetStats()
+	l := ns.Links[0]
+	if len(l.Lanes) != 3 {
+		t.Fatalf("lanes in stats: %d, want 3", len(l.Lanes))
+	}
+	for _, lane := range l.Lanes {
+		lost := lane.AB.FramesLost + lane.BA.FramesLost
+		if lane.Lane == 1 && lost == 0 {
+			t.Error("impaired lane 1 lost nothing")
+		}
+		if lane.Lane != 1 && lost != 0 {
+			t.Errorf("clean lane %d lost %d frames", lane.Lane, lost)
+		}
+		if lane.AB.FramesSent == 0 {
+			t.Errorf("lane %d carried no A→B traffic — striping not spreading", lane.Lane)
+		}
+	}
+	if l.AB.FramesLost != l.Lanes[1].AB.FramesLost {
+		t.Errorf("aggregate AB loss %d != lane 1's %d", l.AB.FramesLost, l.Lanes[1].AB.FramesLost)
+	}
+	// Per-NIC host counters sum to the host totals and every NIC saw
+	// frames.
+	for _, h := range ns.Hosts {
+		var tx, rx, drops int64
+		for _, nicStat := range h.NICs {
+			tx += nicStat.TxFrames
+			rx += nicStat.RxFrames
+			drops += nicStat.RxDrops
+			if nicStat.RxFrames == 0 {
+				t.Errorf("host %s NIC %s received nothing", h.Host, nicStat.NIC)
+			}
+		}
+		if tx != h.TxFrames || rx != h.RxFrames || drops != h.RxDrops {
+			t.Errorf("host %s per-NIC sums (%d,%d,%d) != totals (%d,%d,%d)",
+				h.Host, tx, rx, drops, h.TxFrames, h.RxFrames, h.RxDrops)
+		}
+	}
+}
+
 // TestStormThroughCongestedSwitch runs the Open-MX storm through a
 // switch with tiny bounded output queues plus background cross
 // traffic: congestion tail-drop must be survivable, and the drop
@@ -290,5 +423,21 @@ func TestStormThroughCongestedSwitch(t *testing.T) {
 	}
 	if tailDrops == 0 {
 		t.Fatal("congested switch tail-dropped nothing — queue bound not exercised")
+	}
+	// The per-NIC split must stay an exact partition of the host
+	// totals (tail-drop at the switch, ring-drop at the NIC and
+	// delivery are disjoint per NIC, so the sums can only match if
+	// nothing is double-counted).
+	for _, h := range ns.Hosts {
+		var tx, rx, drops int64
+		for _, nicStat := range h.NICs {
+			tx += nicStat.TxFrames
+			rx += nicStat.RxFrames
+			drops += nicStat.RxDrops
+		}
+		if tx != h.TxFrames || rx != h.RxFrames || drops != h.RxDrops {
+			t.Fatalf("host %s per-NIC sums (%d,%d,%d) != totals (%d,%d,%d)",
+				h.Host, tx, rx, drops, h.TxFrames, h.RxFrames, h.RxDrops)
+		}
 	}
 }

@@ -17,6 +17,7 @@
 //	omxsim loss             goodput/latency/retransmits vs frame loss
 //	omxsim avail            overlap/CPU-availability with injected compute
 //	omxsim ablate           threshold / pull-window / IRQ / extension ablations
+//	omxsim multinic         multi-NIC link aggregation: goodput vs NIC count
 //	omxsim all              everything above
 //
 // Each figure shards its independent simulation points across a
@@ -130,6 +131,7 @@ var commands = []command{
 	{"loss", "goodput/latency/retransmits vs frame-loss rate, both stacks", runLoss},
 	{"avail", "overlap/CPU-availability with injected compute, memcpy vs I/OAT", runAvail},
 	{"ablate", "ablations: thresholds, pull window, IRQ steering, extensions", runAblate},
+	{"multinic", "multi-NIC link aggregation: striped goodput vs NIC count and pull window", runMultiNIC},
 }
 
 func table(t *metrics.Table) string {
@@ -192,6 +194,10 @@ func runLoss() string {
 
 func runAvail() string {
 	return figures.RenderAvail(figures.AvailSweep())
+}
+
+func runMultiNIC() string {
+	return figures.RenderMultiNIC(figures.MultiNICSweep())
 }
 
 func runAblate() string {

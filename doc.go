@@ -34,7 +34,11 @@
 //     link direction or switch port (cluster.Impair, SwitchImpair),
 //     bounded switch output queues with tail-drop (SwitchQueue),
 //     background cross-traffic generators (StartCrossTraffic) and
-//     the NetStats counter snapshot.
+//     the NetStats counter snapshot. Hosts can aggregate several
+//     NICs (cluster.MultiNIC): Link cables them lane by lane, a
+//     switch gives each its own port, the stacks stripe eager
+//     fragments and pull blocks across them, and NetStats attributes
+//     every counter per NIC and per lane.
 //   - openmx, mxoe — the public endpoint APIs over either stack,
 //     both surfacing the host's CPU ledgers as a deterministic
 //     CPUStats snapshot (Stack.CPUStats / ResetCPUStats). openmx
@@ -78,9 +82,13 @@
 //	go run ./cmd/omxsim all
 //
 // or one figure at a time (fig3, fig7 … fig12, micro, timeline,
-// nasis, coll, loss, avail, ablate); add -progress for live sweep
-// progress and ETA, and -plot for ASCII plots. Three figures go
-// beyond the paper: coll sweeps collective latency versus message
+// nasis, coll, loss, avail, ablate, multinic); add -progress for
+// live sweep progress and ETA, and -plot for ASCII plots. Several
+// figures go beyond the paper: multinic measures link-aggregated
+// striping — ping-pong goodput across message size × {1,2,4} NICs ×
+// {memcpy, I/OAT}, showing where the pull window must grow from the
+// paper's fixed two blocks to two blocks per NIC;
+// coll sweeps collective latency versus message
 // size with I/OAT offload on/off at 4–16 processes (larger worlds
 // connected through a simulated Ethernet switch); loss sweeps
 // frame-loss rate × message size on a seeded impaired link, reporting

@@ -4,8 +4,11 @@ import (
 	"reflect"
 	"testing"
 
+	"omxsim/cluster"
 	"omxsim/metrics"
+	"omxsim/openmx"
 	"omxsim/runner"
+	"omxsim/sim"
 )
 
 // The parallel-determinism guardrail: sharding a sweep across workers
@@ -90,6 +93,93 @@ func TestParallelMatchesSerialLoss(t *testing.T) {
 		t.Errorf("loss sweep not run-to-run deterministic:\nfirst:  %+v\nsecond: %+v",
 			serial, again)
 	}
+}
+
+// TestParallelMatchesSerialMultiNIC: the determinism guardrail for
+// the link-aggregation figure — multi-NIC testbeds, striped lanes and
+// per-lane I/OAT channels included, must shard across workers with no
+// effect but wall time, and repeat run-to-run bit-identically.
+func TestParallelMatchesSerialMultiNIC(t *testing.T) {
+	counts := []int{1, 4}
+	sizes := []int{512 << 10}
+	run := func(workers int) (pts []MultiNICPoint) {
+		withPool(workers, func() { pts = multiNICSweepOver(counts, sizes, 4) })
+		return pts
+	}
+	serial, parallel := run(1), run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("parallel multinic sweep differs from serial:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+	if again := run(1); !reflect.DeepEqual(serial, again) {
+		t.Errorf("multinic sweep not run-to-run deterministic:\nfirst:  %+v\nsecond: %+v",
+			serial, again)
+	}
+}
+
+// Test1NICMatchesLegacyPath: a 1-NIC host built through the new
+// MultiNIC machinery must measure bit-identically to one built
+// through the pre-aggregation API (plain NewHost, default config) —
+// the striping layer is provably a no-op on single-NIC hosts, which
+// is also why the committed golden only grew a new section.
+func Test1NICMatchesLegacyPath(t *testing.T) {
+	size, iters := 512<<10, 4
+	for _, mode := range multiNICModes() {
+		// New machinery: MultiNIC(1) host, per-NIC window default.
+		striped := multiNICPoint(mode, "per-NIC", 1, size, iters)
+		// Legacy shape: plain hosts, plain link, untouched PullBlocks.
+		legacy := legacy1NICPoint(t, mode, size, iters)
+		if striped.GoodputMiBps != legacy.GoodputMiBps || striped.Delivered != legacy.Delivered {
+			t.Errorf("%s: MultiNIC(1) path measured %.6f MiB/s (%d delivered), legacy path %.6f (%d) — must be bit-identical",
+				mode, striped.GoodputMiBps, striped.Delivered, legacy.GoodputMiBps, legacy.Delivered)
+		}
+	}
+}
+
+// legacy1NICPoint mirrors multiNICPoint through the original
+// single-NIC API: no host options, no window override.
+func legacy1NICPoint(t *testing.T, mode string, size, iters int) MultiNICPoint {
+	t.Helper()
+	c := cluster.New(nil)
+	a, b := c.NewHost("node0"), c.NewHost("node1")
+	cluster.Link(a, b)
+	cfg := openmx.Config{RegCache: true, IOAT: mode == "I/OAT"}
+	ea := openmx.Attach(a, cfg).Open(0, 2)
+	eb := openmx.Attach(b, cfg).Open(0, 2)
+	sendA, recvA := a.Alloc(size), a.Alloc(size)
+	sendB, recvB := b.Alloc(size), b.Alloc(size)
+	delivered := 0
+	var elapsed sim.Time
+	c.Go("rankB", func(p *sim.Proc) {
+		for i := 0; i < iters; i++ {
+			r := eb.IRecv(p, uint64(i), ^uint64(0), recvB, 0, size)
+			eb.Wait(p, r)
+			sendB.Fill(byte(2*i + 2))
+			sendB.Produce(2)
+			eb.Wait(p, eb.ISend(p, ea.Addr(), uint64(1000+i), sendB, 0, size))
+		}
+	})
+	c.Go("rankA", func(p *sim.Proc) {
+		for i := 0; i < iters; i++ {
+			sendA.Fill(byte(2*i + 1))
+			sendA.Produce(2)
+			rs := ea.ISend(p, eb.Addr(), uint64(i), sendA, 0, size)
+			rr := ea.IRecv(p, uint64(1000+i), ^uint64(0), recvA, 0, size)
+			ea.Wait(p, rs)
+			ea.Wait(p, rr)
+			if cluster.Equal(sendB, recvA) && cluster.Equal(sendA, recvB) {
+				delivered++
+			}
+			elapsed = p.Now()
+		}
+	})
+	c.RunFor(60 * sim.Second)
+	defer c.Close()
+	pt := MultiNICPoint{Mode: mode, NICs: 1, Bytes: size, Iters: iters, Delivered: delivered}
+	if elapsed > 0 {
+		pt.GoodputMiBps = float64(delivered*size) / (1 << 20) / elapsed.Seconds()
+	}
+	return pt
 }
 
 // TestSharedCurveCache: regenerating Figures 3 and 8 on one pool

@@ -27,9 +27,11 @@ package core
 import (
 	"fmt"
 
+	"omxsim/internal/cpu"
 	"omxsim/internal/host"
 	"omxsim/internal/hostmem"
 	"omxsim/internal/ioat"
+	"omxsim/internal/nic"
 	"omxsim/internal/proto"
 	"omxsim/internal/wire"
 	"omxsim/sim"
@@ -114,7 +116,26 @@ type Config struct {
 	// DMA channels (1 = the paper's one-channel-per-message policy;
 	// using all four buys ≈40 %, per reference [22]).
 	StripeChannels int
+
+	// ---- Multi-NIC link aggregation ----
+
+	// StripePolicy selects how traffic spreads across a multi-NIC
+	// host's lanes (StripeRoundRobin, StripeHash, StripeSingle). It is
+	// ignored on single-NIC hosts, where every frame takes lane 0.
+	StripePolicy string
 }
+
+// Stripe policies for multi-NIC hosts. Round-robin (the default)
+// spreads the units of one message — eager fragments, pull blocks —
+// across lanes for maximum aggregate bandwidth; hash pins each
+// message to one seeded lane (classic L3/L4 link-aggregation
+// hashing: per-flow ordering, no per-message striping win); single
+// forces lane 0 (aggregation disabled, the control baseline).
+const (
+	StripeRoundRobin = "roundrobin"
+	StripeHash       = "hash"
+	StripeSingle     = "single"
+)
 
 // Defaults returns the paper's configuration (memcpy everywhere; turn
 // on IOAT/RegCache/etc. per experiment).
@@ -178,6 +199,11 @@ func (c *Config) fillDefaults() {
 	if c.DeferredAckDelay == 0 {
 		c.DeferredAckDelay = d.DeferredAckDelay
 	}
+	switch c.StripePolicy {
+	case "", StripeRoundRobin, StripeHash, StripeSingle:
+	default:
+		panic(fmt.Sprintf("openmx: unknown stripe policy %q", c.StripePolicy))
+	}
 }
 
 // Stats counts protocol activity for tests and diagnostics.
@@ -196,6 +222,10 @@ type Stats struct {
 	CleanupFrees     int64
 	LocalMsgs        int64
 	LocalIOATCopies  int64
+	// NICTxFrames counts frames this stack transmitted per NIC lane —
+	// the striping balance (index = lane; single-NIC stacks have one
+	// entry). Receive-side per-NIC counters live in cluster.NetStats.
+	NICTxFrames []int64
 }
 
 // TraceEvent is one receive-path span, emitted through Stack.Trace for
@@ -213,6 +243,9 @@ type TraceEvent struct {
 type Stack struct {
 	H   *host.Host
 	Cfg Config
+
+	// lanes is the host's NIC count; striping decisions are modulo it.
+	lanes int
 
 	// Trace, when non-nil, receives receive-path spans (see
 	// TraceEvent). Used by the timeline renderer; nil in normal runs.
@@ -250,9 +283,19 @@ type rndvState struct {
 }
 
 // Attach builds an Open-MX stack on h and registers its receive
-// callback with the NIC (generic Ethernet mode). With Config.AutoTune
+// callback with every NIC (generic Ethernet mode). With Config.AutoTune
 // the startup threshold probe runs here, against h's platform.
+//
+// On a multi-NIC host the pull window widens proportionally: an
+// unset PullBlocks becomes the paper's two pipelined blocks times the
+// NIC count, so every lane can keep a block in flight (the fixed
+// 2-block window only ever occupies two lanes at once — set
+// PullBlocks explicitly to measure that plateau). An explicit
+// PullBlocks always wins.
 func Attach(h *host.Host, cfg Config) *Stack {
+	if cfg.PullBlocks == 0 && h.Lanes() > 1 {
+		cfg.PullBlocks = Defaults().PullBlocks * h.Lanes()
+	}
 	if cfg.AutoTune && (cfg.LargeThreshold == 0 || cfg.IOATMinMsg == 0 ||
 		cfg.IOATMinFrag == 0 || cfg.ShmIOATThreshold == 0) {
 		th := ProbeThresholds(h.P)
@@ -273,28 +316,66 @@ func Attach(h *host.Host, cfg Config) *Stack {
 	s := &Stack{
 		H:         h,
 		Cfg:       cfg,
+		lanes:     h.Lanes(),
 		endpoints: make(map[int]*Endpoint),
 		sends:     make(map[int]*largeSend),
 		pulls:     make(map[int]*largePull),
 		rndvSeen:  make(map[rndvKey]*rndvState),
 	}
-	h.NIC.SetRxHandler(s.rxCallback)
+	s.Stats.NICTxFrames = make([]int64, s.lanes)
+	for i, n := range h.NICs {
+		lane := i
+		n.SetRxHandler(func(p *sim.Proc, core *cpu.Core, skb *nic.Skb) {
+			s.rxCallback(lane, p, core, skb)
+		})
+	}
 	return s
 }
 
 // addr returns the address of a local endpoint.
 func (s *Stack) addr(ep int) proto.Addr { return proto.Addr{Host: s.H.Name, EP: ep} }
 
-// transmit sends a protocol frame. payload may be nil for control
-// frames; wire accounting always includes the Open-MX header.
+// laneOf picks the transmit lane for one unit of a message under the
+// configured stripe policy. seq identifies the message (the channel
+// or rendezvous sequence), unit the stripeable piece within it — the
+// eager fragment index or the pull block index. Retransmissions
+// recompute the same lane, so a lossy lane is retried on itself and
+// per-lane impairment stays attributable.
+func (s *Stack) laneOf(seq uint32, unit int) int {
+	if s.lanes <= 1 {
+		return 0
+	}
+	switch s.Cfg.StripePolicy {
+	case StripeHash:
+		// Per-message lane: a seeded multiplicative hash of the
+		// message identity, like a switch's L3/L4 flow hash.
+		return int((uint64(seq) * 0x9E3779B97F4A7C15 >> 33) % uint64(s.lanes))
+	case StripeSingle:
+		return 0
+	default: // round-robin
+		return (int(seq) + unit) % s.lanes
+	}
+}
+
+// transmit sends a protocol frame on lane 0 (control traffic: acks,
+// rendezvous completion). payload may be nil for control frames; wire
+// accounting always includes the Open-MX header.
 func (s *Stack) transmit(dst proto.Addr, msg any, payload []byte) {
+	s.transmitOn(0, dst, msg, payload)
+}
+
+// transmitOn sends a protocol frame on the given NIC lane, addressed
+// to the peer's same-numbered lane (striping peers use symmetric lane
+// numbering; see wire.LaneAddr).
+func (s *Stack) transmitOn(lane int, dst proto.Addr, msg any, payload []byte) {
 	f := &wire.Frame{
 		Data:    payload,
 		WireLen: len(payload) + s.H.P.OMXHeaderBytes,
 		Msg:     msg,
-		DstAddr: dst.Host,
+		DstAddr: wire.LaneAddr(dst.Host, lane),
 	}
-	s.H.NIC.Transmit(f)
+	s.Stats.NICTxFrames[lane]++
+	s.H.NICs[lane].Transmit(f)
 }
 
 // largeSend is the sender side of a rendezvous transfer.
@@ -334,9 +415,14 @@ type largePull struct {
 	blocks    map[int]*pullBlock
 	received  int
 
-	useIOAT  bool
-	ch       *ioat.Channel
-	lastSeq  uint64        // last submitted descriptor sequence
+	useIOAT bool
+	// chs holds one DMA channel per NIC lane: fragments arriving on
+	// lane i submit to chs[i], so a striped message drives several
+	// engine channels concurrently (single-NIC messages keep the
+	// paper's one-channel-per-message policy). lastSeq[i] is the last
+	// descriptor sequence submitted on lane i's channel.
+	chs      []*ioat.Channel
+	lastSeq  []uint64
 	pending  []pendingCopy // skbuffs waiting for their copies to retire
 	pinnedBy bool          // we pinned (must unpin unless regcache)
 	done     bool
@@ -344,7 +430,8 @@ type largePull struct {
 
 type pendingCopy struct {
 	skb skbRef
-	seq uint64 // I/OAT sequence that must retire before freeing
+	ch  *ioat.Channel // channel the copies were submitted on
+	seq uint64        // I/OAT sequence that must retire before freeing
 }
 
 // skbRef lets tests substitute fakes; concretely a *nic.Skb.
@@ -353,14 +440,13 @@ type skbRef interface{ Free() }
 type pullBlock struct {
 	idx       int
 	firstFrag int
-	fragCount int
-	gotMask   uint64
-	timer     *sim.Timer
-	attempts  int // consecutive timer expiries without progress
+	// asm is the block's hole-aware fragment bitmap: with the block's
+	// fragments racing back over several NICs, arrival order within a
+	// block is arbitrary.
+	asm      proto.Reassembly
+	timer    *sim.Timer
+	attempts int // consecutive timer expiries without progress
 }
-
-func (b *pullBlock) fullMask() uint64 { return (uint64(1) << b.fragCount) - 1 }
-func (b *pullBlock) complete() bool   { return b.gotMask == b.fullMask() }
 
 // pageChunks splits a destination range [start, start+n) into
 // page-aligned chunk lengths — the unit of I/OAT descriptors, since

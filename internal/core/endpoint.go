@@ -375,31 +375,15 @@ func claimBefore(a, b *assembly) bool {
 
 // claimArrived copies the already-arrived fragments of a claimed
 // in-progress assembly from its temporary storage into the posted
-// receive. A contiguous prefix (the loss-free case) moves as one
-// memcpy; with holes — retransmission still in flight — each arrived
-// fragment is copied at its own offset, because a prefix copy would
-// silently drop data that arrived beyond the first hole and will
-// never be retransmitted.
+// receive, following proto.CopyPlan: a contiguous prefix (the
+// loss-free case) moves as one memcpy; with holes — retransmission or
+// cross-NIC skew still in flight — each arrived fragment is copied at
+// its own offset, because a prefix copy would silently drop data that
+// arrived beyond the first hole and will never be retransmitted.
 func (ep *Endpoint) claimArrived(p *sim.Proc, r *Request, got uint64, arrived, msgLen int, tmp *hostmem.Buffer) {
 	limit := min(msgLen, r.n)
-	if got == (uint64(1)<<uint(arrived))-1 {
-		bytes := min(arrived*proto.MediumFragSize, limit)
-		if bytes > 0 {
-			d := ep.S.H.Copy.Memcpy(r.buf, r.off, tmp, 0, bytes, ep.Core)
-			ep.core().RunOn(p, cpu.UserLib, d)
-		}
-		return
-	}
-	for f := 0; got>>uint(f) != 0; f++ {
-		if got&(uint64(1)<<uint(f)) == 0 {
-			continue
-		}
-		off := f * proto.MediumFragSize
-		n := min(proto.MediumFragSize, limit-off)
-		if n <= 0 {
-			continue
-		}
-		d := ep.S.H.Copy.Memcpy(r.buf, r.off+off, tmp, off, n, ep.Core)
+	for _, run := range proto.CopyPlan(got, arrived, proto.MediumFragSize, limit, true) {
+		d := ep.S.H.Copy.Memcpy(r.buf, r.off+run.Off, tmp, run.Off, run.N, ep.Core)
 		ep.core().RunOn(p, cpu.UserLib, d)
 	}
 }
@@ -623,7 +607,9 @@ func (s *Stack) transmitEager(ep *Endpoint, tc *txChan, seq uint32, match uint64
 			payload = make([]byte, fl)
 			copy(payload, buf.Data[off+fo:off+fo+fl])
 		}
-		s.transmit(tc.dst, &proto.Eager{
+		// Fragments stripe across NIC lanes (reassembly is bitmap-based
+		// and hole-aware, so cross-lane skew cannot corrupt anything).
+		s.transmitOn(s.laneOf(seq, f), tc.dst, &proto.Eager{
 			Src: ep.Addr(), Dst: tc.dst,
 			Match: match, Seq: seq, MsgLen: n,
 			FragID: f, FragCount: frags, Offset: fo,
@@ -648,6 +634,10 @@ func (ep *Endpoint) armEagerRtx(tc *txChan) {
 		tc.rtxAttempts++
 		s.Stats.EagerRetransmits++
 		// Rebuild and resend every unacked message; receivers dedup.
+		// One timer, one softirq context: the rebuild runs on the
+		// primary NIC's interrupt core even though the fragments then
+		// re-stripe across lanes (transmitEager recomputes each
+		// fragment's lane).
 		var build int64
 		for _, es := range tc.unacked {
 			build += int64(proto.MediumFragsOf(es.n)) * s.H.P.OMXTxBuildCost
@@ -682,7 +672,7 @@ func (ep *Endpoint) rndvSend(p *sim.Proc, r *Request) {
 }
 
 func (s *Stack) transmitRndv(ls *largeSend) {
-	s.transmit(ls.dst, &proto.RndvRequest{
+	s.transmitOn(s.laneOf(ls.seq, 0), ls.dst, &proto.RndvRequest{
 		Src: ls.ep.Addr(), Dst: ls.dst,
 		Match: ls.req.MatchInfo, Seq: ls.seq, MsgLen: ls.n,
 		SenderHandle: ls.handle,
@@ -732,7 +722,13 @@ func (ep *Endpoint) startPull(p *sim.Proc, r *Request, u *uxMsg) {
 	lp.numBlocks = (lp.frags + s.Cfg.PullBlockFrags - 1) / s.Cfg.PullBlockFrags
 	lp.useIOAT = s.Cfg.IOAT && !s.Cfg.SkipBHCopy && n >= s.Cfg.IOATMinMsg && proto.LargeFragSize >= s.Cfg.IOATMinFrag
 	if lp.useIOAT {
-		lp.ch = s.H.IOAT.PickChannel()
+		// One DMA channel per NIC lane: a striped message overlaps its
+		// lanes' copies on distinct channels (a single-NIC message keeps
+		// the paper's one-channel-per-message assignment).
+		for i := 0; i < s.lanes; i++ {
+			lp.chs = append(lp.chs, s.H.IOAT.PickChannel())
+		}
+		lp.lastSeq = make([]uint64, s.lanes)
 	}
 	r.MatchInfo = u.match
 	r.SenderAddr = u.src

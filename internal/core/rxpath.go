@@ -9,11 +9,14 @@ import (
 	"omxsim/sim"
 )
 
-// rxCallback is the Open-MX receive callback, invoked by the NIC's
+// rxCallback is the Open-MX receive callback, invoked by a NIC's
 // bottom half for every incoming frame (the paper's Figure 2/5/6
-// context). It runs in softirq context on the interrupt core; all CPU
-// it consumes is accounted as BHProc/BHCopy.
-func (s *Stack) rxCallback(p *sim.Proc, core *cpu.Core, skb *nic.Skb) {
+// context). It runs in softirq context on that NIC's interrupt core —
+// each lane of a multi-NIC host drains on its own core — and all CPU
+// it consumes is accounted as BHProc/BHCopy. lane identifies the NIC
+// the frame arrived on: replies that must stay on the same physical
+// path (pull-answering data) use it.
+func (s *Stack) rxCallback(lane int, p *sim.Proc, core *cpu.Core, skb *nic.Skb) {
 	t0 := p.Now()
 	core.RunOn(p, cpu.BHProc, sim.Duration(s.H.P.OMXRecvCallbackCost))
 	if s.Trace != nil {
@@ -30,9 +33,9 @@ func (s *Stack) rxCallback(p *sim.Proc, core *cpu.Core, skb *nic.Skb) {
 	case *proto.RndvRequest:
 		s.rxRndv(p, core, skb, m)
 	case *proto.Pull:
-		s.rxPull(p, core, skb, m)
+		s.rxPull(lane, p, core, skb, m)
 	case *proto.LargeFrag:
-		s.rxLargeFrag(p, core, skb, m)
+		s.rxLargeFrag(lane, p, core, skb, m)
 	case *proto.RndvAck:
 		s.rxRndvAck(p, core, skb, m)
 	default:
@@ -197,7 +200,11 @@ func (s *Stack) rxRndv(p *sim.Proc, core *cpu.Core, skb *nic.Skb, m *proto.RndvR
 
 // rxPull runs on the data sender: build the requested fragments as
 // zero-copy skbuffs referencing the pinned user pages, and transmit.
-func (s *Stack) rxPull(p *sim.Proc, core *cpu.Core, skb *nic.Skb, m *proto.Pull) {
+// The data answers on the lane the pull arrived on, so the block the
+// receiver striped onto lane k streams back over lane k — the whole
+// block's round trip stays on one physical path and the receiver's
+// block-lane policy alone decides the aggregate spread.
+func (s *Stack) rxPull(lane int, p *sim.Proc, core *cpu.Core, skb *nic.Skb, m *proto.Pull) {
 	defer skb.Free()
 	ls := s.sends[m.SenderHandle]
 	if ls == nil {
@@ -226,7 +233,7 @@ func (s *Stack) rxPull(p *sim.Proc, core *cpu.Core, skb *nic.Skb, m *proto.Pull)
 		}
 		payload := make([]byte, fl)
 		copy(payload, ls.buf.Data[ls.off+fo:ls.off+fo+fl])
-		s.transmit(m.Src, &proto.LargeFrag{
+		s.transmitOn(lane, m.Src, &proto.LargeFrag{
 			Src: ls.ep.Addr(), Dst: m.Src,
 			RecvHandle: m.RecvHandle, Block: m.Block,
 			FragID: fragID, Offset: fo, MsgLen: ls.n,
@@ -238,10 +245,11 @@ func (s *Stack) rxPull(p *sim.Proc, core *cpu.Core, skb *nic.Skb, m *proto.Pull)
 // rxLargeFrag is the heart of the paper: a large-message fragment
 // arrives and must be copied into the (pinned) destination buffer.
 // Without I/OAT the bottom half memcpys and only then releases the
-// CPU (Figure 5). With I/OAT it submits asynchronous copies and
-// releases the CPU immediately; only the last fragment of the message
-// waits for the engine (Figure 6).
-func (s *Stack) rxLargeFrag(p *sim.Proc, core *cpu.Core, skb *nic.Skb, m *proto.LargeFrag) {
+// CPU (Figure 5). With I/OAT it submits asynchronous copies — to the
+// arrival lane's DMA channel — and releases the CPU immediately; only
+// the last fragment of the message waits for the engine (Figure 6),
+// and on a striped message it waits for every lane's channel.
+func (s *Stack) rxLargeFrag(lane int, p *sim.Proc, core *cpu.Core, skb *nic.Skb, m *proto.LargeFrag) {
 	lp := s.pulls[m.RecvHandle]
 	if lp == nil || lp.done {
 		skb.Free()
@@ -253,13 +261,11 @@ func (s *Stack) rxLargeFrag(p *sim.Proc, core *cpu.Core, skb *nic.Skb, m *proto.
 		skb.Free()
 		return
 	}
-	bit := uint64(1) << uint(m.FragID-blk.firstFrag)
-	if blk.gotMask&bit != 0 {
+	if !blk.asm.Mark(m.FragID - blk.firstFrag) {
 		s.Stats.DupFrags++
 		skb.Free()
 		return
 	}
-	blk.gotMask |= bit
 	blk.attempts = 0 // fresh data: the sender is making progress
 	lp.received++
 
@@ -304,9 +310,10 @@ func (s *Stack) rxLargeFrag(p *sim.Proc, core *cpu.Core, skb *nic.Skb, m *proto.
 			}
 		}
 		s.Stats.IOATSubmits += int64(len(reqs))
-		seq := lp.ch.Submit(reqs...)
-		lp.lastSeq = seq
-		lp.pending = append(lp.pending, pendingCopy{skb: skb, seq: seq})
+		ch := lp.chs[lane]
+		seq := ch.Submit(reqs...)
+		lp.lastSeq[lane] = seq
+		lp.pending = append(lp.pending, pendingCopy{skb: skb, ch: ch, seq: seq})
 	default:
 		t1 := p.Now()
 		d := s.H.Copy.Memcpy(lp.buf, dstOff, skb.Buf, 0, n, core.ID)
@@ -317,7 +324,7 @@ func (s *Stack) rxLargeFrag(p *sim.Proc, core *cpu.Core, skb *nic.Skb, m *proto.
 		skb.Free()
 	}
 
-	if blk.complete() {
+	if blk.asm.Done() {
 		if blk.timer != nil {
 			blk.timer.Stop()
 		}
@@ -336,11 +343,36 @@ func (s *Stack) rxLargeFrag(p *sim.Proc, core *cpu.Core, skb *nic.Skb, m *proto.
 		if lp.useIOAT {
 			// The last fragment's callback waits for the completion of
 			// all asynchronous copies of this message (Figure 6), then
-			// releases every pending skbuff.
-			seq := lp.lastSeq
+			// releases every pending skbuff. A striped message waits
+			// for every lane's channel (one cookie poll each); the
+			// single-NIC case is the paper's single-channel wait.
+			waits := 0
+			for _, sq := range lp.lastSeq {
+				if sq > 0 {
+					waits++
+				}
+			}
 			tw := p.Now()
 			core.RunOnDyn(p, cpu.BHCopy, func(finish func(extra sim.Duration)) {
-				lp.ch.NotifyAt(seq, func() { finish(s.H.IOAT.PollCost()) })
+				if waits == 0 {
+					// Hybrid warmup copied everything by memcpy: one
+					// cookie read confirms the channel idle, exactly
+					// the pre-striping wait-on-sequence-zero cost.
+					finish(s.H.IOAT.PollCost())
+					return
+				}
+				left := waits
+				for i, ch := range lp.chs {
+					if lp.lastSeq[i] == 0 {
+						continue
+					}
+					ch.NotifyAt(lp.lastSeq[i], func() {
+						left--
+						if left == 0 {
+							finish(sim.Duration(waits) * s.H.IOAT.PollCost())
+						}
+					})
+				}
 			})
 			if s.Trace != nil {
 				s.Trace(TraceEvent{Kind: "wait", Frag: m.FragID, Start: tw, End: p.Now()})
@@ -385,12 +417,11 @@ func (s *Stack) cleanup(p *sim.Proc, core *cpu.Core, lp *largePull) {
 }
 
 // freeRetired releases pending skbuffs whose I/OAT sequence has been
-// retired by the channel.
+// retired by the channel they were submitted on.
 func (s *Stack) freeRetired(lp *largePull) {
-	completed := lp.ch.Completed()
 	var keep []pendingCopy
 	for _, pc := range lp.pending {
-		if pc.seq <= completed {
+		if pc.seq <= pc.ch.Completed() {
 			pc.skb.Free()
 			s.Stats.CleanupFrees++
 		} else {
@@ -419,19 +450,23 @@ func (s *Stack) rxRndvAck(p *sim.Proc, core *cpu.Core, skb *nic.Skb, m *proto.Rn
 
 // sendPullBlock transmits one pull request. mask == 0 means "all
 // fragments of the block"; nonzero masks are retransmissions. It arms
-// (or re-arms) the block's retransmission timer.
+// (or re-arms) the block's retransmission timer. The request goes out
+// on the block's stripe lane — the data comes back on the same lane
+// (rxPull answers on the arrival lane), so round-robin block lanes
+// keep every NIC of an aggregated link busy once the window is wide
+// enough to have a block in flight per lane.
 func (s *Stack) sendPullBlock(lp *largePull, blockIdx int, mask uint64) {
 	firstFrag := blockIdx * s.Cfg.PullBlockFrags
 	count := min(s.Cfg.PullBlockFrags, lp.frags-firstFrag)
 	blk := lp.blocks[blockIdx]
 	if blk == nil {
-		blk = &pullBlock{idx: blockIdx, firstFrag: firstFrag, fragCount: count}
+		blk = &pullBlock{idx: blockIdx, firstFrag: firstFrag, asm: proto.NewReassembly(count)}
 		lp.blocks[blockIdx] = blk
 	}
 	if mask == 0 {
-		mask = blk.fullMask()
+		mask = blk.asm.FullMask()
 	}
-	s.transmit(lp.src, &proto.Pull{
+	s.transmitOn(s.laneOf(lp.key.seq, blockIdx), lp.src, &proto.Pull{
 		Src: lp.ep.Addr(), Dst: lp.src,
 		SenderHandle: lp.senderHandle, RecvHandle: lp.handle,
 		Block: blockIdx, FirstFrag: firstFrag, FragCount: count,
@@ -451,15 +486,19 @@ func (s *Stack) armBlockTimer(lp *largePull, blk *pullBlock) {
 		blk.timer.Stop()
 	}
 	blk.timer = s.H.E.Schedule(s.Cfg.rtxTimeout(blk.attempts), func() {
-		if lp.done || blk.complete() {
+		if lp.done || blk.asm.Done() {
 			return
 		}
 		blk.attempts++
 		s.Stats.PullRetransmits++
-		need := ^blk.gotMask & blk.fullMask()
-		irq := s.H.Sys.Core(s.H.NIC.IRQCore)
+		need := blk.asm.Missing()
+		// The re-request builds on the stripe lane's interrupt core —
+		// the core whose bottom half owns this block's traffic — so
+		// retransmission cost under per-lane impairment is charged
+		// where the lane's receive work already runs.
+		irq := s.H.Sys.Core(s.H.NICs[s.laneOf(lp.key.seq, blk.idx)].IRQCore)
 		irq.Exec(cpu.BHProc, sim.Duration(s.H.P.OMXTxBuildCost), func() {
-			if lp.done || blk.complete() {
+			if lp.done || blk.asm.Done() {
 				return
 			}
 			s.sendPullBlock(lp, blk.idx, need)

@@ -17,8 +17,10 @@ const mxBlockFrags = 32
 // host, which is exactly what makes native MX the paper's baseline.
 // Reliability — duplicate suppression, cumulative acks, retransmission
 // — also lives here, below the host's sight, as on real Myri-10G
-// boards.
-func (s *Stack) firmwareRx(f *wire.Frame) {
+// boards. lane is the NIC the frame arrived on: pull requests are
+// answered on it, so the requester's block striping decides which
+// lanes of an aggregated link carry the bulk data.
+func (s *Stack) firmwareRx(lane int, f *wire.Frame) {
 	switch m := f.Msg.(type) {
 	case *proto.Eager:
 		s.fwEager(f, m)
@@ -27,7 +29,7 @@ func (s *Stack) firmwareRx(f *wire.Frame) {
 	case *proto.RndvRequest:
 		s.fwRndv(m)
 	case *proto.Pull:
-		s.fwPull(m)
+		s.fwPull(lane, m)
 	case *proto.LargeFrag:
 		s.fwLargeFrag(f, m)
 	case *proto.RndvAck:
@@ -151,7 +153,7 @@ func (s *Stack) fwRndv(m *proto.RndvRequest) {
 // native MX at ≈1140 MiB/s instead of the 1186 MiB/s line rate. The
 // NeedMask selects which fragments of the block to send — all of them
 // on the first request, the missing subset on retransmissions.
-func (s *Stack) fwPull(m *proto.Pull) {
+func (s *Stack) fwPull(lane int, m *proto.Pull) {
 	ms := s.sends[m.SenderHandle]
 	if ms == nil {
 		return
@@ -178,7 +180,9 @@ func (s *Stack) fwPull(m *proto.Pull) {
 		}
 		payload := make([]byte, fl)
 		copy(payload, ms.buf.Data[ms.off+fo:ms.off+fo+fl])
-		s.transmit(m.Src, &proto.LargeFrag{
+		// Answer on the lane the pull arrived on: the block stays on
+		// one physical path end to end.
+		s.transmitOn(lane, m.Src, &proto.LargeFrag{
 			Src: ms.ep.Addr(), Dst: m.Src,
 			RecvHandle: m.RecvHandle, Block: m.Block,
 			FragID: frag, Offset: fo, MsgLen: ms.n,
@@ -209,14 +213,12 @@ func (s *Stack) fwLargeFrag(f *wire.Frame, m *proto.LargeFrag) {
 		s.Stats.DupFrags++
 		return // block already completed: stale retransmission
 	}
-	bit := uint64(1) << uint(m.FragID-blk.firstFrag)
-	if blk.got&bit != 0 {
+	if !blk.asm.Mark(m.FragID - blk.firstFrag) {
 		s.Stats.DupFrags++
 		return
 	}
-	blk.got |= bit
 	blk.attempts = 0
-	if blk.complete() {
+	if blk.asm.Done() {
 		if blk.timer != nil {
 			blk.timer.Stop()
 		}
@@ -257,10 +259,10 @@ func (s *Stack) pullNextBlock(lp *mxPull) {
 		return
 	}
 	count := min(mxBlockFrags, lp.frags-firstFrag)
-	blk := &mxBlock{idx: lp.nextBlock, firstFrag: firstFrag, count: count}
+	blk := &mxBlock{idx: lp.nextBlock, firstFrag: firstFrag, asm: proto.NewReassembly(count)}
 	lp.blocks[lp.nextBlock] = blk
 	lp.nextBlock++
-	s.sendPull(lp, blk, blk.fullMask())
+	s.sendPull(lp, blk, blk.asm.FullMask())
 }
 
 // fwRndvAck completes a large send and retires its request timer.

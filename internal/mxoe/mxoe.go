@@ -66,6 +66,9 @@ type Stats struct {
 	PullRetransmits  int64
 	DupFrags         int64
 	QueueDrops       int64
+	// NICTxFrames counts frames transmitted per NIC lane — the
+	// striping balance on a multi-NIC host (one entry per NIC).
+	NICTxFrames []int64
 }
 
 // Retransmits sums every retransmission class.
@@ -77,6 +80,12 @@ func (st Stats) Retransmits() int64 {
 type Stack struct {
 	H   *host.Host
 	Cfg Config
+
+	// lanes is the host's NIC count. The firmware stripes eager
+	// fragments and pull blocks round-robin across lanes (real MX
+	// firmware has no configurable hash policy) and widens its pull
+	// window to two blocks per lane.
+	lanes int
 
 	endpoints map[int]*Endpoint
 	sends     map[int]*mxSend
@@ -111,13 +120,28 @@ func Attach(h *host.Host, cfg Config) *Stack {
 	s := &Stack{
 		H:         h,
 		Cfg:       cfg,
+		lanes:     h.Lanes(),
 		endpoints: make(map[int]*Endpoint),
 		sends:     make(map[int]*mxSend),
 		pulls:     make(map[int]*mxPull),
 		rndvSeen:  make(map[rndvKey]*rndvState),
 	}
-	h.NIC.SetFirmware(s.firmwareRx)
+	s.Stats.NICTxFrames = make([]int64, s.lanes)
+	for i, n := range h.NICs {
+		lane := i
+		n.SetFirmware(func(f *wire.Frame) { s.firmwareRx(lane, f) })
+	}
 	return s
+}
+
+// laneOf picks the transmit lane for one unit (eager fragment or pull
+// block) of message seq: fixed round-robin, recomputed identically on
+// retransmission so a lossy lane retries on itself.
+func (s *Stack) laneOf(seq uint32, unit int) int {
+	if s.lanes <= 1 {
+		return 0
+	}
+	return (int(seq) + unit) % s.lanes
 }
 
 // Endpoint is one MX endpoint (user library + firmware queue state).
@@ -310,13 +334,20 @@ func matches(recvMatch, recvMask, msgMatch uint64) bool {
 	return recvMatch&recvMask == msgMatch&recvMask
 }
 
-// transmit hands a frame to the NIC.
+// transmit hands a control frame to the primary NIC (lane 0).
 func (s *Stack) transmit(dst proto.Addr, msg any, payload []byte) {
-	s.H.NIC.Transmit(&wire.Frame{
+	s.transmitOn(0, dst, msg, payload)
+}
+
+// transmitOn hands a frame to the lane-th NIC, addressed to the
+// peer's same-numbered lane (symmetric lane numbering, wire.LaneAddr).
+func (s *Stack) transmitOn(lane int, dst proto.Addr, msg any, payload []byte) {
+	s.Stats.NICTxFrames[lane]++
+	s.H.NICs[lane].Transmit(&wire.Frame{
 		Data:    payload,
 		WireLen: len(payload) + s.H.P.OMXHeaderBytes,
 		Msg:     msg,
-		DstAddr: dst.Host,
+		DstAddr: wire.LaneAddr(dst.Host, lane),
 	})
 }
 
@@ -337,7 +368,7 @@ func (ep *Endpoint) ISend(p *sim.Proc, dst proto.Addr, match uint64, buf *hostme
 		s.nextHandle++
 		ms := &mxSend{handle: s.nextHandle, ep: ep, req: r, dst: dst, seq: seq, buf: buf, off: off, n: n}
 		s.sends[ms.handle] = ms
-		s.transmit(dst, &proto.RndvRequest{
+		s.transmitOn(s.laneOf(seq, 0), dst, &proto.RndvRequest{
 			Src: ep.Addr(), Dst: dst, Match: match, Seq: seq, MsgLen: n, SenderHandle: ms.handle,
 		}, nil)
 		s.Stats.RndvSent++
@@ -364,7 +395,9 @@ func (ep *Endpoint) ISend(p *sim.Proc, dst proto.Addr, match uint64, buf *hostme
 		}
 		u.msgs = append(u.msgs, m)
 		u.loads = append(u.loads, payload)
-		s.transmit(dst, m, payload)
+		// Fragments stripe round-robin across NIC lanes; the firmware
+		// assembly bitmaps tolerate any cross-lane arrival order.
+		s.transmitOn(s.laneOf(seq, f), dst, m, payload)
 	}
 	s.Stats.EagerSent++
 	// The firmware keeps the frame snapshots until the peer's
@@ -431,20 +464,14 @@ func claimKeyBefore(a, b asmKey) bool {
 }
 
 // claimArrived copies the already-arrived fragments of a claimed
-// assembly into the posted receive, fragment by fragment (arrivals
-// need not be contiguous once retransmission is involved).
+// assembly into the posted receive, fragment by fragment per
+// proto.CopyPlan (arrivals need not be contiguous once retransmission
+// or cross-NIC striping is involved; this library always copies
+// per fragment, unlike Open-MX's merged-prefix fast path).
 func (ep *Endpoint) claimArrived(p *sim.Proc, r *Request, got uint64, msgLen int, tmp *hostmem.Buffer) {
 	limit := min(msgLen, r.n)
-	for f := 0; got>>uint(f) != 0; f++ {
-		if got&(uint64(1)<<uint(f)) == 0 {
-			continue
-		}
-		off := f * proto.MediumFragSize
-		n := min(proto.MediumFragSize, limit-off)
-		if n <= 0 {
-			continue
-		}
-		d := ep.S.H.Copy.Memcpy(r.buf, r.off+off, tmp, off, n, ep.Core)
+	for _, run := range proto.CopyPlan(got, 0, proto.MediumFragSize, limit, false) {
+		d := ep.S.H.Copy.Memcpy(r.buf, r.off+run.Off, tmp, run.Off, run.N, ep.Core)
 		ep.core().RunOn(p, cpu.UserLib, d)
 	}
 }
@@ -589,7 +616,11 @@ func (ep *Endpoint) startPull(p *sim.Proc, r *Request, u *uxMsg) {
 	}
 	r.MatchInfo, r.SenderAddr = u.match, u.src
 	s.pulls[lp.handle] = lp
-	// Two pipelined pull blocks outstanding, entirely firmware-driven.
-	s.pullNextBlock(lp)
-	s.pullNextBlock(lp)
+	// Two pipelined pull blocks outstanding per NIC lane, entirely
+	// firmware-driven: the single-NIC window is the classic two
+	// blocks; an aggregated link widens proportionally so every lane
+	// keeps a block's worth of fragments in flight.
+	for i := 0; i < 2*s.lanes; i++ {
+		s.pullNextBlock(lp)
+	}
 }

@@ -132,7 +132,9 @@ func (ep *Endpoint) armEagerRtx(tc *mxTxChan) {
 		s.Stats.EagerRetransmits++
 		for _, u := range tc.unacked {
 			for i, m := range u.msgs {
-				s.transmit(tc.dst, m, u.loads[i])
+				// Same lane as the original fragment, so a lossy
+				// lane retries on itself and stays attributable.
+				s.transmitOn(s.laneOf(u.seq, m.FragID), tc.dst, m, u.loads[i])
 			}
 		}
 		ep.armEagerRtx(tc)
@@ -150,7 +152,7 @@ func (s *Stack) armRndvRtx(ms *mxSend) {
 		if !ms.pulled {
 			ms.attempts++
 			s.Stats.RndvRetransmits++
-			s.transmit(ms.dst, &proto.RndvRequest{
+			s.transmitOn(s.laneOf(ms.seq, 0), ms.dst, &proto.RndvRequest{
 				Src: ms.ep.Addr(), Dst: ms.dst,
 				Match: ms.req.MatchInfo, Seq: ms.seq, MsgLen: ms.n,
 				SenderHandle: ms.handle,
@@ -163,19 +165,17 @@ func (s *Stack) armRndvRtx(ms *mxSend) {
 	})
 }
 
-// mxBlock is one outstanding pull block on the receiver: accepted
-// fragments and the retransmission timer that re-requests the rest.
+// mxBlock is one outstanding pull block on the receiver: the
+// hole-aware accepted-fragment bitmap (arrival order is arbitrary
+// once blocks stripe across NICs) and the retransmission timer that
+// re-requests the rest.
 type mxBlock struct {
 	idx       int
 	firstFrag int
-	count     int
-	got       uint64
+	asm       proto.Reassembly
 	timer     *sim.Timer
 	attempts  int
 }
-
-func (b *mxBlock) fullMask() uint64 { return (uint64(1) << b.count) - 1 }
-func (b *mxBlock) complete() bool   { return b.got == b.fullMask() }
 
 // armBlockTimer (re)arms a pull block's retransmission timer: on
 // expiry the firmware re-requests the block's missing fragments.
@@ -184,22 +184,23 @@ func (s *Stack) armBlockTimer(lp *mxPull, blk *mxBlock) {
 		blk.timer.Stop()
 	}
 	blk.timer = s.H.E.Schedule(s.rtxTimeout(blk.attempts), func() {
-		if lp.done || blk.complete() {
+		if lp.done || blk.asm.Done() {
 			return
 		}
 		blk.attempts++
 		s.Stats.PullRetransmits++
-		s.sendPull(lp, blk, ^blk.got&blk.fullMask())
+		s.sendPull(lp, blk, blk.asm.Missing())
 	})
 }
 
 // sendPull transmits one pull request for the masked fragments of a
-// block and arms its retransmission timer.
+// block — on the block's stripe lane, where the data answers — and
+// arms its retransmission timer.
 func (s *Stack) sendPull(lp *mxPull, blk *mxBlock, mask uint64) {
-	s.transmit(lp.src, &proto.Pull{
+	s.transmitOn(s.laneOf(lp.key.seq, blk.idx), lp.src, &proto.Pull{
 		Src: lp.ep.Addr(), Dst: lp.src,
 		SenderHandle: lp.senderHandle, RecvHandle: lp.handle,
-		Block: blk.idx, FirstFrag: blk.firstFrag, FragCount: blk.count,
+		Block: blk.idx, FirstFrag: blk.firstFrag, FragCount: blk.asm.Frags,
 		NeedMask: mask,
 	}, nil)
 	s.armBlockTimer(lp, blk)

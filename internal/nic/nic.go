@@ -65,6 +65,10 @@ type NIC struct {
 	Sys  *cpu.System
 	Mem  *hostmem.Memory
 	Name string
+	// Lane is this NIC's index on its host (0 for the primary NIC).
+	// Multi-NIC hosts stripe traffic across lanes; the protocol stacks
+	// learn a frame's arrival lane from the NIC that delivered it.
+	Lane int
 
 	hose *wire.Hose // transmit side, set via SetHose
 

@@ -195,6 +195,19 @@ func Connect(e *sim.Engine, p *platform.Platform, a, b Port) (ab, ba *Hose) {
 	return NewHose(e, p, b), NewHose(e, p, a)
 }
 
+// LaneAddr is the network address of a host's lane-th NIC. Lane 0
+// keeps the bare host name, so single-NIC clusters are bit-identical
+// to the pre-multi-NIC wire format; extra NICs get "host#lane".
+// Striping peers assume symmetric lane numbering: lane k of one host
+// talks to lane k of the other (cluster.Link enforces equal counts;
+// switched multi-NIC topologies must use equal counts per host).
+func LaneAddr(host string, lane int) string {
+	if lane == 0 {
+		return host
+	}
+	return fmt.Sprintf("%s#%d", host, lane)
+}
+
 // Switch is a minimal store-and-forward Ethernet switch: each attached
 // port gets a dedicated full-duplex link to the switch; the switch
 // forwards by destination address with one additional serialization on

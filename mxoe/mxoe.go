@@ -51,7 +51,11 @@ func Attach(h *cluster.Host, cfg Config) *Stack {
 }
 
 // Stats exposes the firmware's protocol counters (retransmissions,
-// duplicate suppression, queue drops) for tests and diagnostics.
+// duplicate suppression, queue drops, per-NIC transmit counts on
+// multi-NIC hosts) for tests and diagnostics. The firmware stripes
+// eager fragments and pull blocks round-robin across an aggregated
+// link's NICs (cluster.MultiNIC) with two pull blocks in flight per
+// NIC; NICTxFrames reports the resulting balance.
 func (s *Stack) Stats() Stats { return s.s.Stats }
 
 // CPUStats re-exports the deterministic per-core CPU ledger snapshot

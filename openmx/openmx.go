@@ -50,6 +50,19 @@ type Config = core.Config
 // Defaults returns the paper's default thresholds.
 func Defaults() Config { return core.Defaults() }
 
+// Stripe policies for Config.StripePolicy on multi-NIC hosts
+// (cluster.MultiNIC): round-robin stripes the units of each message —
+// eager fragments, pull blocks — across NIC lanes (the default, and
+// the one that aggregates bandwidth); hash pins each message to one
+// lane like a switch's L3/L4 flow hash; single disables aggregation.
+// Stats().NICTxFrames and cluster.NetStats report the resulting
+// per-NIC balance.
+const (
+	StripeRoundRobin = core.StripeRoundRobin
+	StripeHash       = core.StripeHash
+	StripeSingle     = core.StripeSingle
+)
+
 // AutoTuned returns an I/OAT-enabled configuration whose offload and
 // protocol thresholds are derived from startup microbenchmarks of the
 // given platform instead of the paper's empirical constants (the
