@@ -9,7 +9,8 @@ GO ?= go
 STATICCHECK ?= $(GO) run honnef.co/go/tools/cmd/staticcheck@2024.1.1
 
 .PHONY: all build test test-short race fmt fmt-check vet lint bench bench-ci \
-	golden golden-check stress multinic examples linkcheck ci-fast ci-full
+	golden golden-check stress multinic fattree benchalloc examples linkcheck \
+	ci-fast ci-full
 
 all: build
 
@@ -80,6 +81,28 @@ multinic:
 		-run 'Striping|StripedLoss|StripeReassembly|MultiNIC|RingDropAttributed|1NICMatchesLegacy' \
 		./cluster ./internal/core ./figures
 
+# Fat-tree battery: topology/Build equivalence, ECMP determinism and
+# spread, the trunk-incast drop-attribution storm, the 64-rank
+# parallel==serial figure guardrail and the calendar-queue event-core
+# tests, under the race detector.
+fattree:
+	$(GO) test -race -count=1 ./sim
+	$(GO) test -race -count=1 -run 'FatTree|ECMP|Trunk|Topology|Build' \
+		./cluster ./internal/wire ./figures
+
+# The event-core allocation gate: the calendar-queue benchmark must
+# report exactly 0 allocs/op in steady state, or the zero-allocation
+# claim (and with it the 512-rank CI budget) has regressed.
+benchalloc:
+	@out=$$($(GO) test -run '^$$' -bench 'BenchmarkEventCoreCalendar' -benchmem ./sim); \
+	echo "$$out"; \
+	allocs=$$(echo "$$out" | awk '/^BenchmarkEventCoreCalendar/ {print $$(NF-1)}'); \
+	if [ -z "$$allocs" ]; then echo "benchalloc: benchmark did not run" >&2; exit 1; fi; \
+	if [ "$$allocs" != "0" ]; then \
+		echo "benchalloc: event core steady state allocates $$allocs allocs/op, want 0" >&2; \
+		exit 1; \
+	fi
+
 # Run every committed godoc example (they are living documentation
 # with verified Output comments).
 examples:
@@ -92,4 +115,4 @@ linkcheck:
 
 ci-fast: build vet lint fmt-check examples linkcheck test-short
 
-ci-full: race stress multinic
+ci-full: race stress multinic fattree benchalloc

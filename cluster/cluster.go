@@ -30,9 +30,10 @@ type Cluster struct {
 	E *sim.Engine
 	P *platform.Platform
 
-	hosts    map[string]*Host
-	links    []*linkRec
-	switches []*Switch
+	hosts     map[string]*Host
+	hostOrder []*Host
+	links     []*linkRec
+	switches  []*Switch
 }
 
 // New returns an empty cluster. A nil platform selects the paper's
@@ -104,8 +105,15 @@ func (c *Cluster) NewHost(name string, opts ...HostOption) *Host {
 	}
 	h := &Host{C: c, Name: name, m: host.NewMulti(c.E, c.P, name, o.nics, o.irqCores)}
 	c.hosts[name] = h
+	c.hostOrder = append(c.hostOrder, h)
 	return h
 }
+
+// Hosts returns every host in creation order.
+func (c *Cluster) Hosts() []*Host { return c.hostOrder }
+
+// Switches returns every switch in creation order.
+func (c *Cluster) Switches() []*Switch { return c.switches }
 
 // NICCount reports the host's NIC count.
 func (h *Host) NICCount() int { return h.m.Lanes() }
@@ -126,8 +134,8 @@ func (h *Host) Machine() *host.Host { return h.m }
 // independently — and ImpairLane for one cable only) and a bounded
 // transmit queue (LinkQueue); with no options every lane is perfect
 // and the fast path is untouched.
-func Link(a, b *Host, opts ...LinkOption) {
-	var o linkOpts
+func Link(a, b *Host, opts ...NetOption) {
+	var o netOpts
 	for _, f := range opts {
 		f(&o)
 	}
@@ -158,6 +166,10 @@ func Link(a, b *Host, opts ...LinkOption) {
 		ba.SetImpairment(baIm.wire())
 		ab.QueueLimit = o.queueLimit
 		ba.QueueLimit = o.queueLimit
+		if o.hasLatency {
+			ab.ExtraLatency = o.latency
+			ba.ExtraLatency = o.latency
+		}
 		na.SetHose(ab)
 		nb.SetHose(ba)
 		rec.lanes = append(rec.lanes, linkLane{ab: ab, ba: ba})
@@ -187,19 +199,32 @@ func LossyLink(a, b *Host, dropAB, dropBA func(any) bool) {
 
 // Switch is a store-and-forward Ethernet switch.
 type Switch struct {
-	c       *Cluster
-	sw      *wire.Switch
-	uplinks map[string]*wire.Hose // NIC address → (NIC→switch) hose
+	c        *Cluster
+	sw       *wire.Switch
+	uplinks  map[string]*wire.Hose // NIC address → (NIC→switch) hose
+	attached []string              // NIC addresses in attach order
 }
 
 // NewSwitch adds a switch to the cluster. Options bound the output
-// queues (SwitchQueue), impair the output ports (SwitchImpair) and
-// tune the forwarding latency (SwitchLatency); with no options the
-// switch is ideal apart from its store-and-forward hop.
-func (c *Cluster) NewSwitch(opts ...SwitchOption) *Switch {
-	s := &Switch{c: c, sw: wire.NewSwitch(c.E, c.P), uplinks: make(map[string]*wire.Hose)}
+// queues (Queue), impair the output ports (Impair), tune the
+// forwarding latency (Latency) and pick the multi-path policy (ECMP);
+// with no options the switch is ideal apart from its
+// store-and-forward hop.
+func (c *Cluster) NewSwitch(opts ...NetOption) *Switch {
+	var o netOpts
 	for _, f := range opts {
-		f(s.sw)
+		f(&o)
+	}
+	s := &Switch{c: c, sw: wire.NewSwitch(c.E, c.P), uplinks: make(map[string]*wire.Hose)}
+	s.sw.OutputQueueFrames = o.queueLimit
+	if o.hasLatency {
+		s.sw.ForwardLatency = o.latency
+	}
+	if o.ab.Enabled() {
+		s.sw.PortImpair = o.ab.wire()
+	}
+	if o.ecmp != "" {
+		s.sw.ECMPPolicy = o.ecmp
 	}
 	c.switches = append(c.switches, s)
 	return s
@@ -214,7 +239,40 @@ func (s *Switch) Attach(h *Host) {
 	for _, n := range h.m.NICs {
 		up := s.sw.Attach(n)
 		s.uplinks[n.Name] = up
+		s.attached = append(s.attached, n.Name)
 		n.SetHose(up)
+	}
+}
+
+// Wire exposes the underlying wire-level switch (for tests and
+// in-module diagnostics such as FlowPaths).
+func (s *Switch) Wire() *wire.Switch { return s.sw }
+
+// Trunk joins two switches with a full-duplex inter-switch link. The
+// a→b hose becomes an ECMP uplink candidate on a, and b learns a pinned
+// route back through b→a for every NIC address attached to a so far —
+// the leaf-to-spine wiring of a fat tree (call after attaching a's
+// hosts). Options impair the trunk (reseeded per direction), bound its
+// queues (overriding the switches' own bounds) and add latency.
+func (c *Cluster) Trunk(a, b *Switch, name string, opts ...NetOption) {
+	var o netOpts
+	for _, f := range opts {
+		f(&o)
+	}
+	ab, ba := wire.ConnectTrunk(a.sw, b.sw, name)
+	ab.SetImpairment(o.ab.wire())
+	ba.SetImpairment(o.ba.wire())
+	if o.queueLimit > 0 {
+		ab.QueueLimit = o.queueLimit
+		ba.QueueLimit = o.queueLimit
+	}
+	if o.hasLatency {
+		ab.ExtraLatency = o.latency
+		ba.ExtraLatency = o.latency
+	}
+	a.sw.AddUplink(name, ab)
+	for _, addr := range a.attached {
+		b.sw.AddRoute(addr, ba)
 	}
 }
 
@@ -255,11 +313,10 @@ func (b *Buffer) Raw() *hostmem.Buffer { return b.b }
 func (c *Cluster) Go(name string, fn func(p *sim.Proc)) { c.E.Go(name, fn) }
 
 // Run drains the simulation and returns the number of processes still
-// blocked (protocol deadlocks; NIC bottom-half service loops are
-// excluded from the count).
+// blocked (protocol deadlocks; daemon service loops such as NIC bottom
+// halves are excluded by the engine's own accounting).
 func (c *Cluster) Run() int {
-	blocked := c.E.Run()
-	return blocked - c.bhLoops()
+	return c.E.Run()
 }
 
 // RunFor advances the simulation by d.
@@ -270,15 +327,3 @@ func (c *Cluster) Now() sim.Time { return c.E.Now() }
 
 // Close tears down all simulated processes (for tests).
 func (c *Cluster) Close() { c.E.Close() }
-
-// bhLoops counts the per-NIC bottom-half service processes, which
-// legitimately never exit.
-func (c *Cluster) bhLoops() int {
-	n := 0
-	for _, name := range c.E.BlockedProcs() {
-		if len(name) >= 3 && name[:3] == "bh:" {
-			n++
-		}
-	}
-	return n
-}

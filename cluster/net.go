@@ -58,11 +58,16 @@ func (im Impairment) wire() wire.Impairment {
 // Enabled reports whether the profile perturbs anything.
 func (im Impairment) Enabled() bool { return im.wire().Enabled() }
 
-// linkOpts collects Link options.
-type linkOpts struct {
+// netOpts collects the unified network options accepted by links
+// (Link), switches (NewSwitch) and inter-switch trunks (Trunk). Each
+// applier reads the fields that are meaningful for it.
+type netOpts struct {
 	ab, ba         Impairment
 	laneAB, laneBA map[int]Impairment
 	queueLimit     int
+	latency        sim.Duration
+	hasLatency     bool
+	ecmp           string
 }
 
 // laneSeed derives lane i's instance of a link-wide profile: lane 0
@@ -74,37 +79,95 @@ func laneSeed(im Impairment, lane int) Impairment {
 	return im
 }
 
-// LinkOption configures one Link call.
-type LinkOption func(*linkOpts)
+// NetOption is the single option vocabulary for every network element:
+// the same Impair/Queue/Latency options configure point-to-point links,
+// switches (where they apply to every output port) and fat-tree
+// trunks, so a topology tier can be impaired without a per-element
+// spelling. Directional (ImpairAB/ImpairBA) and per-lane (ImpairLane)
+// options are meaningful on links and trunks only; ECMP is meaningful
+// on switches only. Options that do not apply to an element are
+// ignored by its applier.
+type NetOption func(*netOpts)
 
-// Impair installs the profile on both directions of the link; the
-// reverse direction is independently reseeded so the two do not lose
-// the same pattern.
-func Impair(im Impairment) LinkOption {
-	return func(o *linkOpts) {
+// LinkOption configures one Link call.
+//
+// Deprecated: all network options are unified; use NetOption.
+type LinkOption = NetOption
+
+// SwitchOption configures one NewSwitch call.
+//
+// Deprecated: all network options are unified; use NetOption.
+type SwitchOption = NetOption
+
+// Impair installs the profile on the element: both directions of a
+// link or trunk (the reverse direction independently reseeded so the
+// two do not lose the same pattern), or every output port of a switch
+// (reseeded per port).
+func Impair(im Impairment) NetOption {
+	return func(o *netOpts) {
 		o.ab = im
 		o.ba = im
 		o.ba.Seed = im.Seed ^ 0x5DEECE66D
 	}
 }
 
-// ImpairAB impairs only the a→b direction.
-func ImpairAB(im Impairment) LinkOption { return func(o *linkOpts) { o.ab = im } }
+// ImpairAB impairs only the a→b direction of a link or trunk.
+func ImpairAB(im Impairment) NetOption { return func(o *netOpts) { o.ab = im } }
 
-// ImpairBA impairs only the b→a direction.
-func ImpairBA(im Impairment) LinkOption { return func(o *linkOpts) { o.ba = im } }
+// ImpairBA impairs only the b→a direction of a link or trunk.
+func ImpairBA(im Impairment) NetOption { return func(o *netOpts) { o.ba = im } }
+
+// Queue bounds the element's transmit queues to the given frame count;
+// frames beyond it are tail-dropped (congestion loss). On a link or
+// trunk it applies to both directions, on a switch to every output
+// port attached afterwards.
+func Queue(frames int) NetOption { return func(o *netOpts) { o.queueLimit = frames } }
+
+// Latency adds fixed latency to the element: a switch's forwarding
+// latency (overriding the default), or extra propagation delay on both
+// directions of a link or trunk (a longer cable run).
+func Latency(d sim.Duration) NetOption {
+	return func(o *netOpts) {
+		o.latency = d
+		o.hasLatency = true
+	}
+}
+
+// ECMP selects a switch's uplink-selection policy (wire.ECMPHash or
+// wire.ECMPRoundRobin). Meaningful for switches with multiple uplinks
+// (fat-tree leaves); ignored elsewhere.
+func ECMP(policy string) NetOption { return func(o *netOpts) { o.ecmp = policy } }
 
 // LinkQueue bounds each direction's transmit queue to the given frame
-// count; frames beyond it are tail-dropped (congestion loss).
-func LinkQueue(frames int) LinkOption { return func(o *linkOpts) { o.queueLimit = frames } }
+// count.
+//
+// Deprecated: use Queue.
+func LinkQueue(frames int) NetOption { return Queue(frames) }
+
+// SwitchQueue bounds every output port's queue to the given frame
+// count (apply before Attach).
+//
+// Deprecated: use Queue.
+func SwitchQueue(frames int) NetOption { return Queue(frames) }
+
+// SwitchImpair installs the profile on every output port, reseeded per
+// port (apply before Attach).
+//
+// Deprecated: use Impair.
+func SwitchImpair(im Impairment) NetOption { return Impair(im) }
+
+// SwitchLatency overrides the switch's forwarding latency.
+//
+// Deprecated: use Latency.
+func SwitchLatency(d sim.Duration) NetOption { return Latency(d) }
 
 // ImpairLane impairs both directions of one lane of an aggregated
 // link (the reverse direction independently reseeded), leaving every
 // other cable clean — the "one NIC's cable is bad" scenario the
 // striping stress battery attributes per NIC. The profile's seed is
 // used verbatim, overriding any link-wide profile on that lane.
-func ImpairLane(lane int, im Impairment) LinkOption {
-	return func(o *linkOpts) {
+func ImpairLane(lane int, im Impairment) NetOption {
+	return func(o *netOpts) {
 		if o.laneAB == nil {
 			o.laneAB = make(map[int]Impairment)
 			o.laneBA = make(map[int]Impairment)
@@ -123,27 +186,6 @@ type linkRec struct {
 }
 
 type linkLane struct{ ab, ba *wire.Hose }
-
-// SwitchOption configures one NewSwitch call.
-type SwitchOption func(*wire.Switch)
-
-// SwitchQueue bounds every output port's queue to the given frame
-// count; overflowing frames are tail-dropped — the congested-switch
-// model (apply before Attach).
-func SwitchQueue(frames int) SwitchOption {
-	return func(sw *wire.Switch) { sw.OutputQueueFrames = frames }
-}
-
-// SwitchImpair installs the profile on every output port, reseeded
-// per port so ports misbehave independently (apply before Attach).
-func SwitchImpair(im Impairment) SwitchOption {
-	return func(sw *wire.Switch) { sw.PortImpair = im.wire() }
-}
-
-// SwitchLatency overrides the switch's forwarding latency.
-func SwitchLatency(d sim.Duration) SwitchOption {
-	return func(sw *wire.Switch) { sw.ForwardLatency = d }
-}
 
 // DirStats is one link direction's counter snapshot.
 type DirStats struct {

@@ -99,13 +99,18 @@ func runStorm(t *testing.T, kindA, kindB string, seed int64, eps, count int) {
 func runStormWith(t *testing.T, kindA, kindB string, seed int64, nics, eps, count int, linkOpts ...cluster.LinkOption) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	c := cluster.New(nil)
 	var hostOpts []cluster.HostOption
 	if nics > 1 {
 		hostOpts = append(hostOpts, cluster.MultiNIC(nics))
 	}
-	a, b := c.NewHost("hostA", hostOpts...), c.NewHost("hostB", hostOpts...)
-	cluster.Link(a, b, linkOpts...)
+	c := cluster.Build(cluster.Topology{
+		Hosts: []cluster.HostSet{
+			{Name: "hostA", Opts: hostOpts},
+			{Name: "hostB", Opts: hostOpts},
+		},
+		Wiring: cluster.BackToBack{Opts: linkOpts},
+	})
+	a, b := c.Host("hostA"), c.Host("hostB")
 	ta, tb := stressStack(kindA, a), stressStack(kindB, b)
 	epsA := make([]openmx.Endpoint, eps)
 	epsB := make([]openmx.Endpoint, eps)
@@ -363,13 +368,14 @@ func TestStripedLossAttributedToLane(t *testing.T) {
 // traffic: congestion tail-drop must be survivable, and the drop
 // counters must show it happened.
 func TestStormThroughCongestedSwitch(t *testing.T) {
-	c := cluster.New(nil)
-	a, b := c.NewHost("hostA"), c.NewHost("hostB")
-	g := c.NewHost("hostG") // cross-traffic generator
-	sw := c.NewSwitch(cluster.SwitchQueue(8))
-	sw.Attach(a)
-	sw.Attach(b)
-	sw.Attach(g)
+	c := cluster.Build(cluster.Topology{
+		Hosts: []cluster.HostSet{
+			{Name: "hostA"}, {Name: "hostB"},
+			{Name: "hostG"}, // cross-traffic generator
+		},
+		Wiring: cluster.SingleSwitch{Opts: []cluster.NetOption{cluster.Queue(8)}},
+	})
+	a, b, g := c.Host("hostA"), c.Host("hostB"), c.Host("hostG")
 	ta := stressStack("openmx", a)
 	tb := stressStack("openmx", b)
 	stressStack("openmx", g) // gives the generator's frames a discarding stack

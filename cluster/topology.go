@@ -1,0 +1,160 @@
+package cluster
+
+// The declarative topology builder: a Topology value names the host
+// sets and the wiring shape, and Build turns it into a running
+// Cluster. It replaces hand-written NewHost/Link/NewSwitch/Attach
+// sequences (which all keep working underneath) with one spec that
+// scales from the paper's two-node testbed to a 2-tier fat tree.
+//
+//	c := cluster.Build(cluster.Topology{
+//		Hosts:  []cluster.HostSet{{Name: "node", N: 64, Indexed: true}},
+//		Wiring: cluster.FatTree{LeafRadix: 16, Spines: 4},
+//	})
+//
+// Build issues exactly the same low-level calls, in the same order, as
+// the equivalent hand-written sequence — so a Build-based testbed is
+// event-for-event identical to its imperative twin.
+
+import (
+	"fmt"
+
+	"omxsim/platform"
+)
+
+// HostSet declares a group of identically configured hosts.
+type HostSet struct {
+	// Name is the base host name. A single host keeps it verbatim
+	// ("hostA"); a set of N > 1 (or Indexed) appends the index
+	// ("node0" … "nodeN-1").
+	Name string
+	// N is the host count (0 means 1).
+	N int
+	// Indexed forces the name+index form even for N == 1, so a
+	// parameterized set keeps stable names across sizes.
+	Indexed bool
+	// Opts apply to every host in the set (MultiNIC etc).
+	Opts []HostOption
+}
+
+// Wiring is a topology shape: how Build connects the declared hosts.
+type Wiring interface {
+	wire(c *Cluster, hosts []*Host)
+}
+
+// BackToBack wires exactly two hosts with a direct (possibly
+// aggregated) link — the paper's switchless testbed.
+type BackToBack struct {
+	// Opts configure the link (Impair, Queue, Latency, ImpairLane…).
+	Opts []NetOption
+}
+
+func (w BackToBack) wire(c *Cluster, hosts []*Host) {
+	if len(hosts) != 2 {
+		panic(fmt.Sprintf("cluster: BackToBack wiring needs exactly 2 hosts, got %d", len(hosts)))
+	}
+	Link(hosts[0], hosts[1], w.Opts...)
+}
+
+// SingleSwitch wires every host into one store-and-forward switch.
+type SingleSwitch struct {
+	// Opts configure the switch (Queue, Impair, Latency).
+	Opts []NetOption
+}
+
+func (w SingleSwitch) wire(c *Cluster, hosts []*Host) {
+	sw := c.NewSwitch(w.Opts...)
+	for _, h := range hosts {
+		sw.Attach(h)
+	}
+}
+
+// FatTree wires the hosts into a 2-tier leaf/spine Clos fabric: hosts
+// fill leaves in declaration order (LeafRadix per leaf), every leaf
+// trunks to every spine, and each leaf spreads remote flows over its
+// Spines uplinks ECMP-style (flow-sticky, so per-flow frame order is
+// preserved). The oversubscription ratio is LeafRadix : Spines — 16
+// host ports sharing 4 uplinks is 4:1.
+type FatTree struct {
+	// LeafRadix is the number of host ports per leaf switch.
+	LeafRadix int
+	// Spines is the number of spine switches (= uplinks per leaf).
+	Spines int
+	// ECMPPolicy selects the uplink spread: wire.ECMPHash (default) or
+	// wire.ECMPRoundRobin.
+	ECMPPolicy string
+	// LeafOpts, SpineOpts and TrunkOpts configure each tier with the
+	// shared option vocabulary.
+	LeafOpts, SpineOpts, TrunkOpts []NetOption
+}
+
+func (w FatTree) wire(c *Cluster, hosts []*Host) {
+	if w.LeafRadix < 1 {
+		panic(fmt.Sprintf("cluster: FatTree LeafRadix %d out of range", w.LeafRadix))
+	}
+	if w.Spines < 1 {
+		panic(fmt.Sprintf("cluster: FatTree Spines %d out of range", w.Spines))
+	}
+	leafOpts := w.LeafOpts
+	if w.ECMPPolicy != "" {
+		leafOpts = append(append([]NetOption{}, leafOpts...), ECMP(w.ECMPPolicy))
+	}
+	nLeaves := (len(hosts) + w.LeafRadix - 1) / w.LeafRadix
+	leaves := make([]*Switch, nLeaves)
+	for i := range leaves {
+		leaves[i] = c.NewSwitch(leafOpts...)
+	}
+	spines := make([]*Switch, w.Spines)
+	for i := range spines {
+		spines[i] = c.NewSwitch(w.SpineOpts...)
+	}
+	for i, h := range hosts {
+		leaves[i/w.LeafRadix].Attach(h)
+	}
+	// Trunks go up after all of a leaf's hosts are attached, so each
+	// spine learns a down-route for every NIC address behind the leaf.
+	for li, leaf := range leaves {
+		for si, spine := range spines {
+			c.Trunk(leaf, spine, fmt.Sprintf("leaf%d-spine%d", li, si), w.TrunkOpts...)
+		}
+	}
+}
+
+// Topology declares a whole testbed.
+type Topology struct {
+	// Platform selects the hardware model; nil is the paper's
+	// Clovertown testbed.
+	Platform *platform.Platform
+	// Hosts lists the host sets, created in order.
+	Hosts []HostSet
+	// Wiring connects them; nil leaves the hosts unwired (single-host
+	// worlds, or callers doing custom wiring with the low-level API).
+	Wiring Wiring
+}
+
+// Build materializes the topology and returns the cluster. Hosts are
+// reachable by name (Cluster.Host) or in creation order
+// (Cluster.Hosts).
+func Build(t Topology) *Cluster {
+	c := New(t.Platform)
+	var hosts []*Host
+	for _, set := range t.Hosts {
+		n := set.N
+		if n == 0 {
+			n = 1
+		}
+		if n < 0 {
+			panic(fmt.Sprintf("cluster: host set %q count %d out of range", set.Name, n))
+		}
+		for i := 0; i < n; i++ {
+			name := set.Name
+			if n > 1 || set.Indexed {
+				name = fmt.Sprintf("%s%d", set.Name, i)
+			}
+			hosts = append(hosts, c.NewHost(name, set.Opts...))
+		}
+	}
+	if t.Wiring != nil {
+		t.Wiring.wire(c, hosts)
+	}
+	return c
+}

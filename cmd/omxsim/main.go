@@ -18,6 +18,7 @@
 //	omxsim avail            overlap/CPU-availability with injected compute
 //	omxsim ablate           threshold / pull-window / IRQ / extension ablations
 //	omxsim multinic         multi-NIC link aggregation: goodput vs NIC count
+//	omxsim fattree          fat-tree collectives at 64-512 ranks
 //	omxsim all              everything above
 //
 // Each figure shards its independent simulation points across a
@@ -132,6 +133,7 @@ var commands = []command{
 	{"avail", "overlap/CPU-availability with injected compute, memcpy vs I/OAT", runAvail},
 	{"ablate", "ablations: thresholds, pull window, IRQ steering, extensions", runAblate},
 	{"multinic", "multi-NIC link aggregation: striped goodput vs NIC count and pull window", runMultiNIC},
+	{"fattree", "fat-tree collectives at 64-512 ranks, I/OAT on/off, vs 1-switch", runFatTree},
 }
 
 func table(t *metrics.Table) string {
@@ -198,6 +200,18 @@ func runAvail() string {
 
 func runMultiNIC() string {
 	return figures.RenderMultiNIC(figures.MultiNICSweep())
+}
+
+func runFatTree() string {
+	tables, lp := figures.FatTree()
+	if *plot {
+		out := ""
+		for _, t := range tables {
+			out += t.Render() + t.ASCIIPlot(100, 20) + "\n"
+		}
+		return out + figures.RenderFatTree(nil, lp)
+	}
+	return figures.RenderFatTree(tables, lp)
 }
 
 func runAblate() string {

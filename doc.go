@@ -17,8 +17,10 @@
 //
 // The simulation core, bottom-up:
 //
-//   - sim — the discrete-event engine: virtual time, cooperative
-//     processes, the Run loop every experiment drives.
+//   - sim — the discrete-event engine: virtual time on a
+//     zero-allocation calendar event queue, cooperative processes,
+//     cancellable timers, daemons, the Run loop every experiment
+//     drives.
 //   - platform — the modelled hardware (dual quad-core Clovertown
 //     hosts, memory and cache copy-rate models, the paper's testbed).
 //   - internal/... — the machine model (cpu, hostmem, memmodel, bus,
@@ -28,8 +30,11 @@
 //     queue with per-category busy ledgers (user library, driver,
 //     bottom-half processing and copies, I/OAT submission,
 //     application compute) and deterministic Stats snapshots.
-//   - cluster — hosts, links and switches composed into a testbed,
-//     plus the network-impairment surface: seeded deterministic
+//   - cluster — hosts, links and switches composed into a testbed
+//     from a declarative cluster.Topology (cluster.Build wires
+//     back-to-back pairs, single switches, or 2-tier fat trees with
+//     flow-sticky ECMP trunks), plus the network-impairment surface:
+//     seeded deterministic
 //     loss/reorder/duplication/jitter/rate-asymmetry profiles on any
 //     link direction or switch port (cluster.Impair, SwitchImpair),
 //     bounded switch output queues with tail-drop (SwitchQueue),
@@ -82,7 +87,7 @@
 //	go run ./cmd/omxsim all
 //
 // or one figure at a time (fig3, fig7 … fig12, micro, timeline,
-// nasis, coll, loss, avail, ablate, multinic); add -progress for
+// nasis, coll, loss, avail, ablate, multinic, fattree); add -progress for
 // live sweep progress and ETA, and -plot for ASCII plots. Several
 // figures go beyond the paper: multinic measures link-aggregated
 // striping — ping-pong goodput across message size × {1,2,4} NICs ×
@@ -96,7 +101,10 @@
 // — the reliability paths (cumulative acks with wraparound-safe
 // serial arithmetic, duplicate suppression, exponential-backoff
 // retransmission, pull-block retry) recover everything
-// deterministically; and avail measures the paper's headline claim
+// deterministically; fattree scales the collectives to 64–512 ranks
+// on a 2-tier leaf/spine fat tree (flow-sticky ECMP trunks, 4:1
+// oversubscription) against a 1-switch baseline where one fits; and
+// avail measures the paper's headline claim
 // directly — a ping-pong with injected compute on the interrupt core,
 // reporting achieved overlap %, non-compute host CPU µs per MiB and
 // goodput for memcpy versus I/OAT receive paths, remote and local,
@@ -109,6 +117,6 @@
 // Start with package cluster to build a testbed, package openmx (or
 // mxoe) for endpoints, and package figures to regenerate the paper's
 // evaluation. See README.md for the CI gates and Makefile targets,
-// and docs/ARCHITECTURE.md for the layer diagram and two event-flow
+// and docs/ARCHITECTURE.md for the layer diagram and four event-flow
 // walkthroughs naming the functions and costs on every hop.
 package omxsim

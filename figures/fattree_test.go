@@ -1,0 +1,81 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"omxsim/metrics"
+)
+
+// TestParallelMatchesSerialFatTree: the determinism guardrail at
+// scale — a 64-rank world (32 hosts behind 2 leaves and 4 spines,
+// ECMP-hashed trunks) must produce bit-identical tables whether the
+// sweep runs on one worker or eight, and repeat run-to-run.
+func TestParallelMatchesSerialFatTree(t *testing.T) {
+	cases := []ftCase{
+		{"Allreduce", []int{1 << 10}, 64},
+		{"Alltoall", []int{1 << 10}, 64},
+	}
+	run := func(workers int) (tabs []*metrics.Table) {
+		withPool(workers, func() { tabs = fatTreeTables(cases, []int{64}) })
+		return tabs
+	}
+	serial, parallel := run(1), run(8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("table count %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if !serial[i].Equal(parallel[i]) {
+			t.Errorf("parallel fat-tree table differs from serial:\nserial:\n%s\nparallel:\n%s",
+				serial[i].Render(), parallel[i].Render())
+		}
+	}
+	// Run-to-run: a second serial sweep must be bit-identical (the
+	// ECMP flow hashing is seedless and the worlds are rebuilt from
+	// scratch, so any drift means hidden shared state).
+	again := run(1)
+	for i := range serial {
+		if !serial[i].Equal(again[i]) {
+			t.Errorf("fat-tree sweep not run-to-run deterministic:\nfirst:\n%s\nsecond:\n%s",
+				serial[i].Render(), again[i].Render())
+		}
+	}
+}
+
+// TestFatTreeFigureShape: the full figure's sweep grid — every
+// (collective, world, topology) lands its series, the 1-switch
+// baseline stops at 64 ranks, and Alltoall stops at 128.
+func TestFatTreeFigureShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tables, lp := FatTree()
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d, want 2", len(tables))
+	}
+	allreduce, alltoall := tables[0], tables[1]
+	// Allreduce: (64 ranks × 2 topologies + 128/256/512 × fat-tree) × 2 stacks.
+	if got := len(allreduce.Series); got != 10 {
+		t.Errorf("Allreduce series = %d, want 10", got)
+	}
+	// Alltoall: (64 × 2 topologies + 128 × fat-tree) × 2 stacks.
+	if got := len(alltoall.Series); got != 6 {
+		t.Errorf("Alltoall series = %d, want 6", got)
+	}
+	for _, s := range allreduce.Series {
+		if strings.Contains(s.Name, "1-switch") && !strings.Contains(s.Name, "64 procs") {
+			t.Errorf("1-switch baseline leaked past 64 ranks: %q", s.Name)
+		}
+		for _, pt := range s.Points {
+			if pt.Y <= 0 {
+				t.Errorf("series %q has non-positive latency %v at %v B", s.Name, pt.Y, pt.X)
+			}
+		}
+	}
+	if lp.WireLost == 0 {
+		t.Error("trunk-loss regression point lost nothing — impairment not applied to trunks")
+	}
+	if lp.TimeUsec <= 0 {
+		t.Errorf("loss point time %v, want > 0", lp.TimeUsec)
+	}
+}

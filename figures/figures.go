@@ -99,19 +99,25 @@ func newTestbedN(s Stack, nodes, ppn int) *testbed {
 	if nodes < 1 {
 		panic(fmt.Sprintf("figures: node count %d out of range", nodes))
 	}
-	c := cluster.New(nil)
-	hosts := make([]*cluster.Host, nodes)
-	for i := range hosts {
-		hosts[i] = c.NewHost(fmt.Sprintf("node%d", i))
-	}
+	var wiring cluster.Wiring
 	switch {
 	case nodes == 2:
-		cluster.Link(hosts[0], hosts[1])
+		wiring = cluster.BackToBack{}
 	case nodes > 2:
-		sw := c.NewSwitch()
-		for _, h := range hosts {
-			sw.Attach(h)
-		}
+		wiring = cluster.SingleSwitch{}
+	}
+	c := cluster.Build(cluster.Topology{
+		Hosts:  []cluster.HostSet{{Name: "node", N: nodes, Indexed: true}},
+		Wiring: wiring,
+	})
+	return worldOver(c, s, ppn)
+}
+
+// worldOver attaches the stack to every host of a built cluster (in
+// creation order) and opens ppn ranks per node, block-placed.
+func worldOver(c *cluster.Cluster, s Stack, ppn int) *testbed {
+	if ppn < 1 || ppn > len(rankCores) {
+		panic(fmt.Sprintf("figures: ppn %d out of range 1..%d", ppn, len(rankCores)))
 	}
 	open := func(h *cluster.Host) openmx.Transport {
 		switch s.Kind {
@@ -123,7 +129,7 @@ func newTestbedN(s Stack, nodes, ppn int) *testbed {
 		panic(fmt.Sprintf("figures: unknown stack kind %q", s.Kind))
 	}
 	w := mpi.NewWorld(c)
-	for _, h := range hosts {
+	for _, h := range c.Hosts() {
 		tr := open(h)
 		for slot := 0; slot < ppn; slot++ {
 			w.AddRank(tr.Open(slot, rankCores[slot]), h, rankCores[slot])

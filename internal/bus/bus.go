@@ -40,7 +40,7 @@ type Arbiter struct {
 	capacity float64 // total bytes/ns, 0 = unlimited
 	flows    []*Flow
 	lastAt   sim.Time
-	timer    *sim.Timer
+	timer    sim.Timer
 	moved    float64 // total bytes delivered (for conservation checks)
 }
 
@@ -138,10 +138,8 @@ func (a *Arbiter) recompute() {
 
 // reschedule recomputes rates and schedules the next completion event.
 func (a *Arbiter) reschedule() {
-	if a.timer != nil {
-		a.timer.Stop()
-		a.timer = nil
-	}
+	a.timer.Stop()
+	a.timer = sim.Timer{}
 	a.recompute()
 	if len(a.flows) == 0 {
 		return
@@ -172,7 +170,7 @@ func (a *Arbiter) reschedule() {
 
 // complete banks progress and retires every finished flow.
 func (a *Arbiter) complete() {
-	a.timer = nil
+	a.timer = sim.Timer{}
 	a.advance()
 	var live []*Flow
 	var finished []*Flow

@@ -389,7 +389,7 @@ type largeSend struct {
 	seq    uint32
 	// rtx re-sends the rendezvous request if no pull ever arrives;
 	// attempts drives its exponential backoff.
-	rtx      *sim.Timer
+	rtx      sim.Timer
 	attempts int
 	pulled   bool
 	finished bool
@@ -444,7 +444,7 @@ type pullBlock struct {
 	// fragments racing back over several NICs, arrival order within a
 	// block is arbitrary.
 	asm      proto.Reassembly
-	timer    *sim.Timer
+	timer    sim.Timer
 	attempts int // consecutive timer expiries without progress
 }
 

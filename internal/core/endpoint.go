@@ -121,7 +121,7 @@ type txChan struct {
 	nextSeq     uint32
 	ackedSeq    uint32
 	unacked     []*eagerSend
-	rtx         *sim.Timer
+	rtx         sim.Timer
 	rtxAttempts int
 }
 
@@ -148,7 +148,7 @@ type rxChan struct {
 	// the message completes and isDup takes over).
 	fragSeen    map[uint32]uint64
 	lastAckSent uint32
-	ackTimer    *sim.Timer
+	ackTimer    sim.Timer
 }
 
 type assembly struct {
@@ -276,10 +276,8 @@ func (ep *Endpoint) takeAck(dst proto.Addr) uint32 {
 	if c == nil {
 		return 0
 	}
-	if c.ackTimer != nil {
-		c.ackTimer.Stop()
-		c.ackTimer = nil
-	}
+	c.ackTimer.Stop()
+	c.ackTimer = sim.Timer{}
 	c.lastAckSent = c.win.Edge()
 	return c.win.Edge()
 }
@@ -622,12 +620,12 @@ func (s *Stack) transmitEager(ep *Endpoint, tc *txChan, seq uint32, match uint64
 // backing off exponentially while the peer shows no progress (any
 // cumulative-ack advance resets the attempt count).
 func (ep *Endpoint) armEagerRtx(tc *txChan) {
-	if tc.rtx != nil || len(tc.unacked) == 0 {
+	if tc.rtx.Pending() || len(tc.unacked) == 0 {
 		return
 	}
 	s := ep.S
 	tc.rtx = s.H.E.Schedule(s.Cfg.rtxTimeout(tc.rtxAttempts), func() {
-		tc.rtx = nil
+		tc.rtx = sim.Timer{}
 		if len(tc.unacked) == 0 {
 			return
 		}

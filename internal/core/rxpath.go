@@ -63,9 +63,9 @@ func (s *Stack) applyAck(p *sim.Proc, core *cpu.Core, epID int, from proto.Addr,
 		return
 	}
 	done := tc.applyCumulative(ackSeq)
-	if len(tc.unacked) == 0 && tc.rtx != nil {
+	if len(tc.unacked) == 0 {
 		tc.rtx.Stop()
-		tc.rtx = nil
+		tc.rtx = sim.Timer{}
 	}
 	if len(done) > 0 {
 		s.chargeEvent(p, core)
@@ -325,9 +325,7 @@ func (s *Stack) rxLargeFrag(lane int, p *sim.Proc, core *cpu.Core, skb *nic.Skb,
 	}
 
 	if blk.asm.Done() {
-		if blk.timer != nil {
-			blk.timer.Stop()
-		}
+		blk.timer.Stop()
 		delete(lp.blocks, m.Block)
 		if lp.nextBlock < lp.numBlocks {
 			// "A resource cleanup routine is invoked when a new
@@ -439,10 +437,7 @@ func (s *Stack) rxRndvAck(p *sim.Proc, core *cpu.Core, skb *nic.Skb, m *proto.Rn
 		return
 	}
 	ls.finished = true
-	if ls.rtx != nil {
-		ls.rtx.Stop()
-		ls.rtx = nil
-	}
+	ls.rtx.Stop()
 	delete(s.sends, ls.handle)
 	s.chargeEvent(p, core)
 	ls.ep.pushEvent(&event{kind: evSendDone, req: ls.req})
@@ -482,9 +477,7 @@ func (s *Stack) sendPullBlock(lp *largePull, blockIdx int, mask uint64) {
 // retransmission timeout expires"). Consecutive expiries without any
 // fragment arriving back off exponentially.
 func (s *Stack) armBlockTimer(lp *largePull, blk *pullBlock) {
-	if blk.timer != nil {
-		blk.timer.Stop()
-	}
+	blk.timer.Stop()
 	blk.timer = s.H.E.Schedule(s.Cfg.rtxTimeout(blk.attempts), func() {
 		if lp.done || blk.asm.Done() {
 			return
@@ -514,7 +507,7 @@ func (s *Stack) armBlockTimer(lp *largePull, blk *pullBlock) {
 // (piggybacking on reverse traffic usually wins the race and disarms
 // it via takeAck).
 func (ep *Endpoint) scheduleAck(c *rxChan) {
-	if c.win.Edge() == c.lastAckSent || c.ackTimer != nil {
+	if c.win.Edge() == c.lastAckSent || c.ackTimer.Pending() {
 		return
 	}
 	ep.armAckTimer(c, false)
@@ -523,7 +516,7 @@ func (ep *Endpoint) scheduleAck(c *rxChan) {
 // forceAck re-arms the ack timer even when the cumulative ack was
 // already sent once: a duplicate frame proves the sender lost it.
 func (ep *Endpoint) forceAck(c *rxChan) {
-	if c.ackTimer != nil {
+	if c.ackTimer.Pending() {
 		return
 	}
 	ep.armAckTimer(c, true)
@@ -532,7 +525,7 @@ func (ep *Endpoint) forceAck(c *rxChan) {
 func (ep *Endpoint) armAckTimer(c *rxChan, force bool) {
 	s := ep.S
 	c.ackTimer = s.H.E.Schedule(s.Cfg.DeferredAckDelay, func() {
-		c.ackTimer = nil
+		c.ackTimer = sim.Timer{}
 		if !force && c.win.Edge() == c.lastAckSent {
 			return
 		}

@@ -54,9 +54,9 @@ func (s *Stack) fwAck(m *proto.Ack) {
 		return
 	}
 	tc.applyCumulative(m.AckSeq)
-	if len(tc.unacked) == 0 && tc.rtx != nil {
+	if len(tc.unacked) == 0 {
 		tc.rtx.Stop()
-		tc.rtx = nil
+		tc.rtx = sim.Timer{}
 	}
 }
 
@@ -219,9 +219,7 @@ func (s *Stack) fwLargeFrag(f *wire.Frame, m *proto.LargeFrag) {
 	}
 	blk.attempts = 0
 	if blk.asm.Done() {
-		if blk.timer != nil {
-			blk.timer.Stop()
-		}
+		blk.timer.Stop()
 		delete(lp.blocks, m.Block)
 	}
 	n := len(f.Data)
@@ -238,9 +236,7 @@ func (s *Stack) fwLargeFrag(f *wire.Frame, m *proto.LargeFrag) {
 		if lp.arrived == lp.frags {
 			lp.done = true
 			for _, b := range lp.blocks {
-				if b.timer != nil {
-					b.timer.Stop()
-				}
+				b.timer.Stop()
 			}
 			delete(s.pulls, lp.handle)
 			s.markRndvDone(lp.key)
@@ -272,10 +268,7 @@ func (s *Stack) fwRndvAck(m *proto.RndvAck) {
 		return
 	}
 	ms.finished = true
-	if ms.rtx != nil {
-		ms.rtx.Stop()
-		ms.rtx = nil
-	}
+	ms.rtx.Stop()
 	delete(s.sends, ms.handle)
 	ms.ep.pushEvent(&event{kind: evSendDone, req: ms.req})
 }

@@ -253,7 +253,7 @@ type mxSend struct {
 	buf    *hostmem.Buffer
 	off, n int
 	// Firmware request-retransmission state.
-	rtx      *sim.Timer
+	rtx      sim.Timer
 	attempts int
 	pulled   bool
 	finished bool

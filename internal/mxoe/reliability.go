@@ -36,7 +36,7 @@ type mxTxChan struct {
 	nextSeq  uint32
 	ackedSeq uint32
 	unacked  []*mxUnacked
-	rtx      *sim.Timer
+	rtx      sim.Timer
 	attempts int
 }
 
@@ -119,12 +119,12 @@ func (s *Stack) rtxTimeout(attempts int) sim.Duration {
 // expiry the firmware re-streams every unacked message from its
 // snapshot; receivers deduplicate.
 func (ep *Endpoint) armEagerRtx(tc *mxTxChan) {
-	if tc.rtx != nil || len(tc.unacked) == 0 {
+	if tc.rtx.Pending() || len(tc.unacked) == 0 {
 		return
 	}
 	s := ep.S
 	tc.rtx = s.H.E.Schedule(s.rtxTimeout(tc.attempts), func() {
-		tc.rtx = nil
+		tc.rtx = sim.Timer{}
 		if len(tc.unacked) == 0 {
 			return
 		}
@@ -173,16 +173,14 @@ type mxBlock struct {
 	idx       int
 	firstFrag int
 	asm       proto.Reassembly
-	timer     *sim.Timer
+	timer     sim.Timer
 	attempts  int
 }
 
 // armBlockTimer (re)arms a pull block's retransmission timer: on
 // expiry the firmware re-requests the block's missing fragments.
 func (s *Stack) armBlockTimer(lp *mxPull, blk *mxBlock) {
-	if blk.timer != nil {
-		blk.timer.Stop()
-	}
+	blk.timer.Stop()
 	blk.timer = s.H.E.Schedule(s.rtxTimeout(blk.attempts), func() {
 		if lp.done || blk.asm.Done() {
 			return

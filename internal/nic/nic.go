@@ -80,14 +80,19 @@ type NIC struct {
 	// core"; steering is fixed per run, the common production setup).
 	IRQCore int
 
-	// Receive state (generic mode).
-	pending  []*Skb
-	inflight int // frames being DMA'd into ring skbuffs
-	bhSig    *sim.Signal
-	bhBusy   bool
+	// Receive state (generic mode). pending is a head-cursor FIFO:
+	// popping advances pendingHead instead of reslicing, so the backing
+	// array's capacity is reused forever and the rx steady state never
+	// reallocates.
+	pending     []*Skb
+	pendingHead int
+	inflight    int // frames being DMA'd into ring skbuffs
+	bhSig       *sim.Signal
+	bhBusy      bool
 
-	// Transmit state.
+	// Transmit state (same head-cursor FIFO idiom).
 	txQueue  []*wire.Frame
+	txHead   int
 	txActive bool
 
 	// Stats.
@@ -102,7 +107,7 @@ type NIC struct {
 // New returns a NIC attached to the given host resources.
 func New(e *sim.Engine, p *platform.Platform, sys *cpu.System, mem *hostmem.Memory, name string) *NIC {
 	n := &NIC{E: e, P: p, Sys: sys, Mem: mem, Name: name, bhSig: sim.NewSignal()}
-	e.Go("bh:"+name, n.bhLoop)
+	e.GoDaemon("bh:"+name, n.bhLoop)
 	return n
 }
 
@@ -147,12 +152,15 @@ func (n *NIC) Transmit(f *wire.Frame) {
 }
 
 func (n *NIC) txNext() {
-	if len(n.txQueue) == 0 {
+	if n.txHead == len(n.txQueue) {
+		n.txQueue = n.txQueue[:0]
+		n.txHead = 0
 		n.txActive = false
 		return
 	}
-	f := n.txQueue[0]
-	n.txQueue = n.txQueue[1:]
+	f := n.txQueue[n.txHead]
+	n.txQueue[n.txHead] = nil
+	n.txHead++
 	dma := sim.Duration(n.P.NICFixedLatency) + sim.Duration(float64(f.WireLen)/float64(n.P.NICDMARate))
 	n.E.Schedule(dma, func() {
 		n.TxFrames++
@@ -176,7 +184,7 @@ func (n *NIC) Arrive(f *wire.Frame) {
 	// Ring occupancy: frames being DMA'd plus frames waiting for the
 	// bottom half. When the ring is exhausted the NIC has nowhere to
 	// put the frame and drops it.
-	if n.inflight+len(n.pending) >= n.P.RxRingSize {
+	if n.inflight+n.pendingLen() >= n.P.RxRingSize {
 		n.RxDrops++
 		return
 	}
@@ -195,20 +203,35 @@ func (n *NIC) Arrive(f *wire.Frame) {
 	})
 }
 
+// pendingLen reports the number of skbuffs waiting for the bottom half.
+func (n *NIC) pendingLen() int { return len(n.pending) - n.pendingHead }
+
+// popPending removes the FIFO head, recycling the backing array when
+// it drains.
+func (n *NIC) popPending() *Skb {
+	skb := n.pending[n.pendingHead]
+	n.pending[n.pendingHead] = nil
+	n.pendingHead++
+	if n.pendingHead == len(n.pending) {
+		n.pending = n.pending[:0]
+		n.pendingHead = 0
+	}
+	return skb
+}
+
 // bhLoop is the NAPI-style bottom half: one kernel process per NIC.
 func (n *NIC) bhLoop(p *sim.Proc) {
 	for {
-		p.WaitFor(n.bhSig, func() bool { return len(n.pending) > 0 })
+		p.WaitFor(n.bhSig, func() bool { return n.pendingLen() > 0 })
 		// Interrupt delivery + hard-irq handler before softirq work.
 		p.Sleep(sim.Duration(n.P.IRQLatency))
 		n.BHRuns++
 		n.bhBusy = true
 		core := n.Sys.Core(n.IRQCore)
-		for len(n.pending) > 0 {
+		for n.pendingLen() > 0 {
 			budget := n.P.NAPIBudget
-			for budget > 0 && len(n.pending) > 0 {
-				skb := n.pending[0]
-				n.pending = n.pending[1:]
+			for budget > 0 && n.pendingLen() > 0 {
+				skb := n.popPending()
 				// Generic driver + skbuff handling for this frame.
 				core.RunOn(p, cpu.BHProc, sim.Duration(n.P.SkbPerFrameCost))
 				n.handler(p, core, skb)
@@ -216,7 +239,7 @@ func (n *NIC) bhLoop(p *sim.Proc) {
 			}
 			// Budget exhausted with frames still pending: NAPI yields
 			// the softirq and immediately re-polls (no new interrupt).
-			if len(n.pending) > 0 {
+			if n.pendingLen() > 0 {
 				p.Yield()
 			}
 		}

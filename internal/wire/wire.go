@@ -55,8 +55,12 @@ type Hose struct {
 	E *sim.Engine
 	P *platform.Platform
 
-	peer  Port
+	peer Port
+	// queue is a head-cursor FIFO: startNext advances head instead of
+	// reslicing, so the backing array is reused and the steady state
+	// stays off the allocator.
 	queue []*Frame
+	head  int
 	busy  bool
 
 	// Drop, if non-nil, is consulted for every frame after
@@ -68,6 +72,10 @@ type Hose struct {
 	// serializing); 0 means unbounded. Frames sent into a full queue
 	// are tail-dropped — the congested-switch failure mode.
 	QueueLimit int
+
+	// ExtraLatency is added to the propagation delay of every frame
+	// (longer cable runs, inter-switch trunks). Zero costs nothing.
+	ExtraLatency sim.Duration
 
 	// imp, when non-nil, perturbs the direction (loss, reorder,
 	// duplication, jitter, rate asymmetry). See Impairment.
@@ -130,7 +138,7 @@ func (h *Hose) Send(f *Frame) {
 // serialized (startNext pops that one off the queue while it's on
 // the wire).
 func (h *Hose) occupancy() int {
-	n := len(h.queue)
+	n := len(h.queue) - h.head
 	if h.busy {
 		n++
 	}
@@ -142,12 +150,15 @@ func (h *Hose) occupancy() int {
 func (h *Hose) QueueLen() int { return h.occupancy() }
 
 func (h *Hose) startNext() {
-	if len(h.queue) == 0 {
+	if h.head == len(h.queue) {
+		h.queue = h.queue[:0]
+		h.head = 0
 		h.busy = false
 		return
 	}
-	f := h.queue[0]
-	h.queue = h.queue[1:]
+	f := h.queue[h.head]
+	h.queue[h.head] = nil
+	h.head++
 	h.E.Schedule(h.SerializeTime(f.WireLen), func() {
 		switch {
 		case h.Drop != nil && h.Drop(f):
@@ -157,7 +168,7 @@ func (h *Hose) startNext() {
 		default:
 			h.FramesSent++
 			h.BytesSent += int64(f.WireLen)
-			h.E.Schedule(sim.Duration(h.P.WirePropagation), func() { h.peer.Arrive(f) })
+			h.E.Schedule(sim.Duration(h.P.WirePropagation)+h.ExtraLatency, func() { h.peer.Arrive(f) })
 		}
 		h.startNext()
 	})
@@ -175,7 +186,7 @@ func (h *Hose) impairedDeliver(f *Frame) {
 	h.FramesSent++
 	h.BytesSent += int64(f.WireLen)
 	deliver := func() {
-		d := sim.Duration(h.P.WirePropagation) + im.extraDelay(im.prof.JitterMax)
+		d := sim.Duration(h.P.WirePropagation) + h.ExtraLatency + im.extraDelay(im.prof.JitterMax)
 		if im.chance(im.prof.ReorderRate) {
 			h.FramesReordered++
 			d += im.prof.ReorderDelay
@@ -214,6 +225,15 @@ func LaneAddr(host string, lane int) string {
 // the output link (plus a fixed forwarding latency). Output queues may
 // be bounded (OutputQueueFrames) to model a congested switch that
 // tail-drops, and every output port can carry an impairment profile.
+//
+// Switches also interconnect: ConnectTrunk joins two switches with an
+// inter-switch link, AddRoute pins remote addresses to a specific
+// trunk (a spine's down-link per leaf), and AddUplink registers
+// default-route candidates among which flows spread ECMP-style (a
+// leaf's up-links, one per spine). Uplink selection is flow-sticky —
+// every (src, dst) pair rides one uplink for the simulation's lifetime
+// — so a flow's frames stay ordered per path exactly as the host-side
+// stripe policies keep per-lane order.
 type Switch struct {
 	E *sim.Engine
 	P *platform.Platform
@@ -225,14 +245,38 @@ type Switch struct {
 	// PortImpair, when enabled, is installed on every subsequently
 	// attached output port, reseeded per port address.
 	PortImpair Impairment
+	// ECMPPolicy selects how flows spread over the uplinks: ECMPHash
+	// (default) hashes the (src, dst) pair like an L3/L4 flow hash;
+	// ECMPRoundRobin assigns uplinks round-robin at first sight. Both
+	// are flow-sticky, preserving per-flow frame order.
+	ECMPPolicy string
 
 	byAddr map[string]*Hose // dest address → output hose (switch→NIC)
 	order  []string         // attach order, for deterministic stats
+
+	routes      map[string]*Hose // remote address → trunk hose (spine down-routes)
+	uplinks     []*Hose          // default-route candidates (leaf up-links)
+	uplinkNames []string
+	trunkNames  []string // all trunk hoses originating here, registration order
+	trunkHoses  []*Hose
+	flows       map[flowKey]int // sticky flow → uplink index
+	nextUplink  int             // roundrobin first-sight counter
 
 	// FramesForwarded counts successfully routed frames; unroutable
 	// frames are counted in FramesUnknown and discarded.
 	FramesForwarded int64
 	FramesUnknown   int64
+}
+
+// ECMP uplink-selection policies, mirroring the host stripe policies.
+const (
+	ECMPHash       = "hash"
+	ECMPRoundRobin = "roundrobin"
+)
+
+// flowKey identifies one unidirectional flow for uplink stickiness.
+type flowKey struct {
+	src, dst string
 }
 
 // NewSwitch returns an empty switch.
@@ -248,14 +292,133 @@ type switchPort struct {
 
 func (sp *switchPort) Address() string { return sp.addr }
 
-func (sp *switchPort) Arrive(f *Frame) {
-	out, ok := sp.sw.byAddr[f.DstAddr]
-	if !ok {
-		sp.sw.FramesUnknown++
+func (sp *switchPort) Arrive(f *Frame) { sp.sw.route(f) }
+
+// route forwards one arrived frame: local attached port first, then an
+// explicit remote route, then ECMP over the uplinks.
+func (s *Switch) route(f *Frame) {
+	out := s.lookup(f)
+	if out == nil {
+		s.FramesUnknown++
 		return
 	}
-	sp.sw.FramesForwarded++
-	sp.sw.E.Schedule(sp.sw.ForwardLatency, func() { out.Send(f) })
+	s.FramesForwarded++
+	s.E.Schedule(s.ForwardLatency, func() { out.Send(f) })
+}
+
+func (s *Switch) lookup(f *Frame) *Hose {
+	if out, ok := s.byAddr[f.DstAddr]; ok {
+		return out
+	}
+	if out, ok := s.routes[f.DstAddr]; ok {
+		return out
+	}
+	if len(s.uplinks) > 0 {
+		return s.uplinks[s.pickUplink(f)]
+	}
+	return nil
+}
+
+// pickUplink returns the sticky uplink index for the frame's flow,
+// assigning one on first sight according to ECMPPolicy.
+func (s *Switch) pickUplink(f *Frame) int {
+	if len(s.uplinks) == 1 {
+		return 0
+	}
+	key := flowKey{src: f.SrcAddr, dst: f.DstAddr}
+	if i, ok := s.flows[key]; ok {
+		return i
+	}
+	var i int
+	switch s.ECMPPolicy {
+	case ECMPRoundRobin:
+		i = s.nextUplink % len(s.uplinks)
+		s.nextUplink++
+	default: // hash
+		i = int(flowHash(f.SrcAddr, f.DstAddr) % uint64(len(s.uplinks)))
+	}
+	if s.flows == nil {
+		s.flows = make(map[flowKey]int)
+	}
+	s.flows[key] = i
+	return i
+}
+
+// flowHash is a deterministic L3/L4-style flow hash: FNV-1a over the
+// two addresses, finished with the same multiplicative scramble the
+// host stripe hash uses.
+func flowHash(src, dst string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(src); i++ {
+		h = (h ^ uint64(src[i])) * prime64
+	}
+	h = (h ^ 0xff) * prime64
+	for i := 0; i < len(dst); i++ {
+		h = (h ^ uint64(dst[i])) * prime64
+	}
+	return h * 0x9E3779B97F4A7C15 >> 1
+}
+
+// FlowPaths snapshots the sticky flow table (flow → uplink name), for
+// determinism tests and diagnostics.
+func (s *Switch) FlowPaths() map[[2]string]string {
+	out := make(map[[2]string]string, len(s.flows))
+	for k, i := range s.flows {
+		out[[2]string{k.src, k.dst}] = s.uplinkNames[i]
+	}
+	return out
+}
+
+// trunkPort is the receiving end of an inter-switch link: arriving
+// frames re-enter the peer switch's routing.
+type trunkPort struct {
+	sw   *Switch
+	addr string
+}
+
+func (tp *trunkPort) Address() string { return tp.addr }
+
+func (tp *trunkPort) Arrive(f *Frame) { tp.sw.route(f) }
+
+// ConnectTrunk joins two switches with a full-duplex inter-switch link
+// named name and returns the two transmit hoses (a→b, b→a). Each hose
+// inherits its sending switch's output-queue bound; the caller then
+// registers it as an uplink (AddUplink) or a pinned route (AddRoute)
+// on that switch.
+func ConnectTrunk(a, b *Switch, name string) (ab, ba *Hose) {
+	ab = NewHose(a.E, a.P, &trunkPort{sw: b, addr: "trunk:" + name + ">"})
+	ab.QueueLimit = a.OutputQueueFrames
+	ba = NewHose(b.E, b.P, &trunkPort{sw: a, addr: "trunk:" + name + "<"})
+	ba.QueueLimit = b.OutputQueueFrames
+	a.registerTrunk(name+">", ab)
+	b.registerTrunk(name+"<", ba)
+	return ab, ba
+}
+
+func (s *Switch) registerTrunk(name string, h *Hose) {
+	s.trunkNames = append(s.trunkNames, name)
+	s.trunkHoses = append(s.trunkHoses, h)
+}
+
+// AddUplink registers out (a trunk hose originating at s) as a
+// default-route candidate: frames to addresses s knows no route for
+// spread over the uplinks ECMP-style.
+func (s *Switch) AddUplink(name string, out *Hose) {
+	s.uplinks = append(s.uplinks, out)
+	s.uplinkNames = append(s.uplinkNames, name)
+}
+
+// AddRoute pins a remote address to a specific trunk hose (a spine's
+// down-link towards the leaf that owns addr).
+func (s *Switch) AddRoute(addr string, out *Hose) {
+	if s.routes == nil {
+		s.routes = make(map[string]*Hose)
+	}
+	s.routes[addr] = out
 }
 
 // Attach connects a device port to the switch and returns the hose the
@@ -280,11 +443,24 @@ type PortStats struct {
 	HoseStats
 }
 
-// Ports snapshots every output port's counters in attach order.
+// Ports snapshots every output port's counters in attach order,
+// followed by trunk hoses in registration order.
 func (s *Switch) Ports() []PortStats {
-	out := make([]PortStats, 0, len(s.order))
+	out := make([]PortStats, 0, len(s.order)+len(s.trunkHoses))
 	for _, addr := range s.order {
 		out = append(out, PortStats{Addr: addr, HoseStats: s.byAddr[addr].Stats()})
+	}
+	for i, h := range s.trunkHoses {
+		out = append(out, PortStats{Addr: "trunk:" + s.trunkNames[i], HoseStats: h.Stats()})
+	}
+	return out
+}
+
+// Trunks snapshots only the trunk hoses originating at this switch.
+func (s *Switch) Trunks() []PortStats {
+	out := make([]PortStats, 0, len(s.trunkHoses))
+	for i, h := range s.trunkHoses {
+		out = append(out, PortStats{Addr: s.trunkNames[i], HoseStats: h.Stats()})
 	}
 	return out
 }

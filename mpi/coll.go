@@ -86,6 +86,11 @@ type Tuning struct {
 	// recursive doubling to ring reduce-scatter + allgather
 	// (bandwidth-optimal, each rank moves ≈2·n regardless of p).
 	AllreduceRingMinBytes int
+	// AllreduceRingMinChunkBytes additionally requires the ring's
+	// per-rank chunk (n/p) to reach this floor: on very large worlds
+	// the ring's 2(p−1) rounds of tiny chunks are latency-dominated
+	// and recursive doubling's log p rounds win even for large n.
+	AllreduceRingMinChunkBytes int
 	// ReduceRSMinBytes: at or above, Reduce switches from the
 	// binomial tree to reduce-scatter + chunk gather (Rabenseifner).
 	ReduceRSMinBytes int
@@ -116,17 +121,18 @@ type Tuning struct {
 // DefaultTuning returns MPICH-style selection thresholds.
 func DefaultTuning() Tuning {
 	return Tuning{
-		BcastSegMinBytes:        64 << 10,
-		BcastSegMinRanks:        4,
-		AllreduceRingMinBytes:   32 << 10,
-		ReduceRSMinBytes:        64 << 10,
-		AllgatherRDMaxBytes:     64 << 10,
-		AlltoallBruckMaxBytes:   1 << 10,
-		AlltoallBruckMinRanks:   8,
-		AlltoallvPostedMaxRanks: 4,
-		GatherTreeMaxBytes:      16 << 10,
-		GatherTreeMinRanks:      4,
-		BarrierTreeMinRanks:     16,
+		BcastSegMinBytes:           64 << 10,
+		BcastSegMinRanks:           4,
+		AllreduceRingMinBytes:      32 << 10,
+		AllreduceRingMinChunkBytes: 1 << 10,
+		ReduceRSMinBytes:           64 << 10,
+		AllgatherRDMaxBytes:        64 << 10,
+		AlltoallBruckMaxBytes:      1 << 10,
+		AlltoallBruckMinRanks:      8,
+		AlltoallvPostedMaxRanks:    4,
+		GatherTreeMaxBytes:         16 << 10,
+		GatherTreeMinRanks:         4,
+		BarrierTreeMinRanks:        16,
 	}
 }
 
@@ -150,7 +156,7 @@ func (t Tuning) ReduceAlg(n, p int) string {
 
 // AllreduceAlg selects the allreduce algorithm for n bytes on p ranks.
 func (t Tuning) AllreduceAlg(n, p int) string {
-	if n >= t.AllreduceRingMinBytes && n%8 == 0 && p > 2 {
+	if n >= t.AllreduceRingMinBytes && n/p >= t.AllreduceRingMinChunkBytes && n%8 == 0 && p > 2 {
 		return AlgRing
 	}
 	return AlgRecursiveDoubling

@@ -18,6 +18,7 @@ type Proc struct {
 	dead     chan struct{} // closed by Engine.Close to abort the goroutine
 	woken    bool          // a wake event is already scheduled
 	finished bool          // goroutine has exited; step becomes a no-op
+	daemon   bool          // service loop: excluded from deadlock accounting
 }
 
 // procAbort is the panic value used to unwind an aborted Proc.
@@ -43,6 +44,9 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 				}
 			}
 			delete(e.procs, p)
+			if p.daemon {
+				e.daemons--
+			}
 			p.finished = true
 			p.yield <- struct{}{}
 		}()
@@ -53,9 +57,24 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		}
 		fn(p)
 	}()
-	e.Schedule(0, func() { p.step() })
+	e.scheduleStep(0, p)
 	return p
 }
+
+// GoDaemon starts fn as a daemon process: a service loop (a NIC bottom
+// half, a background poller) that legitimately never exits. Daemons
+// are excluded from Engine.Run's blocked-process count, so a drained
+// simulation with only daemons parked reports a clean run rather than
+// a deadlock.
+func (e *Engine) GoDaemon(name string, fn func(p *Proc)) *Proc {
+	p := e.Go(name, fn)
+	p.daemon = true
+	e.daemons++
+	return p
+}
+
+// Daemon reports whether the process was started with GoDaemon.
+func (p *Proc) Daemon() bool { return p.daemon }
 
 // step transfers control to the process goroutine and waits for it to
 // block or finish. Called only from engine context. A step on a
@@ -105,10 +124,7 @@ func (p *Proc) wake() {
 		return
 	}
 	p.woken = true
-	p.e.Schedule(0, func() {
-		p.woken = false
-		p.step()
-	})
+	p.e.scheduleStep(0, p)
 }
 
 // Engine returns the engine this process runs on.
@@ -125,14 +141,14 @@ func (p *Proc) Sleep(d Duration) {
 	if d <= 0 {
 		return
 	}
-	p.e.Schedule(d, p.wake)
+	p.e.scheduleWake(d, p)
 	p.block()
 }
 
 // Yield gives other events scheduled at the current instant a chance to
 // run before the process continues.
 func (p *Proc) Yield() {
-	p.e.Schedule(0, p.wake)
+	p.e.scheduleWake(0, p)
 	p.block()
 }
 
@@ -153,6 +169,7 @@ func (p *Proc) String() string { return fmt.Sprintf("proc(%s)", p.name) }
 // expected to re-check their condition in a loop (or use WaitFor).
 type Signal struct {
 	waiters []*Proc
+	spare   []*Proc // retired waiter slice, reused to keep Wait allocation-free
 }
 
 // NewSignal returns a new signal. The zero value is also usable.
@@ -164,13 +181,20 @@ func (s *Signal) Wait(p *Proc) {
 	p.block()
 }
 
-// Broadcast wakes every process currently waiting on s.
+// Broadcast wakes every process currently waiting on s. Waiters are
+// drained into a spare buffer first, so processes that Wait again
+// while the broadcast runs land on a fresh list (and the two backing
+// arrays alternate instead of reallocating every cycle).
 func (s *Signal) Broadcast() {
 	ws := s.waiters
-	s.waiters = nil
+	s.waiters = s.spare[:0]
 	for _, p := range ws {
 		p.wake()
 	}
+	for i := range ws {
+		ws[i] = nil
+	}
+	s.spare = ws[:0]
 }
 
 // Waiters reports the number of processes currently waiting.

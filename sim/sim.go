@@ -13,10 +13,16 @@
 //     Sleep, wait on Signals, and occupy simulated CPU cores. Exactly
 //     one goroutine (the engine or a single Proc) runs at any moment, so
 //     no locking is needed anywhere in the simulation.
+//
+// The event queue is a calendar queue (timing wheel plus a far-future
+// heap, see calq.go) with pooled event records: the steady-state
+// schedule→fire→recycle cycle allocates nothing, which is what lets
+// 512-rank fat-tree worlds run inside CI. Service loops that
+// legitimately never exit (NIC bottom halves) are started with GoDaemon
+// and excluded from deadlock accounting by flag rather than by name.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -54,45 +60,33 @@ func (t Time) String() string {
 	}
 }
 
-// An event is a scheduled callback. Cancelled events stay in the heap
-// and are skipped when popped.
-type event struct {
-	at        Time
-	seq       uint64
-	fn        func()
-	cancelled bool
+// Timer is a handle to a scheduled event that can be cancelled. The
+// zero value is a stale handle: Stop and Pending report false. Timers
+// are values (not pointers) so the schedule fast path allocates
+// nothing; copy them freely.
+type Timer struct {
+	e   *Engine
+	ev  *event
+	gen uint32
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// Pending reports whether the event is still scheduled: not yet fired,
+// not cancelled, and the handle not stale.
+func (t Timer) Pending() bool {
+	return t.ev != nil && t.ev.gen == t.gen && !t.ev.cancelled
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
-// Timer is a handle to a scheduled event that can be cancelled.
-type Timer struct{ ev *event }
 
 // Stop cancels the timer. It reports whether the timer was still
-// pending (i.e. Stop prevented the callback from running).
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled {
+// pending (i.e. Stop prevented the callback from running). Stopping a
+// fired, already-stopped or zero Timer is a safe no-op: the event pool
+// bumps a generation counter on recycle, so a stale handle can never
+// cancel an unrelated event that reused the slot.
+func (t Timer) Stop() bool {
+	if !t.Pending() {
 		return false
 	}
 	t.ev.cancelled = true
+	t.e.live--
 	return true
 }
 
@@ -101,8 +95,10 @@ func (t *Timer) Stop() bool {
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	q       calq
+	live    int // scheduled, non-cancelled events
 	procs   map[*Proc]struct{}
+	daemons int // live procs flagged as daemons
 	closing bool
 	running bool
 }
@@ -117,7 +113,7 @@ func (e *Engine) Now() Time { return e.now }
 
 // Schedule arranges for fn to run after delay. A negative delay is
 // treated as zero. The returned Timer may be used to cancel it.
-func (e *Engine) Schedule(delay Duration, fn func()) *Timer {
+func (e *Engine) Schedule(delay Duration, fn func()) Timer {
 	if delay < 0 {
 		delay = 0
 	}
@@ -125,67 +121,111 @@ func (e *Engine) Schedule(delay Duration, fn func()) *Timer {
 }
 
 // At arranges for fn to run at absolute time t (clamped to now).
-func (e *Engine) At(t Time, fn func()) *Timer {
+func (e *Engine) At(t Time, fn func()) Timer {
+	ev := e.push(t)
+	ev.fn = fn
+	return Timer{e: e, ev: ev, gen: ev.gen}
+}
+
+// scheduleStep files a process-step event: when it fires, p resumes.
+// No closure is built, so the Sleep/Yield/wake hot path is
+// allocation-free.
+func (e *Engine) scheduleStep(delay Duration, p *Proc) {
+	if delay < 0 {
+		delay = 0
+	}
+	ev := e.push(e.now + delay)
+	ev.proc = p
+}
+
+// scheduleWake files a process-wake event: when it fires, p.wake runs
+// (which in turn files the step event). This is the closure-free
+// equivalent of the original Schedule(d, p.wake).
+func (e *Engine) scheduleWake(delay Duration, p *Proc) {
+	if delay < 0 {
+		delay = 0
+	}
+	ev := e.push(e.now + delay)
+	ev.proc = p
+	ev.wakeup = true
+}
+
+// push allocates a pooled event at absolute time t (clamped to now)
+// and files it in the calendar queue.
+func (e *Engine) push(t Time) *event {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	ev := &event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+	ev := e.q.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	e.q.push(ev)
+	e.live++
+	return ev
 }
 
 // Pending reports the number of live (non-cancelled) scheduled events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !ev.cancelled {
-			n++
-		}
+func (e *Engine) Pending() int { return e.live }
+
+// fire runs one popped event and recycles it. The record is returned
+// to the pool before the callback runs, so callbacks that immediately
+// reschedule reuse the hot slot.
+func (e *Engine) fire(ev *event) {
+	fn, p, wakeup := ev.fn, ev.proc, ev.wakeup
+	e.q.recycle(ev)
+	e.live--
+	switch {
+	case p != nil && wakeup:
+		p.wake()
+	case p != nil:
+		p.woken = false
+		p.step()
+	default:
+		fn()
 	}
-	return n
 }
 
 // step pops and runs the next event. It reports false when no runnable
 // event remains.
 func (e *Engine) step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.cancelled {
-			continue
-		}
-		e.now = ev.at
-		ev.fn()
-		return true
+	ev := e.q.pop()
+	if ev == nil {
+		return false
 	}
-	return false
+	e.now = ev.at
+	e.fire(ev)
+	return true
 }
 
 // Run executes events until none remain, then returns the number of
-// processes still blocked (0 means a clean fully-drained run; nonzero
-// usually indicates a protocol deadlock in the simulated program).
+// processes still blocked, daemons excluded (0 means a clean fully
+// drained run; nonzero usually indicates a protocol deadlock in the
+// simulated program).
 func (e *Engine) Run() int {
 	e.running = true
 	for e.step() {
 	}
 	e.running = false
-	return len(e.procs)
+	return len(e.procs) - e.daemons
 }
 
 // RunUntil executes events up to and including time t, leaving later
 // events pending. The clock is left at t.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.events) > 0 {
-		// Peek.
-		next := e.events[0]
-		if next.cancelled {
-			heap.Pop(&e.events)
-			continue
-		}
-		if next.at > t {
+	for {
+		next := e.q.pop()
+		if next == nil {
 			break
 		}
-		e.step()
+		if next.at > t {
+			// Not due yet: put it back. Re-pushing keeps its (at, seq)
+			// key, so ordering is untouched.
+			e.q.push(next)
+			break
+		}
+		e.now = next.at
+		e.fire(next)
 	}
 	if e.now < t {
 		e.now = t
@@ -193,7 +233,8 @@ func (e *Engine) RunUntil(t Time) {
 }
 
 // BlockedProcs returns the names of processes that have started but not
-// finished, sorted for deterministic reporting.
+// finished, sorted for deterministic reporting. Daemons are included
+// (they are blocked by design); Run's return value excludes them.
 func (e *Engine) BlockedProcs() []string {
 	var names []string
 	for p := range e.procs {
@@ -202,6 +243,10 @@ func (e *Engine) BlockedProcs() []string {
 	sort.Strings(names)
 	return names
 }
+
+// Daemons reports the number of live daemon processes (service loops
+// started with GoDaemon that legitimately never exit).
+func (e *Engine) Daemons() int { return e.daemons }
 
 // Close aborts all live processes so their goroutines exit. The engine
 // must not be used afterwards. It is safe to call on a fully drained
@@ -213,4 +258,5 @@ func (e *Engine) Close() {
 		p.abort()
 	}
 	e.procs = map[*Proc]struct{}{}
+	e.daemons = 0
 }
