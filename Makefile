@@ -9,8 +9,8 @@ GO ?= go
 STATICCHECK ?= $(GO) run honnef.co/go/tools/cmd/staticcheck@2024.1.1
 
 .PHONY: all build test test-short race fmt fmt-check vet lint bench bench-ci \
-	golden golden-check stress multinic fattree benchalloc examples linkcheck \
-	ci-fast ci-full
+	golden golden-check stress multinic fattree nicoll benchalloc examples \
+	linkcheck ci-fast ci-full
 
 all: build
 
@@ -90,6 +90,15 @@ fattree:
 	$(GO) test -race -count=1 -run 'FatTree|ECMP|Trunk|Topology|Build' \
 		./cluster ./internal/wire ./figures
 
+# NIC-offloaded collective battery: host≡firmware result equality
+# (odd/single-rank/zero-byte worlds), dispatcher≡pinned for the
+# offload tier, firmware loss recovery, the collective-frame drop
+# gate on the host stack, and the nicoll figure guardrails
+# (CPU-win acceptance + parallel==serial), under the race detector.
+nicoll:
+	$(GO) test -race -count=1 -run 'NIColl|Nicoll|CollDrop' \
+		./mpi ./internal/core ./internal/mxoe ./figures
+
 # The event-core allocation gate: the calendar-queue benchmark must
 # report exactly 0 allocs/op in steady state, or the zero-allocation
 # claim (and with it the 512-rank CI budget) has regressed.
@@ -115,4 +124,4 @@ linkcheck:
 
 ci-fast: build vet lint fmt-check examples linkcheck test-short
 
-ci-full: race stress multinic fattree benchalloc
+ci-full: race stress multinic fattree nicoll benchalloc

@@ -132,7 +132,7 @@ func (h *Host) Machine() *host.Host { return h.m }
 // NIC counts must match). Options add impairment profiles (Impair,
 // ImpairAB, ImpairBA — reseeded per lane so lanes misbehave
 // independently — and ImpairLane for one cable only) and a bounded
-// transmit queue (LinkQueue); with no options every lane is perfect
+// transmit queue (Queue); with no options every lane is perfect
 // and the fast path is untouched.
 func Link(a, b *Host, opts ...NetOption) {
 	var o netOpts

@@ -165,7 +165,7 @@ func TestRingDropAttributedToNIC(t *testing.T) {
 // TestRateAsymmetryslowsOneDirection: RateScale 0.1 must stretch
 // serialization ~10x in that direction only.
 func TestRateAsymmetry(t *testing.T) {
-	lat := func(opts ...cluster.LinkOption) sim.Duration {
+	lat := func(opts ...cluster.NetOption) sim.Duration {
 		c := cluster.New(nil)
 		a, b := c.NewHost("a"), c.NewHost("b")
 		cluster.Link(a, b, opts...)

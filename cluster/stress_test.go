@@ -96,7 +96,7 @@ func runStorm(t *testing.T, kindA, kindB string, seed int64, eps, count int) {
 // runStormWith is runStorm over an arbitrary aggregated-link topology:
 // nics NICs per host and explicit link options (per-lane impairment,
 // skew).
-func runStormWith(t *testing.T, kindA, kindB string, seed int64, nics, eps, count int, linkOpts ...cluster.LinkOption) {
+func runStormWith(t *testing.T, kindA, kindB string, seed int64, nics, eps, count int, linkOpts ...cluster.NetOption) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	var hostOpts []cluster.HostOption

@@ -19,6 +19,7 @@
 //	omxsim ablate           threshold / pull-window / IRQ / extension ablations
 //	omxsim multinic         multi-NIC link aggregation: goodput vs NIC count
 //	omxsim fattree          fat-tree collectives at 64-512 ranks
+//	omxsim nicoll           NIC-offloaded collectives vs host algorithms
 //	omxsim all              everything above
 //
 // Each figure shards its independent simulation points across a
@@ -134,6 +135,7 @@ var commands = []command{
 	{"ablate", "ablations: thresholds, pull window, IRQ steering, extensions", runAblate},
 	{"multinic", "multi-NIC link aggregation: striped goodput vs NIC count and pull window", runMultiNIC},
 	{"fattree", "fat-tree collectives at 64-512 ranks, I/OAT on/off, vs 1-switch", runFatTree},
+	{"nicoll", "NIC-offloaded collectives: firmware vs host algorithms, CPU and overlap", runNIColl},
 }
 
 func table(t *metrics.Table) string {
@@ -212,6 +214,10 @@ func runFatTree() string {
 		return out + figures.RenderFatTree(nil, lp)
 	}
 	return figures.RenderFatTree(tables, lp)
+}
+
+func runNIColl() string {
+	return figures.RenderNIColl(figures.NICollSweep())
 }
 
 func runAblate() string {

@@ -1,0 +1,64 @@
+package omxsim
+
+// The deprecated-API gate the fast CI job runs: the old Link*/Switch*
+// network-option aliases in cluster/net.go survive for external
+// callers, but no in-repo code or documentation may use them — the
+// NetOption vocabulary (Queue, Latency, Impair and friends) is the
+// single way the repository spells network options. A new use
+// anywhere outside the alias definitions fails this test.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// deprecatedNetAliases matches any use of the deprecated alias names.
+// Word-bounded, so e.g. the replacement Queue/Latency/Impair names and
+// identifiers that merely contain "LinkQueue" as a substring of a
+// longer word do not trip it.
+var deprecatedNetAliases = regexp.MustCompile(
+	`\b(LinkOption|SwitchOption|LinkQueue|SwitchQueue|SwitchImpair|SwitchLatency)\b`)
+
+// deprecatedAliasExempt lists the only files allowed to mention the
+// alias names: their definitions and the historical changelog.
+var deprecatedAliasExempt = map[string]bool{
+	filepath.Join("cluster", "net.go"): true, // the Deprecated: definitions
+	"CHANGES.md":                       true, // PR history quotes old names
+	"deprecated_test.go":               true, // this gate
+}
+
+func TestNoDeprecatedNetOptionAliases(t *testing.T) {
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == "testdata" ||
+				(strings.HasPrefix(name, ".") && path != ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		ext := filepath.Ext(path)
+		if (ext != ".go" && ext != ".md") || deprecatedAliasExempt[path] {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if m := deprecatedNetAliases.FindString(line); m != "" {
+				t.Errorf("%s:%d: uses deprecated alias %s (use the NetOption vocabulary: Queue/Latency/Impair)",
+					path, i+1, m)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

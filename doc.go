@@ -25,7 +25,11 @@
 //     hosts, memory and cache copy-rate models, the paper's testbed).
 //   - internal/... — the machine model (cpu, hostmem, memmodel, bus,
 //     nic, wire, ioat) and the protocol stacks (core is the Open-MX
-//     library + driver, internal/mxoe the native firmware baseline).
+//     library + driver, internal/mxoe the native firmware baseline,
+//     whose NIC also runs whole collectives — barrier, bcast,
+//     allreduce, scan — as firmware-resident tree state machines with
+//     segment combining, posted as one descriptor and completed as
+//     one event).
 //     internal/cpu models each core as a serial two-priority work
 //     queue with per-category busy ledgers (user library, driver,
 //     bottom-half processing and copies, I/OAT submission,
@@ -36,8 +40,8 @@
 //     flow-sticky ECMP trunks), plus the network-impairment surface:
 //     seeded deterministic
 //     loss/reorder/duplication/jitter/rate-asymmetry profiles on any
-//     link direction or switch port (cluster.Impair, SwitchImpair),
-//     bounded switch output queues with tail-drop (SwitchQueue),
+//     link direction or switch port (cluster.Impair),
+//     bounded switch output queues with tail-drop (cluster.Queue),
 //     background cross-traffic generators (StartCrossTraffic) and
 //     the NetStats counter snapshot. Hosts can aggregate several
 //     NICs (cluster.MultiNIC): Link cables them lane by lane, a
@@ -60,7 +64,12 @@
 //     Gather/Scatter, Allgather(v), Alltoall(v)), each with two
 //     algorithm variants (binomial tree / recursive doubling versus
 //     ring / Bruck / scatter-allgather) selected by message and
-//     world size through mpi.Tuning.
+//     world size through mpi.Tuning — which also resolves the
+//     execution tier per call (Tuning.Offload auto/host/nic): on a
+//     collective-capable stack, Barrier/Bcast/Allreduce/Scan can run
+//     entirely in NIC firmware, with pinned BarrierNIC/BcastNIC/
+//     AllreduceNIC/ScanNIC variants exported beside the host
+//     algorithms.
 //   - imb — the Intel-MPI-Benchmarks patterns (the Figure 12 set
 //     plus Gather, Scatter and Barrier) with IMB timing conventions,
 //     plus imb.Sweep for sharding whole benchmark runs across a
@@ -87,7 +96,7 @@
 //	go run ./cmd/omxsim all
 //
 // or one figure at a time (fig3, fig7 … fig12, micro, timeline,
-// nasis, coll, loss, avail, ablate, multinic, fattree); add -progress for
+// nasis, coll, loss, avail, ablate, multinic, fattree, nicoll); add -progress for
 // live sweep progress and ETA, and -plot for ASCII plots. Several
 // figures go beyond the paper: multinic measures link-aggregated
 // striping — ping-pong goodput across message size × {1,2,4} NICs ×
@@ -103,8 +112,11 @@
 // retransmission, pull-block retry) recover everything
 // deterministically; fattree scales the collectives to 64–512 ranks
 // on a 2-tier leaf/spine fat tree (flow-sticky ECMP trunks, 4:1
-// oversubscription) against a 1-switch baseline where one fits; and
-// avail measures the paper's headline claim
+// oversubscription) against a 1-switch baseline where one fits;
+// nicoll compares host-driven collective algorithms against the MXoE
+// firmware state machines at fat-tree scale, reporting latency,
+// non-compute host CPU per collective and achieved overlap under
+// injected compute; and avail measures the paper's headline claim
 // directly — a ping-pong with injected compute on the interrupt core,
 // reporting achieved overlap %, non-compute host CPU µs per MiB and
 // goodput for memcpy versus I/OAT receive paths, remote and local,
@@ -117,6 +129,6 @@
 // Start with package cluster to build a testbed, package openmx (or
 // mxoe) for endpoints, and package figures to regenerate the paper's
 // evaluation. See README.md for the CI gates and Makefile targets,
-// and docs/ARCHITECTURE.md for the layer diagram and four event-flow
+// and docs/ARCHITECTURE.md for the layer diagram and five event-flow
 // walkthroughs naming the functions and costs on every hop.
 package omxsim

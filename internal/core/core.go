@@ -222,6 +222,10 @@ type Stats struct {
 	CleanupFrees     int64
 	LocalMsgs        int64
 	LocalIOATCopies  int64
+	// CollDropped counts NIC-collective frames (CollData/CollAck)
+	// dropped because this stack runs collectives on the host — only a
+	// firmware-mode stack (internal/mxoe) terminates them.
+	CollDropped int64
 	// NICTxFrames counts frames this stack transmitted per NIC lane —
 	// the striping balance (index = lane; single-NIC stacks have one
 	// entry). Receive-side per-NIC counters live in cluster.NetStats.

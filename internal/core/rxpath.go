@@ -38,6 +38,15 @@ func (s *Stack) rxCallback(lane int, p *sim.Proc, core *cpu.Core, skb *nic.Skb) 
 		s.rxLargeFrag(lane, p, core, skb, m)
 	case *proto.RndvAck:
 		s.rxRndvAck(p, core, skb, m)
+	case *proto.CollData, *proto.CollAck:
+		// Firmware-collective frames belong to NIC-resident state
+		// machines the host stack does not run (the MXoE offload tier).
+		// A host-mode peer can only receive one through
+		// misconfiguration; count and drop so the sender's firmware
+		// retransmission surfaces the mismatch instead of a hang going
+		// unexplained.
+		s.Stats.CollDropped++
+		skb.Free()
 	default:
 		skb.Free()
 	}

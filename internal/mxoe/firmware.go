@@ -34,6 +34,10 @@ func (s *Stack) firmwareRx(lane int, f *wire.Frame) {
 		s.fwLargeFrag(f, m)
 	case *proto.RndvAck:
 		s.fwRndvAck(m)
+	case *proto.CollData:
+		s.fwCollData(f, m)
+	case *proto.CollAck:
+		s.fwCollAck(m)
 	}
 }
 

@@ -69,6 +69,8 @@ type Stats struct {
 	// NICTxFrames counts frames transmitted per NIC lane — the
 	// striping balance on a multi-NIC host (one entry per NIC).
 	NICTxFrames []int64
+	// Coll counts NIC-offloaded collective activity (coll.go).
+	Coll CollStats
 }
 
 // Retransmits sums every retransmission class.
@@ -99,6 +101,12 @@ type Stack struct {
 	rndvDone   []rndvKey
 	nextHandle int
 
+	// Firmware collective-group state (coll.go): registered groups by
+	// (group ID, endpoint), plus frames that arrived before the local
+	// CollJoin.
+	collGroups  map[collKey]*CollGroup
+	collPending map[collKey][]*wire.Frame
+
 	Stats Stats
 }
 
@@ -125,6 +133,9 @@ func Attach(h *host.Host, cfg Config) *Stack {
 		sends:     make(map[int]*mxSend),
 		pulls:     make(map[int]*mxPull),
 		rndvSeen:  make(map[rndvKey]*rndvState),
+
+		collGroups:  make(map[collKey]*CollGroup),
+		collPending: make(map[collKey][]*wire.Frame),
 	}
 	s.Stats.NICTxFrames = make([]int64, s.lanes)
 	for i, n := range h.NICs {
@@ -193,6 +204,7 @@ const (
 	evRndv
 	evRecvDone
 	evSendDone
+	evCollDone
 	evShm
 )
 
@@ -529,6 +541,15 @@ func (ep *Endpoint) handleEvent(p *sim.Proc, ev *event) {
 		d := ep.unpinCost(ev.req.buf, ev.req.n)
 		if d > 0 {
 			ep.core().RunOn(p, cpu.UserLib, d)
+		}
+		ev.req.done = true
+	case evCollDone:
+		// Barriers post no destination buffer, so there may be
+		// nothing to unregister.
+		if ev.req.buf != nil {
+			if d := ep.unpinCost(ev.req.buf, ev.req.n); d > 0 {
+				ep.core().RunOn(p, cpu.UserLib, d)
+			}
 		}
 		ev.req.done = true
 	case evShm:

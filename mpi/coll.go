@@ -39,6 +39,23 @@ const (
 	AlgLinear            = "linear"
 	AlgDissemination     = "dissemination"
 	AlgTree              = "tree"
+	// AlgNIC is the firmware-offloaded variant: the whole collective
+	// runs as a tree state machine on the NIC (openmx.CollCapable),
+	// the host posting one descriptor and waiting for one completion.
+	AlgNIC = "nic"
+)
+
+// Offload tiers for Tuning.Offload: where a collective executes.
+// OffloadAuto resolves per call — the NIC when every endpoint is
+// collective-capable, the world is at least NICCollMinRanks, and the
+// payload fits NICCollMaxBytes; the host algorithms otherwise.
+// OffloadHost pins the host algorithms; OffloadNIC pins the firmware
+// path (panicking if the transport cannot offload, like calling a
+// pinned NIC variant directly).
+const (
+	OffloadAuto = "auto"
+	OffloadHost = "host"
+	OffloadNIC  = "nic"
 )
 
 // Sub-channel constants: the low byte of a collective's tag block,
@@ -68,6 +85,7 @@ const (
 	subGatherTree    = 21
 	subScatterLinear = 22
 	subScatterTree   = 23
+	subScan          = 24 // inclusive-scan doubling rounds
 )
 
 // Tuning holds the thresholds that pick a collective algorithm from
@@ -116,6 +134,20 @@ type Tuning struct {
 	// gather/release tree (2(p−1) messages) instead of dissemination
 	// (p·log p messages, but lower latency on small worlds).
 	BarrierTreeMinRanks int
+	// Offload selects where Barrier/Bcast/Allreduce/Scan execute:
+	// OffloadAuto (the default; also the zero value's behaviour)
+	// resolves per call, OffloadHost and OffloadNIC pin a tier. See
+	// CollOffload, the single source of truth for the decision.
+	Offload string
+	// NICCollMinRanks: under OffloadAuto, worlds below this stay on
+	// the host algorithms — on small worlds the log p hops are cheap
+	// and the host CPU saved is negligible, while the NIC's slower
+	// combining rate still applies.
+	NICCollMinRanks int
+	// NICCollMaxBytes: under OffloadAuto, payloads above this stay on
+	// the host (the firmware's segment state is bounded; bulk data
+	// prefers the bandwidth-optimal host rings anyway).
+	NICCollMaxBytes int
 }
 
 // DefaultTuning returns MPICH-style selection thresholds.
@@ -133,8 +165,34 @@ func DefaultTuning() Tuning {
 		GatherTreeMaxBytes:         16 << 10,
 		GatherTreeMinRanks:         4,
 		BarrierTreeMinRanks:        16,
+		Offload:                    OffloadAuto,
+		NICCollMinRanks:            32,
+		NICCollMaxBytes:            256 << 10,
 	}
 }
+
+// CollOffload resolves the offload tier for an n-byte collective on p
+// ranks: OffloadNIC when the tuning pins it, or under OffloadAuto
+// when the transport is capable (every endpoint implements
+// openmx.CollCapable and the payload fits its firmware cap) and the
+// (size, world) thresholds select the NIC. The dispatchers, tests and
+// figure footers all consult this method.
+func (t Tuning) CollOffload(n, p int, capable bool) string {
+	switch t.Offload {
+	case OffloadHost:
+		return OffloadHost
+	case OffloadNIC:
+		return OffloadNIC
+	}
+	if capable && p >= t.NICCollMinRanks && n <= t.NICCollMaxBytes {
+		return OffloadNIC
+	}
+	return OffloadHost
+}
+
+// ScanAlg selects the host scan algorithm for n bytes on p ranks
+// (one host variant exists: recursive doubling, Hillis-Steele).
+func (t Tuning) ScanAlg(n, p int) string { return AlgRecursiveDoubling }
 
 // BcastAlg selects the broadcast algorithm for n bytes on p ranks.
 func (t Tuning) BcastAlg(n, p int) string {
@@ -246,11 +304,16 @@ func vrank(v, root, p int) int { return (v + root) % p }
 // Barrier
 // ---------------------------------------------------------------
 
-// Barrier synchronizes all ranks. The algorithm — dissemination or
-// gather/release tree — is picked from the world's Tuning.
+// Barrier synchronizes all ranks. The execution tier — NIC firmware
+// or host — and the host algorithm (dissemination or gather/release
+// tree) are picked from the world's Tuning.
 func (r *Rank) Barrier() {
 	p := r.Size()
 	if p == 1 {
+		return
+	}
+	if r.collOffloadNIC(0) {
+		r.BarrierNIC()
 		return
 	}
 	tag := r.nextCollTag()
@@ -312,6 +375,10 @@ func (r *Rank) barrierTree(tag int) {
 func (r *Rank) Bcast(root int, buf *cluster.Buffer, off, n int) {
 	p := r.Size()
 	if p == 1 {
+		return
+	}
+	if r.collOffloadNIC(n) {
+		r.BcastNIC(root, buf, off, n)
 		return
 	}
 	tag := r.nextCollTag()
@@ -520,6 +587,10 @@ func (r *Rank) Allreduce(sbuf, rbuf *cluster.Buffer, n int) {
 		copy(rbuf.Bytes()[:n], sbuf.Bytes()[:n])
 		return
 	}
+	if r.collOffloadNIC(n) {
+		r.AllreduceNIC(sbuf, rbuf, n)
+		return
+	}
 	tag := r.nextCollTag()
 	if r.tune().AllreduceAlg(n, p) == AlgRing {
 		r.allreduceRing(tag, sbuf, rbuf, n)
@@ -610,6 +681,63 @@ func (r *Rank) allreduceRing(tag int, sbuf, rbuf *cluster.Buffer, n int) {
 		rlo, rhi := ringChunk(recvC, n, p)
 		r.SendRecv(right, tag|subARRingAG, rbuf, slo, shi-slo,
 			left, tag|subARRingAG, rbuf, rlo, rhi-rlo)
+	}
+}
+
+// Scan computes the inclusive prefix sum: rank i's rbuf receives the
+// float64 sum of every rank's n-byte sbuf from ranks 0..i (MPI_Scan
+// with MPI_SUM). The execution tier — NIC firmware chain or the host
+// recursive-doubling algorithm — is picked from the world's Tuning.
+func (r *Rank) Scan(sbuf, rbuf *cluster.Buffer, n int) {
+	p := r.Size()
+	if p == 1 {
+		copy(rbuf.Bytes()[:n], sbuf.Bytes()[:n])
+		return
+	}
+	if r.collOffloadNIC(n) {
+		r.ScanNIC(sbuf, rbuf, n)
+		return
+	}
+	r.scanRD(r.nextCollTag()|subScan, sbuf, rbuf, n)
+}
+
+// ScanRecursiveDoubling runs the host recursive-doubling scan
+// (Hillis-Steele) regardless of tuning.
+func (r *Rank) ScanRecursiveDoubling(sbuf, rbuf *cluster.Buffer, n int) {
+	if r.Size() == 1 {
+		copy(rbuf.Bytes()[:n], sbuf.Bytes()[:n])
+		return
+	}
+	r.scanRD(r.nextCollTag()|subScan, sbuf, rbuf, n)
+}
+
+// scanRD: in round k (distance d = 2^k) rank i sends its running
+// prefix to rank i+d and folds in the prefix from rank i−d; after
+// log₂ p rounds every rank holds the sum of contributions 0..i. The
+// outgoing prefix is snapshot before the round's exchange so the
+// incoming addition never leaks into it.
+func (r *Rank) scanRD(tag int, sbuf, rbuf *cluster.Buffer, n int) {
+	p, id := r.Size(), r.ID
+	copy(rbuf.Bytes()[:n], sbuf.Bytes()[:n])
+	snap := r.Host.Alloc(max(n, 1))
+	tmp := r.Host.Alloc(max(n, 1))
+	for d := 1; d < p; d <<= 1 {
+		copy(snap.Bytes()[:n], rbuf.Bytes()[:n])
+		var sreq, rreq openmx.Request
+		if id+d < p {
+			sreq = r.Isend(id+d, tag, snap, 0, n)
+		}
+		if id-d >= 0 {
+			rreq = r.Irecv(id-d, tag, tmp, 0, n)
+		}
+		if rreq != nil {
+			r.Wait(rreq)
+			sumInto(rbuf.Bytes()[:n], tmp.Bytes()[:n])
+			r.chargeCompute(n)
+		}
+		if sreq != nil {
+			r.Wait(sreq)
+		}
 	}
 }
 

@@ -39,6 +39,12 @@ type World struct {
 	// before Spawn to pin or shift the selection.
 	Tune  Tuning
 	ranks []*Rank
+
+	// Cached NIC-collective capability: whether every rank's endpoint
+	// implements openmx.CollCapable, and the smallest firmware payload
+	// cap across them (resolved once, at the first collective).
+	nicCap *bool
+	nicMax int
 }
 
 // NewWorld returns an empty world on the cluster.
@@ -84,6 +90,10 @@ type Rank struct {
 	p       *sim.Proc
 	collSeq uint32
 	scratch *cluster.Buffer
+
+	// nicGroup is the rank's firmware collective group, registered on
+	// first use when the offload tier selects the NIC (see coll.go).
+	nicGroup openmx.CollGroup
 }
 
 // Proc returns the simulated process running this rank (valid inside
@@ -127,6 +137,11 @@ func (r *Rank) Irecv(src, tag int, buf *cluster.Buffer, off, n int) openmx.Reque
 
 // Wait blocks until the request completes.
 func (r *Rank) Wait(req openmx.Request) { r.EP.Wait(r.p, req) }
+
+// Test drives a progress pass and reports whether the request
+// completed — the polling half of the overlap methodology (compute in
+// quanta, Test between them).
+func (r *Rank) Test(req openmx.Request) bool { return r.EP.Test(r.p, req) }
 
 // Send is a blocking send.
 func (r *Rank) Send(dst, tag int, buf *cluster.Buffer, off, n int) {

@@ -1,0 +1,400 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+
+	"omxsim/cluster"
+	"omxsim/mxoe"
+	"omxsim/openmx"
+	"omxsim/sim"
+)
+
+// nicWorldSizes covers the shapes the offload tier must get right:
+// single rank, pairs, odd worlds (3/5), a shared-memory pair world,
+// and non-power-of-two 6 ranks with co-hosted endpoints.
+var nicWorldSizes = []struct{ nodes, ppn int }{
+	{1, 1},
+	{2, 1},
+	{3, 1},
+	{2, 2},
+	{5, 1},
+	{3, 2},
+	{4, 2},
+}
+
+// TestNICollHostFirmwareEquality runs every offloadable collective
+// once on the host algorithms and once in firmware, on the same
+// world, and requires byte-identical results everywhere. Inputs are
+// exactly representable small-integer float64s, so sums are exact in
+// any combining order — byte equality is then a hard requirement, not
+// a tolerance.
+func TestNICollHostFirmwareEquality(t *testing.T) {
+	for _, ws := range nicWorldSizes {
+		p := ws.nodes * ws.ppn
+		t.Run(fmt.Sprintf("%dx%d", ws.nodes, ws.ppn), func(t *testing.T) {
+			const n = 9 * 1024 // multi-fragment, not fragment-aligned
+			c, w := worldN(t, "mxoe", ws.nodes, ws.ppn)
+			alloc := func(sz int) []*cluster.Buffer {
+				bs := make([]*cluster.Buffer, p)
+				for r := range bs {
+					bs[r] = w.Rank(r).Host.Alloc(sz)
+				}
+				return bs
+			}
+			sb := alloc(n)
+			bcH, bcN := alloc(n), alloc(n)
+			arH, arN := alloc(n), alloc(n)
+			scH, scN := alloc(n), alloc(n)
+			runWorld(t, c, w, func(r *Rank) {
+				vals := make([]float64, n/8)
+				for i := range vals {
+					vals[i] = float64(r.ID*3 + i%17 + 1)
+				}
+				putFloats(sb[r.ID], vals...)
+				root := p - 1
+				if r.ID == root {
+					fillPattern(bcH[r.ID], root)
+					fillPattern(bcN[r.ID], root)
+				}
+				r.BcastBinomial(root, bcH[r.ID], 0, n)
+				r.BcastNIC(root, bcN[r.ID], 0, n)
+				r.AllreduceRecursiveDoubling(sb[r.ID], arH[r.ID], n)
+				r.AllreduceNIC(sb[r.ID], arN[r.ID], n)
+				r.ScanRecursiveDoubling(sb[r.ID], scH[r.ID], n)
+				r.ScanNIC(sb[r.ID], scN[r.ID], n)
+				r.BarrierNIC()
+			})
+			for r := 0; r < p; r++ {
+				if !cluster.Equal(bcH[r], bcN[r]) {
+					t.Errorf("rank %d: firmware bcast bytes differ from host", r)
+				}
+				if !cluster.Equal(arH[r], arN[r]) {
+					t.Errorf("rank %d: firmware allreduce bytes differ from host", r)
+				}
+				if !cluster.Equal(scH[r], scN[r]) {
+					t.Errorf("rank %d: firmware scan bytes differ from host", r)
+				}
+			}
+		})
+	}
+}
+
+// TestNICollDispatcherMatchesPinned pins the offload tier both ways —
+// Offload=nic vs the pinned NIC variants, and Offload=host vs the
+// host variants — and requires the dispatcher's bytes to match the
+// pinned path's on an odd world with co-hosted ranks.
+func TestNICollDispatcherMatchesPinned(t *testing.T) {
+	const nodes, ppn = 3, 2
+	p := nodes * ppn
+	const n = 2048
+	type result struct{ bc, ar, sc []*cluster.Buffer }
+	run := func(mode string) result {
+		c, w := worldN(t, "mxoe", nodes, ppn)
+		switch mode {
+		case "dispatch-nic":
+			w.Tune.Offload = OffloadNIC
+		case "dispatch-auto":
+			// Auto must resolve to the NIC once the world and payload
+			// thresholds admit it.
+			w.Tune.Offload = OffloadAuto
+			w.Tune.NICCollMinRanks = 2
+		case "pinned-nic", "pinned-host":
+			w.Tune.Offload = OffloadHost
+		}
+		res := result{}
+		alloc := func() []*cluster.Buffer {
+			bs := make([]*cluster.Buffer, p)
+			for r := range bs {
+				bs[r] = w.Rank(r).Host.Alloc(n)
+			}
+			return bs
+		}
+		res.bc, res.ar, res.sc = alloc(), alloc(), alloc()
+		sb := alloc()
+		runWorld(t, c, w, func(r *Rank) {
+			vals := make([]float64, n/8)
+			for i := range vals {
+				vals[i] = float64(r.ID + i + 1)
+			}
+			putFloats(sb[r.ID], vals...)
+			if r.ID == 1 {
+				fillPattern(res.bc[r.ID], 1)
+			}
+			switch mode {
+			case "pinned-nic":
+				r.BcastNIC(1, res.bc[r.ID], 0, n)
+				r.AllreduceNIC(sb[r.ID], res.ar[r.ID], n)
+				r.ScanNIC(sb[r.ID], res.sc[r.ID], n)
+				r.BarrierNIC()
+			case "pinned-host":
+				r.BcastBinomial(1, res.bc[r.ID], 0, n)
+				r.AllreduceRecursiveDoubling(sb[r.ID], res.ar[r.ID], n)
+				r.ScanRecursiveDoubling(sb[r.ID], res.sc[r.ID], n)
+				r.BarrierTree()
+			default:
+				r.Bcast(1, res.bc[r.ID], 0, n)
+				r.Allreduce(sb[r.ID], res.ar[r.ID], n)
+				r.Scan(sb[r.ID], res.sc[r.ID], n)
+				r.Barrier()
+			}
+		})
+		return res
+	}
+	want := run("pinned-nic")
+	for _, mode := range []string{"dispatch-nic", "dispatch-auto", "pinned-host"} {
+		got := run(mode)
+		for r := 0; r < p; r++ {
+			if !cluster.Equal(want.bc[r], got.bc[r]) {
+				t.Errorf("%s rank %d: bcast bytes differ from pinned NIC", mode, r)
+			}
+			if !cluster.Equal(want.ar[r], got.ar[r]) {
+				t.Errorf("%s rank %d: allreduce bytes differ from pinned NIC", mode, r)
+			}
+			if !cluster.Equal(want.sc[r], got.sc[r]) {
+				t.Errorf("%s rank %d: scan bytes differ from pinned NIC", mode, r)
+			}
+		}
+	}
+}
+
+// TestNICollZeroByte runs every firmware collective with zero-length
+// payloads: one control frame per hop, completion without deadlock,
+// destination untouched.
+func TestNICollZeroByte(t *testing.T) {
+	for _, ws := range []struct{ nodes, ppn int }{{1, 1}, {2, 2}, {3, 1}} {
+		t.Run(fmt.Sprintf("%dx%d", ws.nodes, ws.ppn), func(t *testing.T) {
+			p := ws.nodes * ws.ppn
+			c, w := worldN(t, "mxoe", ws.nodes, ws.ppn)
+			bufs := make([]*cluster.Buffer, p)
+			wide := make([]*cluster.Buffer, p)
+			for r := range bufs {
+				bufs[r] = w.Rank(r).Host.Alloc(64)
+				wide[r] = w.Rank(r).Host.Alloc(64)
+				fillPattern(wide[r], r)
+			}
+			runWorld(t, c, w, func(r *Rank) {
+				r.BcastNIC(0, bufs[r.ID], 0, 0)
+				r.AllreduceNIC(bufs[r.ID], wide[r.ID], 0)
+				r.ScanNIC(bufs[r.ID], wide[r.ID], 0)
+				r.BarrierNIC()
+			})
+			for r := 0; r < p; r++ {
+				for i, b := range wide[r].Bytes() {
+					if b != byte(r*37+i+1) {
+						t.Fatalf("rank %d byte %d touched by zero-byte collective", r, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNICollTuningSelection pins the offload tier's decisions.
+func TestNICollTuningSelection(t *testing.T) {
+	tn := DefaultTuning()
+	cases := []struct {
+		got, want string
+	}{
+		{tn.CollOffload(4<<10, 64, true), OffloadNIC},
+		{tn.CollOffload(4<<10, 64, false), OffloadHost}, // incapable stack
+		{tn.CollOffload(4<<10, 16, true), OffloadHost},  // below rank floor
+		{tn.CollOffload(1<<20, 64, true), OffloadHost},  // above byte cap
+		{tn.CollOffload(0, 256, true), OffloadNIC},      // barrier at scale
+	}
+	for i, c := range cases {
+		if c.got != c.want {
+			t.Errorf("case %d: resolved %q, want %q", i, c.got, c.want)
+		}
+	}
+	tn.Offload = OffloadHost
+	if got := tn.CollOffload(4<<10, 64, true); got != OffloadHost {
+		t.Errorf("pinned host resolved %q", got)
+	}
+	tn.Offload = OffloadNIC
+	if got := tn.CollOffload(1<<20, 2, false); got != OffloadNIC {
+		t.Errorf("pinned nic resolved %q", got)
+	}
+}
+
+// TestNICollOffloadIgnoredOnHostTransport: over Open-MX (no firmware
+// collectives) the auto tier must fall back to the host algorithms
+// even when the thresholds would pick the NIC.
+func TestNICollOffloadIgnoredOnHostTransport(t *testing.T) {
+	const nodes, ppn = 4, 2
+	p := nodes * ppn
+	const n = 256
+	c, w := worldN(t, "openmx", nodes, ppn)
+	w.Tune.NICCollMinRanks = 2 // auto would offload if it could
+	sb := make([]*cluster.Buffer, p)
+	rb := make([]*cluster.Buffer, p)
+	for r := range sb {
+		sb[r] = w.Rank(r).Host.Alloc(n)
+		rb[r] = w.Rank(r).Host.Alloc(n)
+	}
+	runWorld(t, c, w, func(r *Rank) {
+		putFloats(sb[r.ID], float64(r.ID+1), 10*float64(r.ID+1))
+		r.Allreduce(sb[r.ID], rb[r.ID], n)
+		r.Scan(sb[r.ID], rb[r.ID], n)
+		r.Barrier()
+	})
+}
+
+// TestNICollLossRecovery drives every firmware collective across a
+// lossy, reordering, duplicating link and requires exact results plus
+// evidence the firmware's hop retransmission did the recovering.
+func TestNICollLossRecovery(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			c := cluster.New(nil)
+			h0, h1 := c.NewHost("n0"), c.NewHost("n1")
+			cluster.Link(h0, h1, cluster.Impair(cluster.Impairment{
+				Seed:        seed,
+				LossRate:    0.05,
+				DupRate:     0.02,
+				ReorderRate: 0.05,
+				JitterMax:   2 * sim.Microsecond,
+			}))
+			t.Cleanup(c.Close)
+			cfg := mxoe.Config{RegCache: true, RetransmitTimeout: 100 * sim.Microsecond}
+			s0, s1 := mxoe.Attach(h0, cfg), mxoe.Attach(h1, cfg)
+			w := NewWorld(c)
+			w.AddRank(s0.Open(0, 2), h0, 2)
+			w.AddRank(s0.Open(1, 4), h0, 4)
+			w.AddRank(s1.Open(0, 2), h1, 2)
+			w.AddRank(s1.Open(1, 4), h1, 4)
+			p := w.Size()
+			const n = 6 * 1024
+			sb := make([]*cluster.Buffer, p)
+			ar := make([]*cluster.Buffer, p)
+			sc := make([]*cluster.Buffer, p)
+			bc := make([]*cluster.Buffer, p)
+			for r := 0; r < p; r++ {
+				sb[r] = w.Rank(r).Host.Alloc(n)
+				ar[r] = w.Rank(r).Host.Alloc(n)
+				sc[r] = w.Rank(r).Host.Alloc(n)
+				bc[r] = w.Rank(r).Host.Alloc(n)
+			}
+			w.Spawn(func(r *Rank) {
+				vals := make([]float64, n/8)
+				for i := range vals {
+					vals[i] = float64(r.ID + i%13 + 1)
+				}
+				putFloats(sb[r.ID], vals...)
+				if r.ID == 0 {
+					fillPattern(bc[0], 0)
+				}
+				for iter := 0; iter < 3; iter++ {
+					r.BarrierNIC()
+					r.BcastNIC(0, bc[r.ID], 0, n)
+					r.AllreduceNIC(sb[r.ID], ar[r.ID], n)
+					r.ScanNIC(sb[r.ID], sc[r.ID], n)
+				}
+			})
+			c.Run()
+			for r := 0; r < p; r++ {
+				if !cluster.Equal(bc[0], bc[r]) {
+					t.Errorf("rank %d bcast corrupted under loss", r)
+				}
+				if !cluster.Equal(ar[0], ar[r]) {
+					t.Errorf("rank %d allreduce differs under loss", r)
+				}
+			}
+			// Scans differ per rank; check the last rank's full sum
+			// equals the allreduce sum.
+			if !cluster.Equal(sc[p-1], ar[p-1]) {
+				t.Errorf("last-rank scan differs from allreduce under loss")
+			}
+			st := s0.Stats().Coll
+			st1 := s1.Stats().Coll
+			if st.Retransmits+st1.Retransmits == 0 {
+				t.Errorf("no firmware collective retransmissions under 5%% loss")
+			}
+			if st.Posts() == 0 || st1.Posts() == 0 {
+				t.Errorf("collective descriptors not counted: %+v %+v", st, st1)
+			}
+		})
+	}
+}
+
+// TestNICollDropOnHostStack sends firmware-collective frames at a
+// host-mode Open-MX stack: it runs no NIC collective state machines,
+// so it must count them in CollDropped and free the skbs (the sender's
+// firmware keeps retransmitting into the drop — no crash, no leak,
+// no silent ignore).
+func TestNICollDropOnHostStack(t *testing.T) {
+	c := cluster.New(nil)
+	ha, hb := c.NewHost("fw"), c.NewHost("host")
+	cluster.Link(ha, hb)
+	t.Cleanup(c.Close)
+	sa := mxoe.Attach(ha, mxoe.Config{RetransmitTimeout: 100 * sim.Microsecond})
+	sb := openmx.Attach(hb, openmx.Config{})
+	epA, epB := sa.Open(0, 2), sb.Open(0, 2)
+	// Member order [host, firmware] makes the firmware endpoint the
+	// tree leaf: posting a barrier sends an Up frame to the host-mode
+	// parent immediately.
+	g := epA.(openmx.CollCapable).CollJoin([]openmx.Addr{epB.Addr(), epA.Addr()})
+	c.Go("post", func(p *sim.Proc) { g.PostBarrier(p) })
+	c.RunFor(5 * sim.Millisecond)
+	if got := sb.Stats().CollDropped; got < 2 {
+		t.Fatalf("host stack CollDropped = %d, want the post plus retransmits", got)
+	}
+	if sa.Stats().Coll.Retransmits == 0 {
+		t.Fatalf("firmware never retransmitted into the unresponsive parent")
+	}
+}
+
+// TestNICollStatsAndHostCPU checks the firmware counters tick and —
+// the paper's point — that a firmware barrier charges strictly less
+// host CPU than the host tree barrier on the same 8-rank world.
+func TestNICollStatsAndHostCPU(t *testing.T) {
+	commCPU := func(pinNIC bool) sim.Duration {
+		c := cluster.New(nil)
+		hosts := make([]*cluster.Host, 4)
+		sw := c.NewSwitch()
+		stacks := make([]*mxoe.Stack, len(hosts))
+		for i := range hosts {
+			hosts[i] = c.NewHost(fmt.Sprintf("n%d", i))
+			sw.Attach(hosts[i])
+			stacks[i] = mxoe.Attach(hosts[i], mxoe.Config{RegCache: true})
+		}
+		defer c.Close()
+		w := NewWorld(c)
+		cores := []int{2, 4}
+		for i, h := range hosts {
+			for s := 0; s < 2; s++ {
+				w.AddRank(stacks[i].Open(s, cores[s]), h, cores[s])
+			}
+		}
+		w.Spawn(func(r *Rank) {
+			for i := 0; i < 10; i++ {
+				if pinNIC {
+					r.BarrierNIC()
+				} else {
+					r.BarrierTree()
+				}
+			}
+		})
+		c.Run()
+		var busy sim.Duration
+		for _, s := range stacks {
+			st := s.CPUStats()
+			busy += st.Busy() - st.Busy(mxoe.CPUAppCompute)
+		}
+		if pinNIC {
+			var posts int64
+			for _, s := range stacks {
+				posts += s.Stats().Coll.Barriers
+			}
+			if posts != int64(len(hosts))*2*10 {
+				t.Fatalf("barrier descriptors = %d, want %d", posts, len(hosts)*2*10)
+			}
+		}
+		return busy
+	}
+	nic := commCPU(true)
+	host := commCPU(false)
+	if nic >= host {
+		t.Errorf("firmware barrier host-CPU %v not below host tree %v", nic, host)
+	}
+}

@@ -33,6 +33,15 @@ type Config struct {
 // Stats re-exports the firmware protocol counters.
 type Stats = mxoe.Stats
 
+// CollStats re-exports the per-stack firmware-collective counters
+// (descriptors posted per operation, tree frames, hop acks,
+// retransmissions, duplicate suppression, combined reduction bytes).
+type CollStats = mxoe.CollStats
+
+// CollMaxBytes is the largest payload the firmware accepts per
+// offloaded collective; larger payloads stay on the host algorithms.
+const CollMaxBytes = mxoe.CollMaxBytes
+
 // Stack is a native MXoE instance attached to a host (its NIC runs in
 // firmware mode: no interrupts, no bottom halves).
 type Stack struct {
@@ -132,3 +141,41 @@ func (e *endpoint) Wait(p *sim.Proc, r openmx.Request) { e.ep.Wait(p, r.(request
 func (e *endpoint) Test(p *sim.Proc, r openmx.Request) bool { return e.ep.Test(p, r.(request).r) }
 
 func (e *endpoint) Progress(p *sim.Proc) bool { return e.ep.Progress(p) }
+
+// CollJoin implements openmx.CollCapable: it registers this
+// endpoint's membership in the collective group defined by members
+// (every rank's endpoint address, in rank order) and returns the
+// descriptor-post API backed by the NIC's firmware state machines.
+func (e *endpoint) CollJoin(members []openmx.Addr) openmx.CollGroup {
+	ms := make([]proto.Addr, len(members))
+	for i, m := range members {
+		ms[i] = proto.Addr{Host: m.Host, EP: m.EP}
+	}
+	return collGroup{g: e.ep.CollJoin(ms)}
+}
+
+// CollMaxBytes implements openmx.CollCapable.
+func (e *endpoint) CollMaxBytes() int { return mxoe.CollMaxBytes }
+
+type collGroup struct {
+	g *mxoe.CollGroup
+}
+
+func (g collGroup) Size() int { return g.g.Size() }
+func (g collGroup) Rank() int { return g.g.Rank() }
+
+func (g collGroup) PostBarrier(p *sim.Proc) openmx.Request {
+	return request{g.g.PostBarrier(p)}
+}
+
+func (g collGroup) PostBcast(p *sim.Proc, root int, buf *cluster.Buffer, off, n int) openmx.Request {
+	return request{g.g.PostBcast(p, root, buf.Raw(), off, n)}
+}
+
+func (g collGroup) PostAllreduce(p *sim.Proc, sbuf, rbuf *cluster.Buffer, n int) openmx.Request {
+	return request{g.g.PostAllreduce(p, sbuf.Raw(), rbuf.Raw(), n)}
+}
+
+func (g collGroup) PostScan(p *sim.Proc, sbuf, rbuf *cluster.Buffer, n int) openmx.Request {
+	return request{g.g.PostScan(p, sbuf.Raw(), rbuf.Raw(), n)}
+}

@@ -110,6 +110,45 @@ type Transport interface {
 	HostName() string
 }
 
+// CollGroup is a registered collective group on a NIC whose firmware
+// runs offloaded collectives. Each Post verb writes one descriptor to
+// the NIC and returns a Request that completes on the collective's
+// single completion event — every tree hop in between runs in
+// firmware with zero host CPU. All members must post the same
+// collectives in the same order (the usual MPI rule); payloads are
+// little-endian float64 sums for the reductions, capped at the
+// capability's CollMaxBytes.
+type CollGroup interface {
+	// Size is the member count; Rank this endpoint's member index.
+	Size() int
+	Rank() int
+	// PostBarrier joins the firmware barrier.
+	PostBarrier(p *sim.Proc) Request
+	// PostBcast sends (on the root, from buf, snapshot at post) or
+	// receives (elsewhere, into buf by NIC DMA) a broadcast.
+	PostBcast(p *sim.Proc, root int, buf *cluster.Buffer, off, n int) Request
+	// PostAllreduce combines every member's sbuf (float64 sum, in
+	// firmware) and deposits the result in every member's rbuf.
+	PostAllreduce(p *sim.Proc, sbuf, rbuf *cluster.Buffer, n int) Request
+	// PostScan deposits the inclusive prefix sum of contributions
+	// 0..Rank() in rbuf.
+	PostScan(p *sim.Proc, sbuf, rbuf *cluster.Buffer, n int) Request
+}
+
+// CollCapable is implemented by endpoints whose NIC firmware runs
+// offloaded collectives (the native MXoE stack). CollJoin registers a
+// group from the full member list — every participant's endpoint
+// address in rank order; all members derive the same group identity
+// locally, with no wire traffic. Callers select offload by
+// type-asserting this interface (mpi.Tuning's Offload dimension does
+// exactly that).
+type CollCapable interface {
+	CollJoin(members []Addr) CollGroup
+	// CollMaxBytes is the largest payload the firmware accepts per
+	// offloaded collective.
+	CollMaxBytes() int
+}
+
 // Stack is an Open-MX instance attached to a host.
 type Stack struct {
 	h *cluster.Host

@@ -192,6 +192,11 @@ type Platform struct {
 	// ReduceRate is the computation rate for MPI reduction operators
 	// (sum of float64s), used by the IMB collectives.
 	ReduceRate Rate
+	// NICReduceRate is the NIC firmware's combining rate for offloaded
+	// reductions (Allreduce/Scan segment combining in firmware). The
+	// embedded RISC core is much slower than a host core at arithmetic
+	// — the offload wins by freeing the host, not by combining faster.
+	NICReduceRate Rate
 }
 
 // Clovertown returns the parameter set modelling the paper's testbed.
@@ -249,6 +254,7 @@ func Clovertown() *Platform {
 		PageSize:          4096,
 		RetransmitTimeout: 50 * 1000 * 1000, // 50 ms
 		ReduceRate:        GiBps(1.5),
+		NICReduceRate:     GiBps(0.8),
 	}
 }
 
