@@ -9,7 +9,7 @@ GO ?= go
 STATICCHECK ?= $(GO) run honnef.co/go/tools/cmd/staticcheck@2024.1.1
 
 .PHONY: all build test test-short race fmt fmt-check vet lint bench bench-ci \
-	golden golden-check stress multinic fattree nicoll benchalloc examples \
+	golden golden-check stress multinic fattree nicoll benchalloc simd examples \
 	linkcheck ci-fast ci-full
 
 all: build
@@ -99,6 +99,15 @@ nicoll:
 	$(GO) test -race -count=1 -run 'NIColl|Nicoll|CollDrop' \
 		./mpi ./internal/core ./internal/mxoe ./figures
 
+# The omxsimd service battery: the multi-tenant HTTP job service
+# end to end under the race detector — concurrent tenants whose sweep
+# results must be bit-identical to direct figures calls, quota 429s,
+# SSE monotonic delivery, graceful drain, the 4xx surface, the load
+# smoke (100 sequential + 16 concurrent clients with a p99 latency
+# bound), and the real-binary SIGTERM exit-0 test.
+simd:
+	$(GO) test -race -count=1 ./internal/simd ./cmd/omxsimd
+
 # The event-core allocation gate: the calendar-queue benchmark must
 # report exactly 0 allocs/op in steady state, or the zero-allocation
 # claim (and with it the 512-rank CI budget) has regressed.
@@ -124,4 +133,4 @@ linkcheck:
 
 ci-fast: build vet lint fmt-check examples linkcheck test-short
 
-ci-full: race stress multinic fattree nicoll benchalloc
+ci-full: race stress multinic fattree nicoll benchalloc simd

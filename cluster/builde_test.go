@@ -1,0 +1,156 @@
+package cluster_test
+
+import (
+	"strings"
+	"testing"
+
+	"omxsim/cluster"
+)
+
+// TestBuildEValidTopology: a valid spec builds through the error path
+// exactly like Build — same hosts, names, NIC counts, switches.
+func TestBuildEValidTopology(t *testing.T) {
+	top := cluster.Topology{
+		Hosts: []cluster.HostSet{{Name: "node", N: 8, Indexed: true, Opts: []cluster.HostOption{cluster.MultiNIC(2)}}},
+		Wiring: cluster.FatTree{
+			LeafRadix: 4,
+			Spines:    2,
+		},
+	}
+	c, err := cluster.BuildE(top)
+	if err != nil {
+		t.Fatalf("BuildE(valid fat tree) = %v", err)
+	}
+	if got := len(c.Hosts()); got != 8 {
+		t.Errorf("hosts = %d, want 8", got)
+	}
+	if got := c.Hosts()[3].Name; got != "node3" {
+		t.Errorf("host 3 named %q, want node3", got)
+	}
+	if got := c.Hosts()[0].NICCount(); got != 2 {
+		t.Errorf("NIC count = %d, want 2", got)
+	}
+	if got := len(c.Switches()); got != 4 { // 2 leaves + 2 spines
+		t.Errorf("switches = %d, want 4", got)
+	}
+}
+
+// TestBuildEInvalidTopologies: every invariant the panicking path
+// enforces comes back as an error, with a message naming the problem.
+func TestBuildEInvalidTopologies(t *testing.T) {
+	cases := []struct {
+		name string
+		top  cluster.Topology
+		want string // substring of the error
+	}{
+		{
+			"negative host count",
+			cluster.Topology{Hosts: []cluster.HostSet{{Name: "n", N: -3}}},
+			"count",
+		},
+		{
+			"duplicate host name",
+			cluster.Topology{Hosts: []cluster.HostSet{{Name: "a"}, {Name: "a"}}},
+			"duplicate host",
+		},
+		{
+			"reserved lane separator in name",
+			cluster.Topology{Hosts: []cluster.HostSet{{Name: "a#1"}}},
+			"#",
+		},
+		{
+			"MultiNIC count out of range",
+			cluster.Topology{Hosts: []cluster.HostSet{{Name: "a", Opts: []cluster.HostOption{cluster.MultiNIC(0)}}}},
+			"MultiNIC count 0",
+		},
+		{
+			"BackToBack with wrong host count",
+			cluster.Topology{
+				Hosts:  []cluster.HostSet{{Name: "n", N: 3}},
+				Wiring: cluster.BackToBack{},
+			},
+			"exactly 2 hosts",
+		},
+		{
+			"FatTree LeafRadix out of range",
+			cluster.Topology{
+				Hosts:  []cluster.HostSet{{Name: "n", N: 8}},
+				Wiring: cluster.FatTree{LeafRadix: 0, Spines: 2},
+			},
+			"LeafRadix",
+		},
+		{
+			"FatTree Spines out of range",
+			cluster.Topology{
+				Hosts:  []cluster.HostSet{{Name: "n", N: 8}},
+				Wiring: cluster.FatTree{LeafRadix: 4, Spines: 0},
+			},
+			"Spines",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := cluster.BuildE(tc.top)
+			if err == nil {
+				t.Fatalf("BuildE accepted an invalid topology (got cluster %v)", c)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLinkEMismatchedNICCounts: aggregated links with unequal NIC
+// counts and out-of-range ImpairLane indices error instead of
+// panicking, and the failed Link leaves no lane cabled.
+func TestLinkEMismatchedNICCounts(t *testing.T) {
+	c := cluster.New(nil)
+	a := c.NewHost("a", cluster.MultiNIC(2))
+	b := c.NewHost("b")
+	if err := cluster.LinkE(a, b); err == nil || !strings.Contains(err.Error(), "equal NIC counts") {
+		t.Errorf("LinkE(2 NICs, 1 NIC) = %v, want NIC-count error", err)
+	}
+	d := c.NewHost("d", cluster.MultiNIC(2))
+	if err := cluster.LinkE(a, d, cluster.ImpairLane(7, cluster.Impairment{LossRate: 0.5})); err == nil ||
+		!strings.Contains(err.Error(), "ImpairLane(7)") {
+		t.Errorf("LinkE with out-of-range lane = %v, want lane error", err)
+	}
+	if got := c.NetStats().Links; len(got) != 0 {
+		t.Errorf("failed LinkE left %d link records behind", len(got))
+	}
+	// The valid link still works after the rejected attempts.
+	if err := cluster.LinkE(a, d); err != nil {
+		t.Errorf("valid LinkE after failures = %v", err)
+	}
+}
+
+// TestBuildStillPanics: the CLI-facing wrappers keep their panicking
+// contract, delegating to the error path.
+func TestBuildStillPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Build(bad BackToBack)", func() {
+		cluster.Build(cluster.Topology{
+			Hosts:  []cluster.HostSet{{Name: "n", N: 3}},
+			Wiring: cluster.BackToBack{},
+		})
+	})
+	mustPanic("NewHost(MultiNIC(0))", func() {
+		c := cluster.New(nil)
+		c.NewHost("a", cluster.MultiNIC(0))
+	})
+	mustPanic("Link(mismatched NICs)", func() {
+		c := cluster.New(nil)
+		a := c.NewHost("a", cluster.MultiNIC(2))
+		b := c.NewHost("b")
+		cluster.Link(a, b)
+	})
+}

@@ -66,10 +66,12 @@ type hostOpts struct {
 // its interrupts on core i so the per-NIC bottom halves spread across
 // cores. Hosts that exchange striped traffic must use equal NIC
 // counts (Link enforces it; switched topologies are trusted).
+//
+// An out-of-range count (n < 1) is diagnosed when the option is
+// applied: NewHost panics, NewHostE returns the error — so untrusted
+// topology input routed through the error path can never bring a
+// daemon down.
 func MultiNIC(n int, opts ...NICOption) HostOption {
-	if n < 1 {
-		panic(fmt.Sprintf("cluster: MultiNIC count %d out of range", n))
-	}
 	return func(o *hostOpts) {
 		o.nics = n
 		for _, f := range opts {
@@ -91,22 +93,38 @@ func NICIRQCores(cores ...int) NICOption {
 // NewHost adds a machine to the cluster. Host names are the network
 // addresses of their (primary) NICs and must be unique; '#' is
 // reserved for lane addressing (wire.LaneAddr), so a host named
-// "a#1" could collide with lane 1 of a MultiNIC host "a".
+// "a#1" could collide with lane 1 of a MultiNIC host "a". NewHost
+// panics on invalid input — the CLI convenience; services validating
+// untrusted topologies use NewHostE.
 func (c *Cluster) NewHost(name string, opts ...HostOption) *Host {
+	h, err := c.NewHostE(name, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// NewHostE is NewHost with the invariants — unique name, no '#' in
+// the name, MultiNIC count ≥ 1 — reported as an error instead of a
+// panic.
+func (c *Cluster) NewHostE(name string, opts ...HostOption) (*Host, error) {
 	if _, dup := c.hosts[name]; dup {
-		panic(fmt.Sprintf("cluster: duplicate host %q", name))
+		return nil, fmt.Errorf("cluster: duplicate host %q", name)
 	}
 	if strings.Contains(name, "#") {
-		panic(fmt.Sprintf("cluster: host name %q contains '#', reserved for NIC lane addresses", name))
+		return nil, fmt.Errorf("cluster: host name %q contains '#', reserved for NIC lane addresses", name)
 	}
 	o := hostOpts{nics: 1}
 	for _, f := range opts {
 		f(&o)
 	}
+	if o.nics < 1 {
+		return nil, fmt.Errorf("cluster: MultiNIC count %d out of range", o.nics)
+	}
 	h := &Host{C: c, Name: name, m: host.NewMulti(c.E, c.P, name, o.nics, o.irqCores)}
 	c.hosts[name] = h
 	c.hostOrder = append(c.hostOrder, h)
-	return h
+	return h, nil
 }
 
 // Hosts returns every host in creation order.
@@ -135,18 +153,28 @@ func (h *Host) Machine() *host.Host { return h.m }
 // transmit queue (Queue); with no options every lane is perfect
 // and the fast path is untouched.
 func Link(a, b *Host, opts ...NetOption) {
+	if err := LinkE(a, b, opts...); err != nil {
+		panic(err)
+	}
+}
+
+// LinkE is Link with the invariants — equal NIC counts on both ends,
+// ImpairLane indices within the lane range — reported as an error
+// instead of a panic, for callers wiring untrusted topologies. On
+// error no lane has been cabled.
+func LinkE(a, b *Host, opts ...NetOption) error {
 	var o netOpts
 	for _, f := range opts {
 		f(&o)
 	}
 	if a.NICCount() != b.NICCount() {
-		panic(fmt.Sprintf("cluster: Link %s (%d NICs) to %s (%d NICs): aggregated links need equal NIC counts",
-			a.Name, a.NICCount(), b.Name, b.NICCount()))
+		return fmt.Errorf("cluster: Link %s (%d NICs) to %s (%d NICs): aggregated links need equal NIC counts",
+			a.Name, a.NICCount(), b.Name, b.NICCount())
 	}
 	for lane := range o.laneAB {
 		if lane < 0 || lane >= a.NICCount() {
-			panic(fmt.Sprintf("cluster: ImpairLane(%d) on a %d-NIC link (valid lanes 0..%d)",
-				lane, a.NICCount(), a.NICCount()-1))
+			return fmt.Errorf("cluster: ImpairLane(%d) on a %d-NIC link (valid lanes 0..%d)",
+				lane, a.NICCount(), a.NICCount()-1)
 		}
 	}
 	rec := &linkRec{from: a.Name, to: b.Name}
@@ -175,6 +203,7 @@ func Link(a, b *Host, opts ...NetOption) {
 		rec.lanes = append(rec.lanes, linkLane{ab: ab, ba: ba})
 	}
 	a.C.links = append(a.C.links, rec)
+	return nil
 }
 
 // LossyLink connects two single-NIC hosts and installs the given

@@ -14,6 +14,14 @@ package cluster
 // Build issues exactly the same low-level calls, in the same order, as
 // the equivalent hand-written sequence — so a Build-based testbed is
 // event-for-event identical to its imperative twin.
+//
+// Build panics on an invalid topology, which is the right contract
+// for figure generators (a broken spec means the reproduction is
+// broken). Services materializing topologies from untrusted tenant
+// input use BuildE, which reports every invariant violation —
+// negative host counts, duplicate names, BackToBack host counts,
+// FatTree radix/spine ranges, mismatched link NIC counts — as an
+// error instead.
 
 import (
 	"fmt"
@@ -38,7 +46,7 @@ type HostSet struct {
 
 // Wiring is a topology shape: how Build connects the declared hosts.
 type Wiring interface {
-	wire(c *Cluster, hosts []*Host)
+	wireE(c *Cluster, hosts []*Host) error
 }
 
 // BackToBack wires exactly two hosts with a direct (possibly
@@ -48,11 +56,11 @@ type BackToBack struct {
 	Opts []NetOption
 }
 
-func (w BackToBack) wire(c *Cluster, hosts []*Host) {
+func (w BackToBack) wireE(c *Cluster, hosts []*Host) error {
 	if len(hosts) != 2 {
-		panic(fmt.Sprintf("cluster: BackToBack wiring needs exactly 2 hosts, got %d", len(hosts)))
+		return fmt.Errorf("cluster: BackToBack wiring needs exactly 2 hosts, got %d", len(hosts))
 	}
-	Link(hosts[0], hosts[1], w.Opts...)
+	return LinkE(hosts[0], hosts[1], w.Opts...)
 }
 
 // SingleSwitch wires every host into one store-and-forward switch.
@@ -61,11 +69,12 @@ type SingleSwitch struct {
 	Opts []NetOption
 }
 
-func (w SingleSwitch) wire(c *Cluster, hosts []*Host) {
+func (w SingleSwitch) wireE(c *Cluster, hosts []*Host) error {
 	sw := c.NewSwitch(w.Opts...)
 	for _, h := range hosts {
 		sw.Attach(h)
 	}
+	return nil
 }
 
 // FatTree wires the hosts into a 2-tier leaf/spine Clos fabric: hosts
@@ -87,12 +96,12 @@ type FatTree struct {
 	LeafOpts, SpineOpts, TrunkOpts []NetOption
 }
 
-func (w FatTree) wire(c *Cluster, hosts []*Host) {
+func (w FatTree) wireE(c *Cluster, hosts []*Host) error {
 	if w.LeafRadix < 1 {
-		panic(fmt.Sprintf("cluster: FatTree LeafRadix %d out of range", w.LeafRadix))
+		return fmt.Errorf("cluster: FatTree LeafRadix %d out of range", w.LeafRadix)
 	}
 	if w.Spines < 1 {
-		panic(fmt.Sprintf("cluster: FatTree Spines %d out of range", w.Spines))
+		return fmt.Errorf("cluster: FatTree Spines %d out of range", w.Spines)
 	}
 	leafOpts := w.LeafOpts
 	if w.ECMPPolicy != "" {
@@ -117,6 +126,7 @@ func (w FatTree) wire(c *Cluster, hosts []*Host) {
 			c.Trunk(leaf, spine, fmt.Sprintf("leaf%d-spine%d", li, si), w.TrunkOpts...)
 		}
 	}
+	return nil
 }
 
 // Topology declares a whole testbed.
@@ -133,8 +143,22 @@ type Topology struct {
 
 // Build materializes the topology and returns the cluster. Hosts are
 // reachable by name (Cluster.Host) or in creation order
-// (Cluster.Hosts).
+// (Cluster.Hosts). Build panics on an invalid topology; BuildE is the
+// error-returning twin for untrusted specs.
 func Build(t Topology) *Cluster {
+	c, err := BuildE(t)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// BuildE materializes the topology, reporting an invalid spec —
+// negative host counts, duplicate or reserved host names, invalid
+// MultiNIC counts, and every wiring invariant (BackToBack host count,
+// FatTree radix/spines, mismatched aggregated-link NIC counts) — as
+// an error. A valid spec builds exactly the cluster Build would.
+func BuildE(t Topology) (*Cluster, error) {
 	c := New(t.Platform)
 	var hosts []*Host
 	for _, set := range t.Hosts {
@@ -143,18 +167,24 @@ func Build(t Topology) *Cluster {
 			n = 1
 		}
 		if n < 0 {
-			panic(fmt.Sprintf("cluster: host set %q count %d out of range", set.Name, n))
+			return nil, fmt.Errorf("cluster: host set %q count %d out of range", set.Name, n)
 		}
 		for i := 0; i < n; i++ {
 			name := set.Name
 			if n > 1 || set.Indexed {
 				name = fmt.Sprintf("%s%d", set.Name, i)
 			}
-			hosts = append(hosts, c.NewHost(name, set.Opts...))
+			h, err := c.NewHostE(name, set.Opts...)
+			if err != nil {
+				return nil, err
+			}
+			hosts = append(hosts, h)
 		}
 	}
 	if t.Wiring != nil {
-		t.Wiring.wire(c, hosts)
+		if err := t.Wiring.wireE(c, hosts); err != nil {
+			return nil, err
+		}
 	}
-	return c
+	return c, nil
 }

@@ -22,6 +22,8 @@
 //	omxsim nicoll           NIC-offloaded collectives vs host algorithms
 //	omxsim all              everything above
 //
+// The section registry lives in figures.Sections — shared with the
+// omxsimd service, which serves the same sections as tenant jobs.
 // Each figure shards its independent simulation points across a
 // worker pool; "omxsim all" additionally runs the figures themselves
 // concurrently (shared points — Figures 3 and 8 overlap — simulate
@@ -37,10 +39,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"omxsim/figures"
-	"omxsim/metrics"
 	"omxsim/runner"
 )
 
@@ -61,26 +61,26 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
-	var selected []command
-	for _, c := range commands {
-		if c.name == cmd || cmd == "all" {
-			selected = append(selected, c)
+	var selected []figures.Section
+	for _, s := range figures.Sections() {
+		if s.Name == cmd || cmd == "all" {
+			selected = append(selected, s)
 		}
 	}
 	if len(selected) == 0 {
 		usage()
 		os.Exit(2)
 	}
-	// Render the selected sections concurrently — every command is an
+	// Render the selected sections concurrently — every section is an
 	// independent sweep and the pool is reentrant — then print them in
-	// command order, so "omxsim all" output is byte-identical to the
+	// registry order, so "omxsim all" output is byte-identical to the
 	// serial concatenation of the individual commands.
 	jobs := make([]runner.Job, len(selected))
-	for i, c := range selected {
-		c := c
+	for i, s := range selected {
+		s := s
 		jobs[i] = runner.Job{
-			Label: "omxsim/" + c.name,
-			Run:   func() (any, error) { return c.run(), nil },
+			Label: "omxsim/" + s.Name,
+			Run:   func() (any, error) { return s.Render(*plot), nil },
 		}
 	}
 	results := runner.Run(jobs...)
@@ -89,10 +89,10 @@ func main() {
 	// must not discard the earlier figures.
 	failed := false
 	for i, r := range results {
-		fmt.Printf("==> %s\n", selected[i].desc)
+		fmt.Printf("==> %s\n", selected[i].Desc)
 		if r.Err != nil {
 			failed = true
-			fmt.Fprintf(os.Stderr, "omxsim: %s: %v\n", selected[i].name, r.Err)
+			fmt.Fprintf(os.Stderr, "omxsim: %s: %v\n", selected[i].Name, r.Err)
 			fmt.Printf("(failed: %v)\n", r.Err)
 		} else {
 			fmt.Print(r.Value.(string))
@@ -106,123 +106,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: omxsim [-plot] [-progress] <command>")
-	for _, c := range commands {
-		fmt.Fprintf(os.Stderr, "  %-9s %s\n", c.name, c.desc)
+	for _, s := range figures.Sections() {
+		fmt.Fprintf(os.Stderr, "  %-9s %s\n", s.Name, s.Desc)
 	}
 	fmt.Fprintln(os.Stderr, "  all       run everything")
-}
-
-type command struct {
-	name string
-	desc string
-	run  func() string
-}
-
-var commands = []command{
-	{"micro", "Section IV-A microbenchmarks", runMicro},
-	{"fig3", "Fig. 3: ping-pong vs no-copy prediction", func() string { return table(figures.Fig3()) }},
-	{"fig7", "Fig. 7: memcpy vs I/OAT copy by chunk size", func() string { return table(figures.Fig7()) }},
-	{"fig8", "Fig. 8: ping-pong with I/OAT receive offload", func() string { return table(figures.Fig8()) }},
-	{"fig9", "Fig. 9: receive-side CPU usage", runFig9},
-	{"fig10", "Fig. 10: shared-memory ping-pong", func() string { return table(figures.Fig10()) }},
-	{"fig11", "Fig. 11: IMB PingPong, I/OAT x regcache", func() string { return table(figures.Fig11()) }},
-	{"fig12", "Fig. 12: IMB suite normalized to MXoE", runFig12},
-	{"timeline", "Figs. 5/6: receive timelines", runTimeline},
-	{"nasis", "NAS IS proxy", runNASIS},
-	{"coll", "collective latency vs size, I/OAT on/off, 4-16 procs", runColl},
-	{"loss", "goodput/latency/retransmits vs frame-loss rate, both stacks", runLoss},
-	{"avail", "overlap/CPU-availability with injected compute, memcpy vs I/OAT", runAvail},
-	{"ablate", "ablations: thresholds, pull window, IRQ steering, extensions", runAblate},
-	{"multinic", "multi-NIC link aggregation: striped goodput vs NIC count and pull window", runMultiNIC},
-	{"fattree", "fat-tree collectives at 64-512 ranks, I/OAT on/off, vs 1-switch", runFatTree},
-	{"nicoll", "NIC-offloaded collectives: firmware vs host algorithms, CPU and overlap", runNIColl},
-}
-
-func table(t *metrics.Table) string {
-	out := t.Render()
-	if *plot {
-		out += t.ASCIIPlot(100, 20)
-	}
-	return out
-}
-
-func runMicro() string {
-	m := figures.MicroNumbers()
-	var b strings.Builder
-	fmt.Fprintf(&b, "I/OAT submission (1 descriptor):   %6.0f ns   (paper: ~350 ns)\n", m.SubmitNs)
-	fmt.Fprintf(&b, "memcpy, uncached:                  %6.2f GiB/s (paper: ~1.6 GiB/s)\n", m.MemcpyColdGiBps)
-	fmt.Fprintf(&b, "memcpy, cache-resident:            %6.2f GiB/s (paper: up to 12 GiB/s)\n", m.MemcpyCachedGiBps)
-	fmt.Fprintf(&b, "I/OAT streaming, 4 kiB chunks:     %6.2f GiB/s (paper: ~2.4 GiB/s)\n", m.IOAT4kGiBps)
-	fmt.Fprintf(&b, "offload break-even, uncached:      %6d B    (paper: ~600 B)\n", m.BreakEvenColdB)
-	fmt.Fprintf(&b, "offload break-even, cached:        %6d B    (paper: ~2 kB)\n", m.BreakEvenCachedB)
-	return b.String()
-}
-
-func runFig9() string {
-	mem, ioat := figures.Fig9Tables()
-	return mem.Render() + "\n" + ioat.Render()
-}
-
-func runFig12() string {
-	var b strings.Builder
-	for _, panel := range figures.Fig12All() {
-		b.WriteString(panel.Render())
-		b.WriteString("\n")
-	}
-	return b.String()
-}
-
-func runTimeline() string {
-	return figures.Timeline(false) + "\n" + figures.Timeline(true)
-}
-
-func runNASIS() string {
-	return figures.RenderNASIS(figures.NASIS(1<<17, 3))
-}
-
-func runColl() string {
-	tables := figures.Coll()
-	if *plot {
-		out := ""
-		for _, t := range tables {
-			out += t.Render() + t.ASCIIPlot(100, 20) + "\n"
-		}
-		return out + figures.RenderColl(nil)
-	}
-	return figures.RenderColl(tables)
-}
-
-func runLoss() string {
-	return figures.RenderLoss(figures.LossSweep())
-}
-
-func runAvail() string {
-	return figures.RenderAvail(figures.AvailSweep())
-}
-
-func runMultiNIC() string {
-	return figures.RenderMultiNIC(figures.MultiNICSweep())
-}
-
-func runFatTree() string {
-	tables, lp := figures.FatTree()
-	if *plot {
-		out := ""
-		for _, t := range tables {
-			out += t.Render() + t.ASCIIPlot(100, 20) + "\n"
-		}
-		return out + figures.RenderFatTree(nil, lp)
-	}
-	return figures.RenderFatTree(tables, lp)
-}
-
-func runNIColl() string {
-	return figures.RenderNIColl(figures.NICollSweep())
-}
-
-func runAblate() string {
-	return figures.AblateMinFrag().Render() + "\n" +
-		figures.AblatePullWindow().Render() + "\n" +
-		figures.AblateIRQSteering().Render() + "\n" +
-		figures.AblateExtensions()
 }

@@ -1,0 +1,71 @@
+// Command omxsimd runs the simulator as a long-lived multi-tenant
+// job service: tenants create named clusters from the declarative
+// topology vocabulary, submit IMB sweeps and figure sections as jobs
+// on the shared bounded pool, stream progress over SSE, and fetch
+// results with network and CPU counter snapshots. See internal/simd
+// for the API.
+//
+// Usage:
+//
+//	omxsimd [-addr host:port] [-quota n] [-drain d]
+//
+// The service announces "omxsimd listening on ADDR" on stdout once
+// the listener is up. SIGINT/SIGTERM trigger a graceful shutdown:
+// the listener closes, in-flight jobs drain (bounded by -drain), and
+// a clean drain exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"omxsim/internal/simd"
+)
+
+var (
+	addr  = flag.String("addr", "127.0.0.1:8383", "listen address")
+	quota = flag.Int("quota", simd.DefaultQuota, "max concurrent jobs per tenant")
+	drain = flag.Duration("drain", time.Minute, "max wait for in-flight jobs on shutdown")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "omxsimd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv := simd.NewServer(simd.Config{Quota: *quota, Logger: log})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("omxsimd listening on %s\n", ln.Addr())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	log.Info("shutting down", "drainTimeout", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return err
+	}
+	return <-errc
+}

@@ -81,8 +81,15 @@
 //     capture, a single-flight result cache keyed by canonical
 //     config hash, and progress/ETA reporting.
 //   - figures — every figure and table of the paper's evaluation,
-//     each swept point an independent runner job.
-//   - cmd/omxsim, cmd/omx-imb, cmd/omx-pingpong — the CLIs.
+//     each swept point an independent runner job; the Sections
+//     registry names each renderable section, and SweepOn is the
+//     error-returning sweep entry services use.
+//   - internal/simd — the omxsimd service: a multi-tenant HTTP job
+//     API (named clusters from the declarative topology vocabulary,
+//     sweep/figure jobs on the shared pool, SSE progress, per-tenant
+//     quotas, result caching, graceful drain).
+//   - cmd/omxsim, cmd/omx-imb, cmd/omx-pingpong — the CLIs — and
+//     cmd/omxsimd, the service daemon.
 //
 // # Reproducing the evaluation
 //

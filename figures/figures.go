@@ -114,19 +114,32 @@ func newTestbedN(s Stack, nodes, ppn int) *testbed {
 }
 
 // worldOver attaches the stack to every host of a built cluster (in
-// creation order) and opens ppn ranks per node, block-placed.
+// creation order) and opens ppn ranks per node, block-placed. It
+// panics on invalid input — the figure-generator contract; the
+// service path goes through worldOverE.
 func worldOver(c *cluster.Cluster, s Stack, ppn int) *testbed {
-	if ppn < 1 || ppn > len(rankCores) {
-		panic(fmt.Sprintf("figures: ppn %d out of range 1..%d", ppn, len(rankCores)))
+	w, err := worldOverE(c, s, ppn)
+	if err != nil {
+		panic(err)
 	}
-	open := func(h *cluster.Host) openmx.Transport {
-		switch s.Kind {
-		case "mxoe":
-			return mxoe.Attach(h, s.mxConfig())
-		case "openmx":
-			return openmx.Attach(h, s.OMX)
-		}
-		panic(fmt.Sprintf("figures: unknown stack kind %q", s.Kind))
+	return &testbed{c: c, w: w}
+}
+
+// worldOverE is worldOver with invalid input — ppn out of range, an
+// unknown stack kind — reported as an error, so untrusted sweep specs
+// reaching SweepOn cannot kill a long-running caller.
+func worldOverE(c *cluster.Cluster, s Stack, ppn int) (*mpi.World, error) {
+	if ppn < 1 || ppn > len(rankCores) {
+		return nil, fmt.Errorf("figures: ppn %d out of range 1..%d", ppn, len(rankCores))
+	}
+	var open func(h *cluster.Host) openmx.Transport
+	switch s.Kind {
+	case "mxoe":
+		open = func(h *cluster.Host) openmx.Transport { return mxoe.Attach(h, s.mxConfig()) }
+	case "openmx":
+		open = func(h *cluster.Host) openmx.Transport { return openmx.Attach(h, s.OMX) }
+	default:
+		return nil, fmt.Errorf("figures: unknown stack kind %q", s.Kind)
 	}
 	w := mpi.NewWorld(c)
 	for _, h := range c.Hosts() {
@@ -135,7 +148,7 @@ func worldOver(c *cluster.Cluster, s Stack, ppn int) *testbed {
 			w.AddRank(tr.Open(slot, rankCores[slot]), h, rankCores[slot])
 		}
 	}
-	return &testbed{c: c, w: w}
+	return w, nil
 }
 
 // runIMB runs one IMB test over a fresh testbed and returns its

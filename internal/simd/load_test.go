@@ -1,0 +1,131 @@
+package simd
+
+// Load smoke: the control-plane handlers (health, cluster CRUD, job
+// status) must stay fast while the data plane simulates. 100
+// sequential requests then 16 concurrent clients hammer the service,
+// and the p99 handler latency has to stay under a generous bound —
+// this catches a handler accidentally blocking on the pool or on a
+// job lock, not micro-regressions.
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func p99(lat []time.Duration) time.Duration {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return lat[len(lat)*99/100]
+}
+
+func TestLoadSmoke(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	base := ts.URL
+	if code := doJSON(t, "POST", base+"/v1/tenants/load/clusters",
+		clusterCreateReq{Name: "c", Topology: fatTreeSpec()}, nil); code != http.StatusCreated {
+		t.Fatalf("setup cluster: %d", code)
+	}
+	paths := []string{
+		"/healthz",
+		"/v1/sections",
+		"/v1/tenants/load/clusters",
+		"/v1/tenants/load/clusters/c",
+		"/v1/tenants/load/jobs",
+	}
+	get := func(path string) time.Duration {
+		start := time.Now()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Errorf("GET %s: %v", path, err)
+			return 0
+		}
+		resp.Body.Close()
+		d := time.Since(start)
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s: %d", path, resp.StatusCode)
+		}
+		return d
+	}
+
+	// Phase 1: 100 sequential requests.
+	seq := make([]time.Duration, 0, 100)
+	for i := 0; i < 100; i++ {
+		seq = append(seq, get(paths[i%len(paths)]))
+	}
+
+	// Phase 2: 16 concurrent clients, 16 requests each, while a real
+	// sweep job occupies the pool.
+	if code := doJSON(t, "POST", base+"/v1/tenants/load/jobs", sweepSpec("c"), nil); code != http.StatusAccepted {
+		t.Fatalf("background job: %d", code)
+	}
+	var mu sync.Mutex
+	conc := make([]time.Duration, 0, 16*16)
+	var wg sync.WaitGroup
+	for c := 0; c < 16; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				d := get(paths[(c+i)%len(paths)])
+				mu.Lock()
+				conc = append(conc, d)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	const bound = 250 * time.Millisecond
+	if p := p99(seq); p > bound {
+		t.Errorf("sequential p99 = %v, want <= %v", p, bound)
+	}
+	if p := p99(conc); p > bound {
+		t.Errorf("concurrent p99 = %v, want <= %v", p, bound)
+	}
+	t.Logf("p99: sequential %v, concurrent %v (%d+%d requests)",
+		p99(seq), p99(conc), len(seq), len(conc))
+}
+
+func TestStateStore(t *testing.T) {
+	s := NewStateStore[int]()
+	s.Put("b", 2)
+	s.Put("a", 1)
+	if !s.PutIfAbsent("c", 3) || s.PutIfAbsent("a", 9) {
+		t.Fatal("PutIfAbsent")
+	}
+	if got := s.Keys(); fmt.Sprint(got) != "[a b c]" {
+		t.Fatalf("Keys = %v", got)
+	}
+	if got := s.List(); fmt.Sprint(got) != "[1 2 3]" {
+		t.Fatalf("List = %v", got)
+	}
+	if v, ok := s.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	if !s.Delete("a") || s.Delete("a") {
+		t.Fatal("Delete")
+	}
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	// GetOrPut creates exactly once under concurrency.
+	calls := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.GetOrPut("shared", func() int { calls++; return 42 })
+		}()
+	}
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("GetOrPut ran mk %d times", calls)
+	}
+	if v, _ := s.Get("shared"); v != 42 {
+		t.Fatalf("shared = %d", v)
+	}
+}

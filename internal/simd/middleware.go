@@ -1,0 +1,42 @@
+package simd
+
+// Request middleware: every request gets a process-unique ID (echoed
+// in X-Request-ID) and one structured log line with method, path,
+// status and latency.
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// statusWriter captures the response status for the log line while
+// forwarding Flush — the SSE handler streams through this wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *Server) withRequestLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("req-%06d", s.nextReq.Add(1))
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		s.log.Info("request",
+			"id", id, "method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "dur", time.Since(start).Round(time.Microsecond))
+	})
+}

@@ -1,0 +1,72 @@
+package simd
+
+// The SSE progress stream: GET /v1/tenants/{t}/jobs/{id}/events
+// replays the job's event history, then follows live events until the
+// terminal done/failed event (or the client goes away). Event seq
+// numbers are strictly increasing per job, so a client can assert
+// monotonic delivery; each SSE frame carries the seq as its id.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.error(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	replay, ch, cancel := j.subscribe()
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	write := func(ev JobEvent) bool {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, b); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	for _, ev := range replay {
+		if !write(ev) {
+			return
+		}
+	}
+	if ch == nil {
+		// Job already terminal: the replay ended with its done/failed
+		// event.
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-ch:
+			if !open {
+				// finish() closed the channel; if its terminal event was
+				// dropped by a full buffer, resend it from the history.
+				if last, ok := j.lastEvent(); ok && last.Type != "progress" {
+					write(last)
+				}
+				return
+			}
+			if !write(ev) {
+				return
+			}
+			if ev.Type != "progress" {
+				return
+			}
+		}
+	}
+}

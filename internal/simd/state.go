@@ -1,0 +1,109 @@
+package simd
+
+import (
+	"sort"
+	"sync"
+)
+
+// StateStore is a generic thread-safe key-value store for the
+// service's in-memory resources — tenants, clusters, jobs. It is the
+// omxsim instance of the cloud-simulator pattern: every resource kind
+// gets its own typed store, and handlers never touch a shared map
+// directly.
+type StateStore[T any] struct {
+	mu sync.RWMutex
+	m  map[string]T
+}
+
+// NewStateStore returns an empty store.
+func NewStateStore[T any]() *StateStore[T] {
+	return &StateStore[T]{m: make(map[string]T)}
+}
+
+// Put stores v under key, replacing any existing value.
+func (s *StateStore[T]) Put(key string, v T) {
+	s.mu.Lock()
+	s.m[key] = v
+	s.mu.Unlock()
+}
+
+// Get returns the value under key and whether it exists.
+func (s *StateStore[T]) Get(key string) (T, bool) {
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// GetOrPut returns the value under key, creating it with mk (under
+// the write lock, so concurrent callers observe exactly one creation)
+// when absent.
+func (s *StateStore[T]) GetOrPut(key string, mk func() T) T {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.m[key]; ok {
+		return v
+	}
+	v := mk()
+	s.m[key] = v
+	return v
+}
+
+// PutIfAbsent stores v under key only if the key is free; ok reports
+// whether it was stored.
+func (s *StateStore[T]) PutIfAbsent(key string, v T) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.m[key]; exists {
+		return false
+	}
+	s.m[key] = v
+	return true
+}
+
+// Delete removes key; ok reports whether it existed.
+func (s *StateStore[T]) Delete(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[key]; !ok {
+		return false
+	}
+	delete(s.m, key)
+	return true
+}
+
+// Keys returns every key in sorted order — handler listings must be
+// deterministic.
+func (s *StateStore[T]) Keys() []string {
+	s.mu.RLock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	s.mu.RUnlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// List returns every value, ordered by key.
+func (s *StateStore[T]) List() []T {
+	s.mu.RLock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]T, len(keys))
+	for i, k := range keys {
+		out[i] = s.m[k]
+	}
+	s.mu.RUnlock()
+	return out
+}
+
+// Count returns the number of stored values.
+func (s *StateStore[T]) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}

@@ -17,9 +17,16 @@ type Progress struct {
 	// Elapsed is the wall time since the Run started.
 	Elapsed time.Duration
 	// ETA estimates the remaining wall time from the mean pace of
-	// the uncached completions so far (zero until at least one job
-	// has actually simulated).
+	// the uncached completions so far. It is meaningful only when
+	// ETAKnown is set; an unknown ETA is reported as the zero value.
 	ETA time.Duration
+	// ETAKnown reports whether ETA carries an estimate. It is false
+	// while every completion so far was a cache hit but jobs are
+	// still pending: those hits finish in microseconds and say
+	// nothing about the pace of the uncached jobs still running, so
+	// "ETA 0" there would wrongly promise "done now". Once a job has
+	// actually simulated — or the run has finished — ETAKnown is true.
+	ETAKnown bool
 	// Label is the label of the job that just finished.
 	Label string
 }
@@ -52,17 +59,25 @@ func (s *progressState) step(r Result) Progress {
 	}
 	elapsed := time.Since(s.start)
 	var eta time.Duration
+	etaKnown := true
 	// Pace from uncached completions only: cache hits finish in
 	// microseconds and would collapse the estimate to ~0 while real
 	// simulations still run. (If the remaining jobs turn out to be
 	// hits too, the sweep just beats the estimate.)
-	if real := s.done - s.cached; real > 0 && s.done < s.total {
+	switch real := s.done - s.cached; {
+	case s.done == s.total:
+		// Finished: ETA 0 is exact.
+	case real > 0:
 		eta = time.Duration(float64(elapsed) / float64(real) * float64(s.total-s.done))
+	default:
+		// Every completion so far was a cache hit with uncached jobs
+		// still pending: no pace information at all.
+		etaKnown = false
 	}
 	return Progress{
 		Done: s.done, Total: s.total,
 		Cached: s.cached, Errs: s.errs,
-		Elapsed: elapsed, ETA: eta,
+		Elapsed: elapsed, ETA: eta, ETAKnown: etaKnown,
 		Label: r.Label,
 	}
 }
@@ -71,10 +86,15 @@ func (s *progressState) step(r Result) Progress {
 // per completion to w, e.g.
 //
 //	[ 7/63] 11% eta 12s  fig10/I-OAT/1MB
+//
+// An unknown ETA (only cache hits completed so far, see
+// Progress.ETAKnown) renders as "--:--".
 func WriterProgress(w io.Writer) ProgressFunc {
 	return func(p Progress) {
 		eta := "-"
-		if p.ETA > 0 {
+		if !p.ETAKnown {
+			eta = "--:--"
+		} else if p.ETA > 0 {
 			eta = p.ETA.Round(time.Second).String()
 		}
 		cached := ""

@@ -168,7 +168,16 @@ func Run(jobs ...Job) []Result { return Default().Run(jobs...) }
 // helper goroutines join only while the pool-global bound allows, so
 // nested Run calls shrink to serial execution instead of multiplying
 // concurrency.
-func (p *Pool) Run(jobs ...Job) []Result {
+func (p *Pool) Run(jobs ...Job) []Result { return p.RunWithProgress(nil, jobs...) }
+
+// RunWithProgress is Run with an injectable per-call progress sink:
+// sink (when non-nil) receives every completion snapshot of this Run,
+// in addition to the pool-wide Options.Progress. Callbacks are
+// serialized pool-wide, so neither sink needs locking of its own.
+// This is the service path — omxsimd streams one tenant job's
+// progress to its SSE subscribers while other jobs share the pool —
+// whereas the pool-wide callback remains the CLI convenience.
+func (p *Pool) RunWithProgress(sink ProgressFunc, jobs ...Job) []Result {
 	results := make([]Result, len(jobs))
 	if len(jobs) == 0 {
 		return results
@@ -186,9 +195,15 @@ func (p *Pool) Run(jobs ...Job) []Result {
 				return
 			}
 			results[i] = p.runOne(i, jobs[i])
-			if p.progress != nil {
+			if p.progress != nil || sink != nil {
 				p.progMu.Lock()
-				p.progress(prog.step(results[i]))
+				snap := prog.step(results[i])
+				if p.progress != nil {
+					p.progress(snap)
+				}
+				if sink != nil {
+					sink(snap)
+				}
 				p.progMu.Unlock()
 			}
 		}
@@ -269,4 +284,26 @@ func Values[T any](results []Result) []T {
 		out[i] = r.Value.(T)
 	}
 	return out
+}
+
+// ValuesErr unwraps every result value as T, in job order, failing
+// cleanly where Values would panic: a job error (including captured
+// panics) or a value of the wrong dynamic type comes back as an error
+// instead. This is the path every long-running caller — omxsimd job
+// completion — must use: tenant input reaching a sweep must never be
+// able to kill the daemon.
+func ValuesErr[T any](results []Result) ([]T, error) {
+	if err := FirstErr(results); err != nil {
+		return nil, err
+	}
+	out := make([]T, len(results))
+	for i, r := range results {
+		v, ok := r.Value.(T)
+		if !ok {
+			return nil, fmt.Errorf("runner: job %d (%s): value is %T, not %T",
+				r.Index, r.Label, r.Value, out[i])
+		}
+		out[i] = v
+	}
+	return out, nil
 }

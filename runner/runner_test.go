@@ -299,3 +299,117 @@ func TestProgress(t *testing.T) {
 		}
 	}
 }
+
+// TestETAUnknownOnCachedPrefix: while every completion so far was a
+// cache hit and uncached jobs are still pending, the snapshot must
+// say "ETA unknown" (ETAKnown=false, zero ETA) instead of the
+// misleading "ETA 0 = done now"; the first real completion and the
+// final snapshot flip ETAKnown back on.
+func TestETAUnknownOnCachedPrefix(t *testing.T) {
+	var s progressState
+	s.init(3)
+
+	snap := s.step(Result{Cached: true, Label: "hit"})
+	if snap.ETAKnown || snap.ETA != 0 {
+		t.Errorf("all-cached prefix: ETAKnown=%v ETA=%v, want unknown with zero ETA",
+			snap.ETAKnown, snap.ETA)
+	}
+	var buf strings.Builder
+	WriterProgress(&buf)(snap)
+	if !strings.Contains(buf.String(), "--:--") {
+		t.Errorf("unknown ETA rendered as %q, want it to contain --:--", buf.String())
+	}
+
+	snap = s.step(Result{Label: "real"})
+	if !snap.ETAKnown {
+		t.Errorf("after an uncached completion ETAKnown=false, want pace-based estimate")
+	}
+
+	snap = s.step(Result{Cached: true, Label: "hit"})
+	if !snap.ETAKnown || snap.ETA != 0 {
+		t.Errorf("final snapshot: ETAKnown=%v ETA=%v, want known zero (done)", snap.ETAKnown, snap.ETA)
+	}
+
+	// A run that completes entirely from the cache was never
+	// "unknown" at its end: done == total is exact.
+	var all progressState
+	all.init(1)
+	if snap = all.step(Result{Cached: true}); !snap.ETAKnown || snap.ETA != 0 {
+		t.Errorf("fully cached run final snapshot: ETAKnown=%v ETA=%v, want known zero",
+			snap.ETAKnown, snap.ETA)
+	}
+}
+
+// TestValuesErr: the error-returning unwrap fails cleanly — on job
+// errors and on a value type mismatch — where Values would panic.
+func TestValuesErr(t *testing.T) {
+	p := New(Options{Workers: 2})
+
+	rs := p.Run(
+		Job{Label: "a", Run: func() (any, error) { return 1, nil }},
+		Job{Label: "b", Run: func() (any, error) { return 2, nil }},
+	)
+	vals, err := ValuesErr[int](rs)
+	if err != nil || len(vals) != 2 || vals[0] != 1 || vals[1] != 2 {
+		t.Fatalf("ValuesErr = %v, %v, want [1 2]", vals, err)
+	}
+
+	// A job error comes back as an error, labelled with the job.
+	rs = p.Run(Job{Label: "bad", Run: func() (any, error) { return nil, errors.New("boom") }})
+	if _, err = ValuesErr[int](rs); err == nil || !strings.Contains(err.Error(), "bad") {
+		t.Errorf("errored sweep: err = %v, want it to name job bad", err)
+	}
+
+	// A captured panic is an error too, not a daemon-killer.
+	rs = p.Run(Job{Label: "panics", Run: func() (any, error) { panic("deadlock") }})
+	if _, err = ValuesErr[int](rs); err == nil {
+		t.Errorf("panicking sweep: err = nil, want captured *PanicError")
+	}
+
+	// A type-assert mismatch fails cleanly instead of panicking.
+	rs = p.Run(Job{Label: "str", Run: func() (any, error) { return "not an int", nil }})
+	if _, err = ValuesErr[int](rs); err == nil || !strings.Contains(err.Error(), "string") {
+		t.Errorf("mismatched value type: err = %v, want a type error naming string", err)
+	}
+}
+
+// TestRunWithProgress: the per-Run sink sees every completion of its
+// own Run — independent of (and in addition to) the pool-wide
+// callback.
+func TestRunWithProgress(t *testing.T) {
+	var mu sync.Mutex
+	var poolSnaps, sinkSnaps []Progress
+	p := New(Options{Workers: 2, Progress: func(pr Progress) {
+		mu.Lock()
+		poolSnaps = append(poolSnaps, pr)
+		mu.Unlock()
+	}})
+	jobs := make([]Job, 5)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Label: fmt.Sprint(i), Run: func() (any, error) { return i, nil }}
+	}
+	p.RunWithProgress(func(pr Progress) {
+		// The pool serializes callbacks; no locking needed here.
+		sinkSnaps = append(sinkSnaps, pr)
+	}, jobs...)
+	if len(sinkSnaps) != len(jobs) {
+		t.Fatalf("sink saw %d snapshots, want %d", len(sinkSnaps), len(jobs))
+	}
+	for i, s := range sinkSnaps {
+		if s.Done != i+1 || s.Total != len(jobs) {
+			t.Errorf("sink snapshot %d = %d/%d, want %d/%d", i, s.Done, s.Total, i+1, len(jobs))
+		}
+	}
+	mu.Lock()
+	if len(poolSnaps) != len(jobs) {
+		t.Errorf("pool-wide callback saw %d snapshots, want %d (sink must not replace it)",
+			len(poolSnaps), len(jobs))
+	}
+	mu.Unlock()
+
+	// A nil sink is exactly Run.
+	if rs := p.RunWithProgress(nil, jobs...); len(rs) != len(jobs) {
+		t.Errorf("nil-sink run returned %d results, want %d", len(rs), len(jobs))
+	}
+}
