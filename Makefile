@@ -9,8 +9,8 @@ GO ?= go
 STATICCHECK ?= $(GO) run honnef.co/go/tools/cmd/staticcheck@2024.1.1
 
 .PHONY: all build test test-short race fmt fmt-check vet lint bench bench-ci \
-	golden golden-check stress multinic fattree nicoll benchalloc simd examples \
-	linkcheck ci-fast ci-full
+	golden golden-check stress multinic fattree nicoll adaptive benchalloc simd \
+	examples linkcheck ci-fast ci-full
 
 all: build
 
@@ -99,6 +99,18 @@ nicoll:
 	$(GO) test -race -count=1 -run 'NIColl|Nicoll|CollDrop' \
 		./mpi ./internal/core ./internal/mxoe ./figures
 
+# Adaptive-transport battery: the adaptive-vs-static acceptance tests
+# (never >10% below the best static policy, wins outright under loss),
+# the adaptive storm/striping/incast stress rigs, the window-shadow
+# fuzz corpus, trace-export conformance plus the golden trace, and the
+# parallel==serial determinism guardrails — all under the race
+# detector. STRESS_SEEDS widens the storm sweeps.
+adaptive:
+	OMXSIM_STRESS_SEEDS=$(STRESS_SEEDS) $(GO) test -race -count=1 \
+		-run 'Adaptive|RTT|AIMD|Steer|Trace|GoldenCanary' \
+		./cluster ./internal/core ./internal/mxoe ./internal/proto \
+		./internal/simd ./sim/trace ./figures
+
 # The omxsimd service battery: the multi-tenant HTTP job service
 # end to end under the race detector — concurrent tenants whose sweep
 # results must be bit-identical to direct figures calls, quota 429s,
@@ -133,4 +145,4 @@ linkcheck:
 
 ci-fast: build vet lint fmt-check examples linkcheck test-short
 
-ci-full: race stress multinic fattree nicoll benchalloc simd
+ci-full: race stress multinic fattree nicoll adaptive benchalloc simd

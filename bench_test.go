@@ -228,6 +228,41 @@ func BenchmarkMultiNIC(b *testing.B) {
 	}
 }
 
+// BenchmarkAdaptive regenerates the adaptive-vs-static sweep,
+// reporting the lossy headline (5% loss, 1 NIC, memcpy: adaptive vs
+// the best static policy) and the worst adaptive/best-static goodput
+// ratio across the whole grid (the figure's ≥0.90 acceptance bar).
+func BenchmarkAdaptive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := figures.AdaptiveSweep()
+		type cell struct{ best, adaptive float64 }
+		grid := map[string]*cell{}
+		for _, p := range pts {
+			k := fmt.Sprintf("%s/%g/%d", p.Mode, p.LossRate, p.NICs)
+			c := grid[k]
+			if c == nil {
+				c = &cell{}
+				grid[k] = c
+			}
+			if p.Policy == "adaptive" {
+				c.adaptive = p.GoodputMiBps
+			} else if p.GoodputMiBps > c.best {
+				c.best = p.GoodputMiBps
+			}
+			if p.Mode == "memcpy" && p.LossRate == 0.05 && p.NICs == 1 && p.Policy == "adaptive" {
+				b.ReportMetric(p.GoodputMiBps, "lossy1nic-MiB/s")
+			}
+		}
+		minRatio := 0.0
+		for _, c := range grid {
+			if r := c.adaptive / c.best; minRatio == 0 || r < minRatio {
+				minRatio = r
+			}
+		}
+		b.ReportMetric(minRatio, "min-adv/best")
+	}
+}
+
 // --- Ablations (design choices DESIGN.md calls out) ---
 
 func BenchmarkAblationMinFrag(b *testing.B) {

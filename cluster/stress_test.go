@@ -25,10 +25,17 @@ import (
 const stressRtx = 2 * sim.Millisecond
 
 // stressStack attaches one stack kind to a host and opens endpoints.
+// The "-adaptive" kinds leave the retransmission timeout unset so the
+// self-tuning tier (RTT-derived timeouts, AIMD pull window, load-based
+// steering) faces the storm instead of the hand-tuned 2 ms clamp.
 func stressStack(kind string, h *cluster.Host) openmx.Transport {
 	switch kind {
 	case "mxoe":
 		return mxoe.Attach(h, mxoe.Config{RegCache: true, RetransmitTimeout: stressRtx})
+	case "mxoe-adaptive":
+		return mxoe.Attach(h, mxoe.Config{RegCache: true, Adaptive: true})
+	case "openmx-adaptive":
+		return openmx.Attach(h, openmx.Config{IOAT: true, RegCache: true, Adaptive: true})
 	default:
 		return openmx.Attach(h, openmx.Config{
 			IOAT: true, RegCache: true, RetransmitTimeout: stressRtx,

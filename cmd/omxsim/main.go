@@ -20,7 +20,9 @@
 //	omxsim multinic         multi-NIC link aggregation: goodput vs NIC count
 //	omxsim fattree          fat-tree collectives at 64-512 ranks
 //	omxsim nicoll           NIC-offloaded collectives vs host algorithms
+//	omxsim adaptive         adaptive vs static transport across loss × NICs
 //	omxsim all              everything above
+//	omxsim trace            Figs. 5/6 receive timeline as Chrome trace JSON
 //
 // The section registry lives in figures.Sections — shared with the
 // omxsimd service, which serves the same sections as tenant jobs.
@@ -28,6 +30,12 @@
 // worker pool; "omxsim all" additionally runs the figures themselves
 // concurrently (shared points — Figures 3 and 8 overlap — simulate
 // once), printing every section in the order listed above.
+//
+// "omxsim trace" exports the five-fragment receive timeline of
+// Figures 5/6 (the same capture the ASCII timeline renders) as Chrome
+// trace_event JSON — load the file in chrome://tracing or Perfetto.
+// Its own flags: -o writes to a file instead of stdout, -ioat=false
+// switches to the memcpy timeline (Fig. 5).
 //
 // Flags:
 //
@@ -61,6 +69,9 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
+	if cmd == "trace" {
+		os.Exit(traceCmd(flag.Args()[1:]))
+	}
 	var selected []figures.Section
 	for _, s := range figures.Sections() {
 		if s.Name == cmd || cmd == "all" {
@@ -104,10 +115,30 @@ func main() {
 	}
 }
 
+// traceCmd implements "omxsim trace [-ioat=true] [-o file]": the
+// Figs. 5/6 receive timeline exported as Chrome trace_event JSON.
+func traceCmd(args []string) int {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	out := fs.String("o", "", "write the trace to this file (default stdout)")
+	ioat := fs.Bool("ioat", true, "trace the I/OAT timeline (Fig. 6); false for memcpy (Fig. 5)")
+	fs.Parse(args)
+	data := figures.TimelineTraceJSON(*ioat)
+	if *out == "" {
+		os.Stdout.Write(data)
+		return 0
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "omxsim trace: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: omxsim [-plot] [-progress] <command>")
 	for _, s := range figures.Sections() {
 		fmt.Fprintf(os.Stderr, "  %-9s %s\n", s.Name, s.Desc)
 	}
 	fmt.Fprintln(os.Stderr, "  all       run everything")
+	fmt.Fprintln(os.Stderr, "  trace     Figs. 5/6 receive timeline as Chrome trace JSON (-o file, -ioat=false for memcpy)")
 }

@@ -20,7 +20,9 @@
 //   - sim — the discrete-event engine: virtual time on a
 //     zero-allocation calendar event queue, cooperative processes,
 //     cancellable timers, daemons, the Run loop every experiment
-//     drives.
+//     drives. sim/trace renders recorded spans, instants and counters
+//     as deterministic Chrome trace_event JSON and validates the
+//     format.
 //   - platform — the modelled hardware (dual quad-core Clovertown
 //     hosts, memory and cache copy-rate models, the paper's testbed).
 //   - internal/... — the machine model (cpu, hostmem, memmodel, bus,
@@ -29,7 +31,12 @@
 //     whose NIC also runs whole collectives — barrier, bcast,
 //     allreduce, scan — as firmware-resident tree state machines with
 //     segment combining, posted as one descriptor and completed as
-//     one event).
+//     one event). Both stacks share the adaptive-transport tier in
+//     internal/proto (Config.Adaptive): per-peer Jacobson/Karels RTT
+//     estimation driving every retransmit timeout, AIMD pull windows
+//     bounded by the lane count, and load-based IRQ steering from CPU
+//     ledger deltas on multi-NIC hosts — with Adaptive off the static
+//     path is bit-identical to before the tier existed.
 //     internal/cpu models each core as a serial two-priority work
 //     queue with per-category busy ledgers (user library, driver,
 //     bottom-half processing and copies, I/OAT submission,
@@ -103,8 +110,14 @@
 //	go run ./cmd/omxsim all
 //
 // or one figure at a time (fig3, fig7 … fig12, micro, timeline,
-// nasis, coll, loss, avail, ablate, multinic, fattree, nicoll); add -progress for
-// live sweep progress and ETA, and -plot for ASCII plots. Several
+// nasis, coll, loss, avail, ablate, multinic, fattree, nicoll,
+// adaptive); add -progress for
+// live sweep progress and ETA, and -plot for ASCII plots. The
+// timeline figure also exports as Chrome trace_event JSON via
+//
+//	go run ./cmd/omxsim trace -o rx.json
+//
+// (open in chrome://tracing or Perfetto). Several
 // figures go beyond the paper: multinic measures link-aggregated
 // striping — ping-pong goodput across message size × {1,2,4} NICs ×
 // {memcpy, I/OAT}, showing where the pull window must grow from the
@@ -123,7 +136,11 @@
 // nicoll compares host-driven collective algorithms against the MXoE
 // firmware state machines at fat-tree scale, reporting latency,
 // non-compute host CPU per collective and achieved overlap under
-// injected compute; and avail measures the paper's headline claim
+// injected compute; adaptive pits the self-tuning transport
+// (Config.Adaptive) against the hand-tuned static policies across
+// {0,1,5%} frame loss × {1,2,4} NICs × {memcpy, I/OAT} — adaptive
+// matches the best static everywhere and wins 1.3–2.5× wherever the
+// wire is lossy; and avail measures the paper's headline claim
 // directly — a ping-pong with injected compute on the interrupt core,
 // reporting achieved overlap %, non-compute host CPU µs per MiB and
 // goodput for memcpy versus I/OAT receive paths, remote and local,
@@ -136,6 +153,6 @@
 // Start with package cluster to build a testbed, package openmx (or
 // mxoe) for endpoints, and package figures to regenerate the paper's
 // evaluation. See README.md for the CI gates and Makefile targets,
-// and docs/ARCHITECTURE.md for the layer diagram and five event-flow
+// and docs/ARCHITECTURE.md for the layer diagram and six event-flow
 // walkthroughs naming the functions and costs on every hop.
 package omxsim

@@ -1,0 +1,76 @@
+package figures
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// The static-default regression trap: every section of the committed
+// golden is rendered with Config.Adaptive off (and Trace unset), so
+// any change that perturbs the static transport path — a reordered
+// yield, an extra timer, a trace hook that isn't inert — shows up as a
+// golden diff. The golden-figures CI job diffs the full `omxsim all`
+// output; this canary runs in the fast gate and re-renders the cheap
+// sections, so most regressions are caught before the slow job runs.
+
+// goldenSections parses figures/testdata/omxsim-all.golden into
+// per-section bodies keyed by the section description ("==> " lines).
+func goldenSections(t *testing.T) map[string]string {
+	t.Helper()
+	raw, err := os.ReadFile("testdata/omxsim-all.golden")
+	if err != nil {
+		t.Fatalf("reading committed golden: %v", err)
+	}
+	out := make(map[string]string)
+	var desc string
+	var body strings.Builder
+	flush := func() {
+		if desc != "" {
+			out[desc] = body.String()
+		}
+		body.Reset()
+	}
+	for _, line := range strings.SplitAfter(string(raw), "\n") {
+		if rest, ok := strings.CutPrefix(line, "==> "); ok {
+			flush()
+			desc = strings.TrimSuffix(rest, "\n")
+			continue
+		}
+		body.WriteString(line)
+	}
+	flush()
+	return out
+}
+
+// goldenCanarySections are the sections cheap enough to re-render in
+// the fast gate: the microbenchmark table and the 5-fragment receive
+// timelines together exercise the cost model, both copy engines and
+// the full trace-capture path in well under a second.
+func goldenCanarySections() []string { return []string{"micro", "timeline"} }
+
+// TestGoldenCanary re-renders the cheap sections and requires them
+// bit-identical to the committed golden. `omxsim all` prints each
+// section as its description header, the body, then a blank line —
+// reproduced here so the comparison really is byte-for-byte.
+func TestGoldenCanary(t *testing.T) {
+	golden := goldenSections(t)
+	if len(golden) != len(Sections()) {
+		t.Errorf("committed golden has %d sections, registry has %d — run `make golden`",
+			len(golden), len(Sections()))
+	}
+	for _, name := range goldenCanarySections() {
+		s, ok := SectionByName(name)
+		if !ok {
+			t.Fatalf("no section %q", name)
+		}
+		want, ok := golden[s.Desc]
+		if !ok {
+			t.Fatalf("committed golden has no %q section — run `make golden`", s.Desc)
+		}
+		if got := s.Render(false) + "\n"; got != want {
+			t.Errorf("section %q drifted from the committed golden (static transport path perturbed?):\ngot:\n%s\nwant:\n%s",
+				name, got, want)
+		}
+	}
+}

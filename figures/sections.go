@@ -51,6 +51,7 @@ func Sections() []Section {
 		{"multinic", "multi-NIC link aggregation: striped goodput vs NIC count and pull window", renderMultiNICSection},
 		{"fattree", "fat-tree collectives at 64-512 ranks, I/OAT on/off, vs 1-switch", renderFatTreeSection},
 		{"nicoll", "NIC-offloaded collectives: firmware vs host algorithms, CPU and overlap", renderNICollSection},
+		{"adaptive", "adaptive vs static transport: goodput/p99/retransmits across loss x NICs", renderAdaptiveSection},
 	}
 }
 
@@ -160,6 +161,10 @@ func renderFatTreeSection(plot bool) string {
 
 func renderNICollSection(bool) string {
 	return RenderNIColl(NICollSweep())
+}
+
+func renderAdaptiveSection(bool) string {
+	return RenderAdaptive(AdaptiveSweep())
 }
 
 func renderAblateSection(bool) string {

@@ -22,6 +22,19 @@ import (
 // asynchronous copy and releases the CPU; the last fragment waits for
 // the engine before notifying user space (Figure 6).
 func Timeline(withIOAT bool) string {
+	title := "Fig. 5: 5-fragment large receive, memcpy in the bottom half"
+	if withIOAT {
+		title = "Fig. 6: 5-fragment large receive, I/OAT overlapped copies"
+	}
+	return renderTimeline(title, TimelineEvents(withIOAT))
+}
+
+// TimelineEvents runs the five-fragment large receive of Figures 5/6
+// and returns the receiver stack's full trace stream (receive-path
+// spans, transport spans, counters). Both the ASCII Timeline and the
+// Chrome trace-event export render from this one capture, so the two
+// views can never disagree on span boundaries.
+func TimelineEvents(withIOAT bool) []core.TraceEvent {
 	const frags = 5
 	msgSize := frags * proto.LargeFragSize
 
@@ -56,15 +69,26 @@ func Timeline(withIOAT bool) string {
 	if !cluster.Equal(src, dst) {
 		panic("figures: timeline transfer corrupted")
 	}
-	title := "Fig. 5: 5-fragment large receive, memcpy in the bottom half"
-	if withIOAT {
-		title = "Fig. 6: 5-fragment large receive, I/OAT overlapped copies"
-	}
-	return renderTimeline(title, events)
+	return events
+}
+
+// timelineKinds are the receive-path span kinds the ASCII timeline
+// renders; transport spans and counters from the wider trace stream
+// are excluded so they cannot stretch the time axis.
+var timelineKinds = map[string]bool{
+	"process": true, "memcpy": true, "submit": true,
+	"wait": true, "notify": true, "dma-copy": true,
 }
 
 // renderTimeline draws span rows scaled to the terminal width.
 func renderTimeline(title string, events []core.TraceEvent) string {
+	kept := events[:0:0]
+	for _, ev := range events {
+		if timelineKinds[ev.Kind] {
+			kept = append(kept, ev)
+		}
+	}
+	events = kept
 	if len(events) == 0 {
 		return title + "\n(no events)\n"
 	}

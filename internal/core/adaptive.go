@@ -1,0 +1,239 @@
+package core
+
+import (
+	"omxsim/internal/cpu"
+	"omxsim/internal/proto"
+	"omxsim/sim"
+)
+
+// The self-tuning transport tier (Config.Adaptive): retransmission
+// timeouts derived from per-peer SRTT/RTTVAR estimators, the pull
+// window sized per transfer by the shared AIMD controller, and — on
+// multi-NIC hosts — bottom-half work steered off saturated cores at
+// quantized epochs from CPU-ledger snapshots. Everything here reads
+// only simulated state, so adaptive runs stay bit-reproducible.
+
+// adaptiveMinRTO floors the derived retransmission timeout: even on a
+// very fast link the timer must ride out the deferred-ack delay and
+// self-induced queueing behind a full pull window.
+const adaptiveMinRTO = sim.Millisecond
+
+// adaptiveWinMin is the AIMD window's lower bound — the paper's two
+// pipelined blocks. The upper bound is adaptiveWinPerLane x lanes.
+const (
+	adaptiveWinMin     = 2
+	adaptiveWinPerLane = 4
+)
+
+// Steering epochs: decisions are taken at most once per steerEpoch of
+// simulated time, each from the delta of two ledger snapshots. A NIC's
+// bottom half moves only when its interrupt core spent nearly the
+// whole epoch busy (steerSrcBusyFrac) with a real softirq share
+// (steerSrcSoftFrac), contended by other work or a second NIC, and an
+// almost-idle target core exists (steerDstBusyFrac).
+const (
+	steerEpoch       = 5 * sim.Millisecond
+	steerSrcBusyFrac = 0.95
+	steerSrcSoftFrac = 0.40
+	steerShareFrac   = 0.30
+	steerDstBusyFrac = 0.25
+)
+
+// rtxTimeout returns the retransmission timeout towards peer after
+// the given number of consecutive unanswered attempts. Static stacks
+// (and adaptive ones whose Config pins RetransmitTimeout) back off
+// from the configured base; adaptive stacks back off from the peer's
+// estimated RTO — srtt + 4·rttvar with a safety margin — clamped
+// between adaptiveMinRTO and the static base, so an untuned channel
+// never times out later than the static default and a measured one
+// recovers at RTT scale.
+func (s *Stack) rtxTimeout(peer proto.Addr, attempts int) sim.Duration {
+	base := s.Cfg.RetransmitTimeout
+	if s.adaptiveRTO {
+		if e := s.rtt[peer]; e != nil {
+			base = e.RTO(adaptiveMinRTO, s.Cfg.RetransmitTimeout)
+		}
+	}
+	return proto.Backoff(base, s.Cfg.RetransmitMax, s.Cfg.RetransmitBackoff, attempts)
+}
+
+// observeRTT feeds one clean (never-retransmitted) round-trip sample
+// into peer's estimator and publishes the new SRTT to the trace
+// stream.
+func (s *Stack) observeRTT(peer proto.Addr, rtt sim.Duration) {
+	if s.rtt == nil || rtt < 0 {
+		return
+	}
+	e := s.rtt[peer]
+	if e == nil {
+		e = &proto.RTTEstimator{}
+		s.rtt[peer] = e
+	}
+	e.Observe(rtt)
+	if s.Trace != nil {
+		now := s.H.E.Now()
+		s.Trace(TraceEvent{
+			Kind: "counter", Frag: -1, Start: now, End: now,
+			Name: "srtt", Value: sim.Time(e.SRTT()).Micros(),
+		})
+	}
+}
+
+// pullWindowFor returns (creating on first use) the shared AIMD
+// controller for pulls from peer, bounded by the paper's two blocks
+// below and four blocks per lane above. The controller is per peer,
+// not per transfer: the window a transfer earned persists into the
+// next one, so repeated messages converge instead of re-ramping from
+// the minimum every time.
+func (s *Stack) pullWindowFor(peer proto.Addr) *proto.AIMDWindow {
+	aw := s.pullWin[peer]
+	if aw == nil {
+		aw = proto.NewAIMDWindow(adaptiveWinMin, adaptiveWinPerLane*s.lanes)
+		s.pullWin[peer] = aw
+	}
+	return aw
+}
+
+// pullWindow returns a transfer's current window in blocks: the AIMD
+// value for adaptive transfers, the configured PullBlocks otherwise.
+func (s *Stack) pullWindow(lp *largePull) int {
+	if lp.aw != nil {
+		return lp.aw.Window()
+	}
+	return s.Cfg.PullBlocks
+}
+
+// traceCwnd publishes a transfer's window to the trace stream when it
+// changed since the last sample.
+func (s *Stack) traceCwnd(lp *largePull) {
+	if s.Trace == nil || lp.aw == nil {
+		return
+	}
+	if w := lp.aw.Window(); w != lp.lastWin {
+		lp.lastWin = w
+		now := s.H.E.Now()
+		s.Trace(TraceEvent{
+			Kind: "counter", Frag: -1, Start: now, End: now,
+			Name: "cwnd", Value: float64(w),
+		})
+	}
+}
+
+// traceQueue publishes a transfer's outstanding-block queue depth to
+// the trace stream.
+func (s *Stack) traceQueue(lp *largePull) {
+	if s.Trace == nil {
+		return
+	}
+	now := s.H.E.Now()
+	s.Trace(TraceEvent{
+		Kind: "counter", Frag: -1, Start: now, End: now,
+		Name: "pull-queue", Value: float64(len(lp.blocks)),
+	})
+}
+
+// traceRetransmit publishes one retransmission as a zero-length span.
+func (s *Stack) traceRetransmit(seq uint32, block, lane int) {
+	if s.Trace == nil {
+		return
+	}
+	now := s.H.E.Now()
+	s.Trace(TraceEvent{
+		Kind: "retransmit", Frag: -1, Start: now, End: now,
+		Seq: seq, Block: block, Lane: lane,
+	})
+}
+
+// maybeSteer runs the steering decision when the current time has
+// crossed the next quantized epoch boundary. It is called from the
+// receive callback, so an idle host never schedules anything and the
+// simulation still drains to completion.
+func (s *Stack) maybeSteer(now sim.Time) {
+	if s.steerEvery == 0 || now < s.steerNext {
+		return
+	}
+	s.steerNext = (now/sim.Time(s.steerEvery) + 1) * sim.Time(s.steerEvery)
+	cur := make([][cpu.NumCategories]sim.Duration, len(s.H.Sys.Cores))
+	for i, c := range s.H.Sys.Cores {
+		for _, cat := range cpu.Categories() {
+			cur[i][cat] = c.BusyNs(cat)
+		}
+	}
+	prev, prevAt := s.steerPrev, s.steerLastAt
+	s.steerPrev, s.steerLastAt = cur, now
+	if prev == nil {
+		return // first boundary: baseline only
+	}
+	window := sim.Duration(now - prevAt)
+	if window <= 0 {
+		return
+	}
+	// Per-core busy deltas over the epoch. A mid-run ResetAccounting
+	// (benchmark phases) makes deltas negative; skip the epoch.
+	soft := make([]sim.Duration, len(cur))
+	total := make([]sim.Duration, len(cur))
+	for i := range cur {
+		for _, cat := range cpu.Categories() {
+			d := cur[i][cat] - prev[i][cat]
+			if d < 0 {
+				return
+			}
+			total[i] += d
+			if cat == cpu.BHProc || cat == cpu.BHCopy || cat == cpu.IOATSubmit {
+				soft[i] += d
+			}
+		}
+	}
+	// Source: the most loaded interrupt core (lowest id on ties), its
+	// lanes counted to require real contention before moving one.
+	src := -1
+	for _, n := range s.H.NICs {
+		if c := n.IRQCore; src < 0 || soft[c] > soft[src] || (soft[c] == soft[src] && c < src) {
+			src = c
+		}
+	}
+	if src < 0 {
+		return
+	}
+	lanesOnSrc := 0
+	for _, n := range s.H.NICs {
+		if n.IRQCore == src {
+			lanesOnSrc++
+		}
+	}
+	other := total[src] - soft[src]
+	saturated := float64(total[src]) >= steerSrcBusyFrac*float64(window)
+	softEnough := float64(soft[src]) >= steerSrcSoftFrac*float64(window)
+	contended := lanesOnSrc > 1 || float64(other) >= steerShareFrac*float64(window)
+	if !saturated || !softEnough || !contended {
+		return
+	}
+	// Target: the least-busy core that serves no NIC already (lowest
+	// id on ties) and is close to idle.
+	irq := make(map[int]bool, len(s.H.NICs))
+	for _, n := range s.H.NICs {
+		irq[n.IRQCore] = true
+	}
+	dst := -1
+	for i := range total {
+		if irq[i] {
+			continue
+		}
+		if dst < 0 || total[i] < total[dst] {
+			dst = i
+		}
+	}
+	if dst < 0 || float64(total[dst]) > steerDstBusyFrac*float64(window) {
+		return
+	}
+	// Move the highest lane served by the saturated core; lane 0 stays
+	// anchored whenever any other lane qualifies. The bottom half
+	// resolves IRQCore at the start of each run, so the move takes
+	// effect at the next interrupt.
+	for lane := len(s.H.NICs) - 1; lane >= 0; lane-- {
+		if s.H.NICs[lane].IRQCore == src {
+			s.H.NICs[lane].IRQCore = dst
+			return
+		}
+	}
+}

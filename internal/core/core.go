@@ -64,6 +64,17 @@ type Config struct {
 	// SkipBHCopy is the Figure 3 prediction knob: data still moves
 	// (so integrity holds) but the bottom-half copy costs nothing.
 	SkipBHCopy bool
+	// Adaptive turns on the self-tuning transport tier: per-peer
+	// SRTT/RTTVAR estimators (sampled from eager acks and pull-block
+	// round trips) derive the retransmission timeout in place of the
+	// fixed RetransmitTimeout default, an AIMD controller sizes each
+	// transfer's pull window within [2, 4 x lanes] from measured block
+	// round trips, and on multi-NIC hosts bottom-half work is steered
+	// off saturated cores at quantized epochs. Explicit settings still
+	// win: a nonzero RetransmitTimeout pins the timeout and a nonzero
+	// PullBlocks pins the window even with Adaptive set. Off (the
+	// default), the stack is bit-identical to the static transport.
+	Adaptive bool
 
 	// LargeThreshold: messages strictly larger use the rendezvous
 	// pull protocol (paper: 32 kB). Capped at 64 eager fragments
@@ -232,15 +243,31 @@ type Stats struct {
 	NICTxFrames []int64
 }
 
-// TraceEvent is one receive-path span, emitted through Stack.Trace for
-// timeline rendering (the paper's Figures 5 and 6).
+// TraceEvent is one span or counter sample of the stack's trace
+// stream, emitted through Stack.Trace. The receive-path kinds
+// ("process", "memcpy", "submit", "dma-copy", "wait", "notify") are
+// the paper's Figures 5/6 timeline; the protocol kinds ("eager",
+// "rndv", "pull", "retransmit") span whole exchanges with their lane,
+// sequence and window annotations; Kind "counter" carries a named
+// scalar sample (cwnd, srtt, queue-depth) for timeline export.
 type TraceEvent struct {
 	// Kind: "process", "memcpy", "submit", "dma-copy", "wait",
-	// "notify".
+	// "notify", "eager", "rndv", "pull", "collective", "retransmit",
+	// "counter" (counter Names: "cwnd", "srtt", "pull-queue").
 	Kind  string
-	Frag  int
+	Frag  int // fragment id for receive-path spans, -1 otherwise
 	Start sim.Time
 	End   sim.Time
+
+	// Protocol-span annotations (zero for receive-path spans).
+	Lane   int    // transmit lane of the spanned unit
+	Seq    uint32 // channel or rendezvous sequence
+	Block  int    // pull block index ("pull"/"retransmit" on a block)
+	Window int    // pull window in blocks when the span closed
+
+	// Counter samples (Kind "counter") only.
+	Name  string
+	Value float64
 }
 
 // Stack is the Open-MX driver+library instance of one host.
@@ -271,6 +298,21 @@ type Stack struct {
 	rndvSeen map[rndvKey]*rndvState
 	rndvDone []rndvKey
 
+	// Adaptive-transport state (Config.Adaptive; see adaptive.go).
+	// adaptiveRTO / adaptiveWin record whether the timeout and the pull
+	// window are derived online (an explicit RetransmitTimeout or
+	// PullBlocks in the Config pins the static value even with
+	// Adaptive set).
+	adaptiveRTO bool
+	adaptiveWin bool
+	rtt         map[proto.Addr]*proto.RTTEstimator
+	pullWin     map[proto.Addr]*proto.AIMDWindow
+	// IRQ/bottom-half steering epochs (multi-NIC adaptive hosts).
+	steerEvery  sim.Duration // 0 = steering disabled
+	steerNext   sim.Time     // next quantized decision boundary
+	steerLastAt sim.Time     // time of the previous ledger sample
+	steerPrev   [][cpu.NumCategories]sim.Duration
+
 	Stats Stats
 }
 
@@ -297,6 +339,10 @@ type rndvState struct {
 // PullBlocks explicitly to measure that plateau). An explicit
 // PullBlocks always wins.
 func Attach(h *host.Host, cfg Config) *Stack {
+	// Adaptive derivations apply only where no explicit value pins the
+	// static behaviour — decided before any default is filled in.
+	adaptiveRTO := cfg.Adaptive && cfg.RetransmitTimeout == 0
+	adaptiveWin := cfg.Adaptive && cfg.PullBlocks == 0
 	if cfg.PullBlocks == 0 && h.Lanes() > 1 {
 		cfg.PullBlocks = Defaults().PullBlocks * h.Lanes()
 	}
@@ -318,13 +364,22 @@ func Attach(h *host.Host, cfg Config) *Stack {
 	}
 	cfg.fillDefaults()
 	s := &Stack{
-		H:         h,
-		Cfg:       cfg,
-		lanes:     h.Lanes(),
-		endpoints: make(map[int]*Endpoint),
-		sends:     make(map[int]*largeSend),
-		pulls:     make(map[int]*largePull),
-		rndvSeen:  make(map[rndvKey]*rndvState),
+		H:           h,
+		Cfg:         cfg,
+		lanes:       h.Lanes(),
+		endpoints:   make(map[int]*Endpoint),
+		sends:       make(map[int]*largeSend),
+		pulls:       make(map[int]*largePull),
+		rndvSeen:    make(map[rndvKey]*rndvState),
+		adaptiveRTO: adaptiveRTO,
+		adaptiveWin: adaptiveWin,
+	}
+	if cfg.Adaptive {
+		s.rtt = make(map[proto.Addr]*proto.RTTEstimator)
+		s.pullWin = make(map[proto.Addr]*proto.AIMDWindow)
+		if s.lanes > 1 {
+			s.steerEvery = steerEpoch
+		}
 	}
 	s.Stats.NICTxFrames = make([]int64, s.lanes)
 	for i, n := range h.NICs {
@@ -391,11 +446,20 @@ type largeSend struct {
 	buf    *hostmem.Buffer
 	off, n int
 	seq    uint32
+	// sentAt is when the rendezvous request first went out (the
+	// request -> first-pull round trip is an RTT sample; Karn's rule
+	// skips it once the request was retransmitted).
+	sentAt sim.Time
 	// rtx re-sends the rendezvous request if no pull ever arrives;
 	// attempts drives its exponential backoff.
 	rtx      sim.Timer
 	attempts int
 	pulled   bool
+	// sampled flags that the request->first-pull RTT was already
+	// taken. pulled cannot double as this: the rndv watchdog resets
+	// it to probe for progress, and a later pull (e.g. a block
+	// re-request) would then be sampled against the original sentAt.
+	sampled  bool
 	finished bool
 }
 
@@ -418,6 +482,13 @@ type largePull struct {
 	numBlocks int
 	blocks    map[int]*pullBlock
 	received  int
+	startedAt sim.Time // pull start, for the whole-rendezvous trace span
+
+	// aw is the transfer's AIMD pull-window controller (adaptive
+	// stacks without an explicit PullBlocks; nil otherwise). lastWin
+	// tracks the last cwnd counter sample emitted to the trace.
+	aw      *proto.AIMDWindow
+	lastWin int
 
 	useIOAT bool
 	// chs holds one DMA channel per NIC lane: fragments arriving on
@@ -450,6 +521,11 @@ type pullBlock struct {
 	asm      proto.Reassembly
 	timer    sim.Timer
 	attempts int // consecutive timer expiries without progress
+	// sentAt is the first request's transmit time (the block's round
+	// trip is an RTT and AIMD sample); rtxed marks a retransmitted
+	// block, whose round trip is never sampled (Karn's rule).
+	sentAt sim.Time
+	rtxed  bool
 }
 
 // pageChunks splits a destination range [start, start+n) into

@@ -131,6 +131,11 @@ type eagerSend struct {
 	match  uint64
 	buf    *hostmem.Buffer
 	off, n int
+	// sentAt is the first transmission time (the send -> cumulative-ack
+	// round trip is an RTT sample); rtxed marks a retransmitted send,
+	// never sampled (Karn's rule).
+	sentAt sim.Time
+	rtxed  bool
 }
 
 // rxChan is the receive-side state from one remote endpoint:
@@ -583,7 +588,7 @@ func (ep *Endpoint) eagerSendOp(p *sim.Proc, r *Request) {
 	frags := proto.MediumFragsOf(r.n)
 	cost := sim.Duration(s.H.P.SyscallCost + int64(frags)*s.H.P.OMXTxBuildCost)
 	ep.core().RunOn(p, cpu.DriverCmd, cost)
-	tc.unacked = append(tc.unacked, &eagerSend{seq: r.seq, req: r, match: r.MatchInfo, buf: r.buf, off: r.off, n: r.n})
+	tc.unacked = append(tc.unacked, &eagerSend{seq: r.seq, req: r, match: r.MatchInfo, buf: r.buf, off: r.off, n: r.n, sentAt: p.Now()})
 	s.transmitEager(ep, tc, r.seq, r.MatchInfo, r.buf, r.off, r.n)
 	s.Stats.EagerSent++
 	ep.armEagerRtx(tc)
@@ -624,13 +629,14 @@ func (ep *Endpoint) armEagerRtx(tc *txChan) {
 		return
 	}
 	s := ep.S
-	tc.rtx = s.H.E.Schedule(s.Cfg.rtxTimeout(tc.rtxAttempts), func() {
+	tc.rtx = s.H.E.Schedule(s.rtxTimeout(tc.dst, tc.rtxAttempts), func() {
 		tc.rtx = sim.Timer{}
 		if len(tc.unacked) == 0 {
 			return
 		}
 		tc.rtxAttempts++
 		s.Stats.EagerRetransmits++
+		s.traceRetransmit(tc.unacked[0].seq, -1, 0)
 		// Rebuild and resend every unacked message; receivers dedup.
 		// One timer, one softirq context: the rebuild runs on the
 		// primary NIC's interrupt core even though the fragments then
@@ -642,6 +648,9 @@ func (ep *Endpoint) armEagerRtx(tc *txChan) {
 		}
 		irq := s.H.Sys.Core(s.H.NIC.IRQCore)
 		unacked := append([]*eagerSend(nil), tc.unacked...)
+		for _, es := range unacked {
+			es.rtxed = true // Karn: never sample a retransmitted send
+		}
 		irq.Exec(cpu.BHProc, sim.Duration(build), func() {
 			for _, es := range unacked {
 				s.transmitEager(ep, tc, es.seq, es.match, es.buf, es.off, es.n)
@@ -662,7 +671,7 @@ func (ep *Endpoint) rndvSend(p *sim.Proc, r *Request) {
 	ep.core().RunOn(p, cpu.DriverCmd, cost)
 
 	s.nextHandle++
-	ls := &largeSend{handle: s.nextHandle, ep: ep, req: r, dst: r.dst, buf: r.buf, off: r.off, n: r.n, seq: r.seq}
+	ls := &largeSend{handle: s.nextHandle, ep: ep, req: r, dst: r.dst, buf: r.buf, off: r.off, n: r.n, seq: r.seq, sentAt: p.Now()}
 	s.sends[ls.handle] = ls
 	s.transmitRndv(ls)
 	s.Stats.RndvSent++
@@ -682,7 +691,7 @@ func (s *Stack) transmitRndv(ls *largeSend) {
 // re-sends the request, backing off exponentially until the receiver
 // answers (progress resets the backoff).
 func (s *Stack) armRndvRtx(ls *largeSend) {
-	ls.rtx = s.H.E.Schedule(s.Cfg.rtxTimeout(ls.attempts), func() {
+	ls.rtx = s.H.E.Schedule(s.rtxTimeout(ls.dst, ls.attempts), func() {
 		if ls.finished {
 			return
 		}
@@ -690,6 +699,7 @@ func (s *Stack) armRndvRtx(ls *largeSend) {
 			// The request (or everything since) was lost: resend it.
 			ls.attempts++
 			s.Stats.RndvRetransmits++
+			s.traceRetransmit(ls.seq, -1, s.laneOf(ls.seq, 0))
 			s.transmitRndv(ls)
 		} else {
 			ls.attempts = 0
@@ -728,6 +738,11 @@ func (ep *Endpoint) startPull(p *sim.Proc, r *Request, u *uxMsg) {
 		}
 		lp.lastSeq = make([]uint64, s.lanes)
 	}
+	if s.adaptiveWin {
+		lp.aw = s.pullWindowFor(lp.src)
+		lp.lastWin = lp.aw.Window()
+	}
+	lp.startedAt = s.H.E.Now()
 	r.MatchInfo = u.match
 	r.SenderAddr = u.src
 	s.pulls[lp.handle] = lp
@@ -738,7 +753,7 @@ func (ep *Endpoint) startPull(p *sim.Proc, r *Request, u *uxMsg) {
 	}
 	st.handle = lp.handle
 
-	for b := 0; b < s.Cfg.PullBlocks && lp.nextBlock < lp.numBlocks; b++ {
+	for b := 0; b < s.pullWindow(lp) && lp.nextBlock < lp.numBlocks; b++ {
 		s.sendPullBlock(lp, lp.nextBlock, 0)
 		lp.nextBlock++
 	}

@@ -81,11 +81,11 @@ func FuzzReliabilityWindow(f *testing.F) {
 				edge := rx.win.Edge()
 				ackValues = append(ackValues, edge)
 				done := tx.applyCumulative(edge)
-				for _, r := range done {
-					if ackedReq[r] {
+				for _, es := range done {
+					if ackedReq[es.req] {
 						t.Fatal("request completed twice")
 					}
-					ackedReq[r] = true
+					ackedReq[es.req] = true
 				}
 				if len(done) > 0 && tx.ackedSeq != edge {
 					t.Fatalf("ackedSeq %d after applying edge %d", tx.ackedSeq, edge)

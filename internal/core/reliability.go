@@ -2,7 +2,6 @@ package core
 
 import (
 	"omxsim/internal/proto"
-	"omxsim/sim"
 )
 
 // Reliability-window primitives shared by the receive dedup path and
@@ -48,11 +47,13 @@ func (c *rxChan) markFrag(seq uint32, fragID int) {
 }
 
 // applyCumulative advances the channel's cumulative ack to ackSeq and
-// returns the sends it completes, oldest first. Stale and duplicate
-// acks (not after the current edge in serial arithmetic) return nil
-// and change nothing; an ack that does advance the edge also resets
-// the retransmission backoff — the peer is alive.
-func (tc *txChan) applyCumulative(ackSeq uint32) []*Request {
+// returns the sends it completes, oldest first (the caller reads the
+// completed Requests, RTT samples and trace spans off them). Stale
+// and duplicate acks (not after the current edge in serial
+// arithmetic) return nil and change nothing; an ack that does advance
+// the edge also resets the retransmission backoff — the peer is
+// alive.
+func (tc *txChan) applyCumulative(ackSeq uint32) []*eagerSend {
 	if ackSeq == 0 || !proto.SeqAfter(ackSeq, tc.ackedSeq) {
 		return nil
 	}
@@ -60,18 +61,5 @@ func (tc *txChan) applyCumulative(ackSeq uint32) []*Request {
 	tc.rtxAttempts = 0
 	acked, keep := proto.TrimAcked(tc.unacked, func(es *eagerSend) uint32 { return es.seq }, ackSeq)
 	tc.unacked = keep
-	done := make([]*Request, 0, len(acked))
-	for _, es := range acked {
-		done = append(done, es.req)
-	}
-	return done
-}
-
-// rtxTimeout returns the retransmission timeout after the given
-// number of consecutive unanswered attempts: exponential backoff by
-// RetransmitBackoff, capped at RetransmitMax. Attempt counters reset
-// whenever the peer shows progress, so a transient outage does not
-// leave a channel permanently slow.
-func (c *Config) rtxTimeout(attempts int) sim.Duration {
-	return proto.Backoff(c.RetransmitTimeout, c.RetransmitMax, c.RetransmitBackoff, attempts)
+	return acked
 }

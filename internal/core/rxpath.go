@@ -18,6 +18,7 @@ import (
 // path (pull-answering data) use it.
 func (s *Stack) rxCallback(lane int, p *sim.Proc, core *cpu.Core, skb *nic.Skb) {
 	t0 := p.Now()
+	s.maybeSteer(t0)
 	core.RunOn(p, cpu.BHProc, sim.Duration(s.H.P.OMXRecvCallbackCost))
 	if s.Trace != nil {
 		if m, ok := skb.Frame.Msg.(*proto.LargeFrag); ok {
@@ -71,12 +72,29 @@ func (s *Stack) applyAck(p *sim.Proc, core *cpu.Core, epID int, from proto.Addr,
 	if tc == nil {
 		return
 	}
-	done := tc.applyCumulative(ackSeq)
+	acked := tc.applyCumulative(ackSeq)
 	if len(tc.unacked) == 0 {
 		tc.rtx.Stop()
 		tc.rtx = sim.Timer{}
 	}
-	if len(done) > 0 {
+	if len(acked) > 0 {
+		// The newest never-retransmitted send the ack covers is a clean
+		// round-trip sample (Karn's rule skips retransmitted ones).
+		now := s.H.E.Now()
+		sample := sim.Duration(-1)
+		done := make([]*Request, 0, len(acked))
+		for _, es := range acked {
+			done = append(done, es.req)
+			if !es.rtxed {
+				sample = now - es.sentAt
+			}
+			if s.Trace != nil {
+				s.Trace(TraceEvent{Kind: "eager", Frag: -1, Seq: es.seq, Lane: s.laneOf(es.seq, 0), Start: es.sentAt, End: now})
+			}
+		}
+		if sample >= 0 {
+			s.observeRTT(from, sample)
+		}
 		s.chargeEvent(p, core)
 		ep.pushEvent(&event{kind: evEagerAcked, reqs: done})
 	}
@@ -219,6 +237,12 @@ func (s *Stack) rxPull(lane int, p *sim.Proc, core *cpu.Core, skb *nic.Skb, m *p
 	if ls == nil {
 		return // stale pull for a finished send
 	}
+	if !ls.sampled && ls.attempts == 0 {
+		// First pull answers the (never-retransmitted) rendezvous
+		// request: a clean request->pull round trip to the receiver.
+		s.observeRTT(m.Src, s.H.E.Now()-ls.sentAt)
+	}
+	ls.sampled = true
 	ls.pulled = true
 	count := 0
 	for i := 0; i < m.FragCount; i++ {
@@ -336,14 +360,45 @@ func (s *Stack) rxLargeFrag(lane int, p *sim.Proc, core *cpu.Core, skb *nic.Skb,
 	if blk.asm.Done() {
 		blk.timer.Stop()
 		delete(lp.blocks, m.Block)
-		if lp.nextBlock < lp.numBlocks {
+		if s.Trace != nil {
+			s.Trace(TraceEvent{
+				Kind: "pull", Frag: -1, Seq: lp.key.seq, Block: blk.idx,
+				Lane: s.laneOf(lp.key.seq, blk.idx), Window: s.pullWindow(lp),
+				Start: blk.sentAt, End: p.Now(),
+			})
+		}
+		if !blk.rtxed {
+			// A clean block round trip: feed the peer's RTO estimator
+			// and the transfer's window controller (which may also back
+			// off here, on round-trip inflation).
+			rtt := p.Now() - blk.sentAt
+			s.observeRTT(lp.src, rtt)
+			if lp.aw != nil {
+				lp.aw.OnSample(rtt)
+				s.traceCwnd(lp)
+			}
+		}
+		// Refill the window: exactly one block on the static path (the
+		// paper's one-for-one pipeline), the snapshot deficit after an
+		// AIMD change. The count is fixed before the first RunOn yield —
+		// a concurrent lane's completion during the yield must not
+		// change how many blocks this completion issues.
+		want := 1
+		if lp.aw != nil {
+			want = s.pullWindow(lp) - len(lp.blocks)
+		}
+		for i := 0; i < want && lp.nextBlock < lp.numBlocks; i++ {
 			// "A resource cleanup routine is invoked when a new
 			// request is sent" (Section III-B).
 			core.RunOn(p, cpu.BHProc, sim.Duration(s.H.P.OMXTxBuildCost))
+			if lp.nextBlock >= lp.numBlocks {
+				break // a concurrent lane issued the tail during the yield
+			}
 			s.sendPullBlock(lp, lp.nextBlock, 0)
 			lp.nextBlock++
 			s.cleanup(p, core, lp)
 		}
+		s.traceQueue(lp)
 	}
 
 	if last {
@@ -390,6 +445,12 @@ func (s *Stack) rxLargeFrag(lane int, p *sim.Proc, core *cpu.Core, skb *nic.Skb,
 		delete(s.pulls, lp.handle)
 		s.markRndvDone(lp)
 		lp.req.Len = lp.n
+		if s.Trace != nil {
+			s.Trace(TraceEvent{
+				Kind: "rndv", Frag: -1, Seq: lp.key.seq,
+				Window: s.pullWindow(lp), Start: lp.startedAt, End: p.Now(),
+			})
+		}
 		tn := p.Now()
 		s.chargeEvent(p, core)
 		if s.Trace != nil {
@@ -464,7 +525,7 @@ func (s *Stack) sendPullBlock(lp *largePull, blockIdx int, mask uint64) {
 	count := min(s.Cfg.PullBlockFrags, lp.frags-firstFrag)
 	blk := lp.blocks[blockIdx]
 	if blk == nil {
-		blk = &pullBlock{idx: blockIdx, firstFrag: firstFrag, asm: proto.NewReassembly(count)}
+		blk = &pullBlock{idx: blockIdx, firstFrag: firstFrag, asm: proto.NewReassembly(count), sentAt: s.H.E.Now()}
 		lp.blocks[blockIdx] = blk
 	}
 	if mask == 0 {
@@ -487,12 +548,20 @@ func (s *Stack) sendPullBlock(lp *largePull, blockIdx int, mask uint64) {
 // fragment arriving back off exponentially.
 func (s *Stack) armBlockTimer(lp *largePull, blk *pullBlock) {
 	blk.timer.Stop()
-	blk.timer = s.H.E.Schedule(s.Cfg.rtxTimeout(blk.attempts), func() {
+	blk.timer = s.H.E.Schedule(s.rtxTimeout(lp.src, blk.attempts), func() {
 		if lp.done || blk.asm.Done() {
 			return
 		}
 		blk.attempts++
+		blk.rtxed = true
 		s.Stats.PullRetransmits++
+		s.traceRetransmit(lp.key.seq, blk.idx, s.laneOf(lp.key.seq, blk.idx))
+		if lp.aw != nil {
+			// The timeout is the loss signal: halve the window once per
+			// loss epoch (the next clean sample reopens the epoch).
+			lp.aw.OnLoss()
+			s.traceCwnd(lp)
+		}
 		need := blk.asm.Missing()
 		// The re-request builds on the stripe lane's interrupt core —
 		// the core whose bottom half owns this block's traffic — so

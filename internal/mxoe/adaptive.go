@@ -1,0 +1,87 @@
+package mxoe
+
+import (
+	"omxsim/internal/core"
+	"omxsim/internal/proto"
+	"omxsim/sim"
+)
+
+// The firmware's self-tuning tier (Config.Adaptive): the same
+// estimator and AIMD controller as the host stack (internal/proto),
+// run entirely in firmware context. Retransmission timeouts derive
+// from per-peer SRTT/RTTVAR, and each pull transfer sizes its block
+// window by additive increase / multiplicative decrease instead of
+// the fixed two blocks per lane. There is no IRQ steering here — the
+// firmware never interrupts the host, so there is nothing to steer.
+
+// mxAdaptiveMinRTO floors the firmware's derived timeout; see the
+// matching constant in internal/core.
+const mxAdaptiveMinRTO = sim.Millisecond
+
+// Firmware AIMD window bounds, matching the host stack's: the paper's
+// two pipelined blocks up to four blocks per lane.
+const (
+	mxAdaptiveWinMin     = 2
+	mxAdaptiveWinPerLane = 4
+)
+
+// rtxTimeout returns the retransmission timeout towards peer after
+// the given number of consecutive unanswered attempts: the firmware's
+// configured base by default, the peer's estimated RTO (clamped
+// between mxAdaptiveMinRTO and that base) once adaptive and measured.
+func (s *Stack) rtxTimeout(peer proto.Addr, attempts int) sim.Duration {
+	base := s.Cfg.RetransmitTimeout
+	if s.adaptiveRTO {
+		if e := s.rtt[peer]; e != nil {
+			base = e.RTO(mxAdaptiveMinRTO, s.Cfg.RetransmitTimeout)
+		}
+	}
+	return proto.Backoff(base, s.Cfg.RetransmitMax, s.Cfg.RetransmitBackoff, attempts)
+}
+
+// observeRTT feeds one clean round-trip sample into peer's estimator
+// and publishes the new SRTT to the trace stream.
+func (s *Stack) observeRTT(peer proto.Addr, rtt sim.Duration) {
+	if s.rtt == nil || rtt < 0 {
+		return
+	}
+	e := s.rtt[peer]
+	if e == nil {
+		e = &proto.RTTEstimator{}
+		s.rtt[peer] = e
+	}
+	e.Observe(rtt)
+	if s.Trace != nil {
+		now := s.H.E.Now()
+		s.Trace(core.TraceEvent{
+			Kind: "counter", Frag: -1, Start: now, End: now,
+			Name: "srtt", Value: sim.Time(e.SRTT()).Micros(),
+		})
+	}
+}
+
+// pullWindowFor returns (creating on first use) the shared AIMD
+// controller for pulls from peer — per peer, not per transfer, so the
+// window a transfer earned persists into the next one (see the
+// matching helper in internal/core).
+func (s *Stack) pullWindowFor(peer proto.Addr) *proto.AIMDWindow {
+	aw := s.pullWin[peer]
+	if aw == nil {
+		aw = proto.NewAIMDWindow(mxAdaptiveWinMin, mxAdaptiveWinPerLane*s.lanes)
+		s.pullWin[peer] = aw
+	}
+	return aw
+}
+
+// traceRetransmit publishes one firmware retransmission as a
+// zero-length span.
+func (s *Stack) traceRetransmit(seq uint32, block, lane int) {
+	if s.Trace == nil {
+		return
+	}
+	now := s.H.E.Now()
+	s.Trace(core.TraceEvent{
+		Kind: "retransmit", Frag: -1, Start: now, End: now,
+		Seq: seq, Block: block, Lane: lane,
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"omxsim/internal/core"
 	"omxsim/internal/cpu"
 	"omxsim/internal/hostmem"
 	"omxsim/internal/proto"
@@ -306,6 +307,10 @@ type collCall struct {
 	// Hop reliability: outstanding fragments awaiting per-hop acks.
 	outs    map[collOutKey]*collOut
 	unacked int
+
+	// startedAt is the call's creation time: collFinish publishes the
+	// [startedAt, finish] interval as a "collective" trace span.
+	startedAt sim.Time
 }
 
 // collVec assembles one fragmented tree payload (a child contribution
@@ -370,10 +375,11 @@ type collOut struct {
 func (g *CollGroup) newCall(seq uint32, op proto.CollOp, root, n int) *collCall {
 	c := &collCall{
 		g: g, seq: seq, op: op, root: root, n: n,
-		frags:  proto.CollFragsOf(n),
-		up:     make(map[int]*collVec),
-		outs:   make(map[collOutKey]*collOut),
-		parent: -1,
+		frags:     proto.CollFragsOf(n),
+		up:        make(map[int]*collVec),
+		outs:      make(map[collOutKey]*collOut),
+		parent:    -1,
+		startedAt: g.ep.S.H.E.Now(),
 	}
 	c.initTree()
 	g.calls[seq] = c
@@ -691,6 +697,12 @@ func (s *Stack) collFinish(c *collCall) {
 		return
 	}
 	c.complete = true
+	if s.Trace != nil {
+		s.Trace(core.TraceEvent{
+			Kind: "collective", Frag: -1, Seq: c.seq,
+			Name: c.op.String(), Start: c.startedAt, End: s.H.E.Now(),
+		})
+	}
 	if c.req != nil && !c.req.done {
 		c.req.Len = c.n
 		c.g.ep.pushEvent(&event{kind: evCollDone, req: c.req})
@@ -792,12 +804,13 @@ func (s *Stack) collOutSend(c *collCall, key collOutKey, m *proto.CollData, payl
 // armCollRtx (re)arms one hop fragment's retransmission timer with
 // the firmware's standard backoff.
 func (s *Stack) armCollRtx(o *collOut) {
-	o.timer = s.H.E.Schedule(s.rtxTimeout(o.attempts), func() {
+	o.timer = s.H.E.Schedule(s.rtxTimeout(o.m.Dst, o.attempts), func() {
 		if o.acked {
 			return
 		}
 		o.attempts++
 		s.Stats.Coll.Retransmits++
+		s.traceRetransmit(o.m.Seq, o.m.FragID, o.lane)
 		s.collEmit(o.lane, o.m.Dst, o.m, o.payload)
 		s.armCollRtx(o)
 	})

@@ -1,6 +1,7 @@
 package mxoe
 
 import (
+	"omxsim/internal/core"
 	"omxsim/internal/proto"
 	"omxsim/internal/wire"
 	"omxsim/sim"
@@ -57,7 +58,24 @@ func (s *Stack) fwAck(m *proto.Ack) {
 	if tc == nil {
 		return
 	}
-	tc.applyCumulative(m.AckSeq)
+	acked := tc.applyCumulative(m.AckSeq)
+	if len(acked) > 0 {
+		// The newest never-retransmitted send the ack covers is a clean
+		// round-trip sample (Karn's rule skips retransmitted ones).
+		now := s.H.E.Now()
+		sample := sim.Duration(-1)
+		for _, u := range acked {
+			if !u.rtxed {
+				sample = now - u.sentAt
+			}
+			if s.Trace != nil {
+				s.Trace(core.TraceEvent{Kind: "eager", Frag: -1, Seq: u.seq, Lane: s.laneOf(u.seq, 0), Start: u.sentAt, End: now})
+			}
+		}
+		if sample >= 0 {
+			s.observeRTT(m.Dst, sample)
+		}
+	}
 	if len(tc.unacked) == 0 {
 		tc.rtx.Stop()
 		tc.rtx = sim.Timer{}
@@ -162,6 +180,12 @@ func (s *Stack) fwPull(lane int, m *proto.Pull) {
 	if ms == nil {
 		return
 	}
+	if !ms.sampled && ms.attempts == 0 {
+		// First pull answers the (never-retransmitted) rendezvous
+		// request: a clean request->pull round trip to the receiver.
+		s.observeRTT(m.Src, s.H.E.Now()-ms.sentAt)
+	}
+	ms.sampled = true
 	ms.pulled = true
 	var frags []int
 	for i := 0; i < m.FragCount; i++ {
@@ -225,6 +249,41 @@ func (s *Stack) fwLargeFrag(f *wire.Frame, m *proto.LargeFrag) {
 	if blk.asm.Done() {
 		blk.timer.Stop()
 		delete(lp.blocks, m.Block)
+		if s.Trace != nil {
+			win := 2 * s.lanes
+			if lp.aw != nil {
+				win = lp.aw.Window()
+			}
+			s.Trace(core.TraceEvent{
+				Kind: "pull", Frag: -1, Seq: lp.key.seq, Block: blk.idx,
+				Lane: s.laneOf(lp.key.seq, blk.idx), Window: win,
+				Start: blk.sentAt, End: s.H.E.Now(),
+			})
+		}
+		if !blk.rtxed {
+			// A clean block round trip: feed the peer's RTO estimator
+			// and the transfer's window controller.
+			rtt := s.H.E.Now() - blk.sentAt
+			s.observeRTT(lp.src, rtt)
+			if lp.aw != nil {
+				lp.aw.OnSample(rtt)
+			}
+		}
+		if lp.aw != nil {
+			// Adaptive refill: top the window back up at completion
+			// time (firmware context, no host cost). The static path
+			// keeps its arrival-paced one-for-one refill below.
+			for len(lp.blocks) < lp.aw.Window() && lp.nextBlock*mxBlockFrags < lp.frags {
+				s.pullNextBlock(lp)
+			}
+		}
+		if s.Trace != nil {
+			now := s.H.E.Now()
+			s.Trace(core.TraceEvent{
+				Kind: "counter", Frag: -1, Start: now, End: now,
+				Name: "pull-queue", Value: float64(len(lp.blocks)),
+			})
+		}
 	}
 	n := len(f.Data)
 	s.H.E.Schedule(s.dmaDelay(n), func() {
@@ -233,8 +292,9 @@ func (s *Stack) fwLargeFrag(f *wire.Frame, m *proto.LargeFrag) {
 		lp.buf.WrittenByDMA()
 		lp.arrived++
 		// When another block's worth of fragments has landed, ask for
-		// the next outstanding block (two are pipelined).
-		if lp.arrived%mxBlockFrags == 0 && lp.nextBlock*mxBlockFrags < lp.frags {
+		// the next outstanding block (two are pipelined). Adaptive
+		// transfers refill at block completion instead (above).
+		if lp.aw == nil && lp.arrived%mxBlockFrags == 0 && lp.nextBlock*mxBlockFrags < lp.frags {
 			s.pullNextBlock(lp)
 		}
 		if lp.arrived == lp.frags {
@@ -245,6 +305,16 @@ func (s *Stack) fwLargeFrag(f *wire.Frame, m *proto.LargeFrag) {
 			delete(s.pulls, lp.handle)
 			s.markRndvDone(lp.key)
 			lp.req.Len = lp.n
+			if s.Trace != nil {
+				win := 2 * s.lanes
+				if lp.aw != nil {
+					win = lp.aw.Window()
+				}
+				s.Trace(core.TraceEvent{
+					Kind: "rndv", Frag: -1, Seq: lp.key.seq,
+					Window: win, Start: lp.startedAt, End: s.H.E.Now(),
+				})
+			}
 			lp.ep.pushEvent(&event{kind: evRecvDone, req: lp.req})
 			s.transmit(lp.src, &proto.RndvAck{Src: lp.ep.Addr(), Dst: lp.src, SenderHandle: lp.senderHandle}, nil)
 		}
@@ -259,7 +329,7 @@ func (s *Stack) pullNextBlock(lp *mxPull) {
 		return
 	}
 	count := min(mxBlockFrags, lp.frags-firstFrag)
-	blk := &mxBlock{idx: lp.nextBlock, firstFrag: firstFrag, asm: proto.NewReassembly(count)}
+	blk := &mxBlock{idx: lp.nextBlock, firstFrag: firstFrag, asm: proto.NewReassembly(count), sentAt: s.H.E.Now()}
 	lp.blocks[lp.nextBlock] = blk
 	lp.nextBlock++
 	s.sendPull(lp, blk, blk.asm.FullMask())

@@ -33,6 +33,7 @@ package mxoe
 import (
 	"fmt"
 
+	"omxsim/internal/core"
 	"omxsim/internal/cpu"
 	"omxsim/internal/host"
 	"omxsim/internal/hostmem"
@@ -54,6 +55,12 @@ type Config struct {
 	RetransmitTimeout sim.Duration
 	RetransmitBackoff float64
 	RetransmitMax     sim.Duration
+	// Adaptive enables the firmware's self-tuning tier (adaptive.go):
+	// per-peer RTT-derived retransmission timeouts (unless an explicit
+	// RetransmitTimeout pins the static base) and AIMD-sized pull
+	// windows. Off, the firmware behaves bit-identically to the fixed
+	// two-blocks-per-lane configuration.
+	Adaptive bool
 }
 
 // Stats counts firmware protocol activity for tests and diagnostics.
@@ -107,12 +114,26 @@ type Stack struct {
 	collGroups  map[collKey]*CollGroup
 	collPending map[collKey][]*wire.Frame
 
+	// Adaptive-tier state (adaptive.go): whether timeouts derive from
+	// measured RTTs, and the per-peer estimators feeding them.
+	adaptiveRTO bool
+	rtt         map[proto.Addr]*proto.RTTEstimator
+	pullWin     map[proto.Addr]*proto.AIMDWindow
+
+	// Trace, when set, receives transport span and counter events
+	// (pull blocks, collectives, retransmissions, SRTT samples) in the
+	// host stack's TraceEvent format, for the Chrome trace exporter.
+	Trace func(core.TraceEvent)
+
 	Stats Stats
 }
 
 // Attach builds a native MX stack on h, switching the NIC to firmware
 // mode.
 func Attach(h *host.Host, cfg Config) *Stack {
+	// Adaptive RTO applies only when no explicit timeout pins the
+	// static base — decided before the default is filled in.
+	adaptiveRTO := cfg.Adaptive && cfg.RetransmitTimeout == 0
 	if cfg.RingSlots == 0 {
 		cfg.RingSlots = 512
 	}
@@ -136,6 +157,12 @@ func Attach(h *host.Host, cfg Config) *Stack {
 
 		collGroups:  make(map[collKey]*CollGroup),
 		collPending: make(map[collKey][]*wire.Frame),
+
+		adaptiveRTO: adaptiveRTO,
+	}
+	if cfg.Adaptive {
+		s.rtt = make(map[proto.Addr]*proto.RTTEstimator)
+		s.pullWin = make(map[proto.Addr]*proto.AIMDWindow)
 	}
 	s.Stats.NICTxFrames = make([]int64, s.lanes)
 	for i, n := range h.NICs {
@@ -268,7 +295,14 @@ type mxSend struct {
 	rtx      sim.Timer
 	attempts int
 	pulled   bool
+	// sampled flags that the request->first-pull RTT was already
+	// taken (pulled cannot double as this: the rndv watchdog resets
+	// it to probe for progress).
+	sampled  bool
 	finished bool
+	// sentAt is the request's post time: the request -> first-pull
+	// round trip is an RTT sample when nothing was retransmitted.
+	sentAt sim.Time
 }
 
 type mxPull struct {
@@ -285,6 +319,10 @@ type mxPull struct {
 	nextBlock    int
 	blocks       map[int]*mxBlock
 	done         bool
+	startedAt    sim.Time // pull start, for the whole-rendezvous trace span
+	// aw is the transfer's AIMD window controller when the firmware
+	// runs adaptive; nil keeps the fixed two-blocks-per-lane pipeline.
+	aw *proto.AIMDWindow
 }
 
 // OpenEndpoint creates endpoint id bound to a core.
@@ -378,7 +416,7 @@ func (ep *Endpoint) ISend(p *sim.Proc, dst proto.Addr, match uint64, buf *hostme
 		cost := sim.Duration(s.H.P.MXPostCost) + ep.pinCost(buf, n)
 		ep.core().RunOn(p, cpu.UserLib, cost)
 		s.nextHandle++
-		ms := &mxSend{handle: s.nextHandle, ep: ep, req: r, dst: dst, seq: seq, buf: buf, off: off, n: n}
+		ms := &mxSend{handle: s.nextHandle, ep: ep, req: r, dst: dst, seq: seq, buf: buf, off: off, n: n, sentAt: s.H.E.Now()}
 		s.sends[ms.handle] = ms
 		s.transmitOn(s.laneOf(seq, 0), dst, &proto.RndvRequest{
 			Src: ep.Addr(), Dst: dst, Match: match, Seq: seq, MsgLen: n, SenderHandle: ms.handle,
@@ -389,7 +427,7 @@ func (ep *Endpoint) ISend(p *sim.Proc, dst proto.Addr, match uint64, buf *hostme
 	}
 	ep.core().RunOn(p, cpu.UserLib, sim.Duration(s.H.P.MXPostCost))
 	frags := proto.MediumFragsOf(n)
-	u := &mxUnacked{seq: seq}
+	u := &mxUnacked{seq: seq, sentAt: s.H.E.Now()}
 	for f := 0; f < frags; f++ {
 		fo := f * proto.MediumFragSize
 		fl := min(proto.MediumFragSize, n-fo)
@@ -636,12 +674,20 @@ func (ep *Endpoint) startPull(p *sim.Proc, r *Request, u *uxMsg) {
 		blocks: make(map[int]*mxBlock),
 	}
 	r.MatchInfo, r.SenderAddr = u.match, u.src
+	lp.startedAt = s.H.E.Now()
 	s.pulls[lp.handle] = lp
 	// Two pipelined pull blocks outstanding per NIC lane, entirely
 	// firmware-driven: the single-NIC window is the classic two
 	// blocks; an aggregated link widens proportionally so every lane
-	// keeps a block's worth of fragments in flight.
-	for i := 0; i < 2*s.lanes; i++ {
+	// keeps a block's worth of fragments in flight. An adaptive
+	// transfer instead starts at the AIMD controller's minimum and
+	// grows as clean block round trips accumulate.
+	want := 2 * s.lanes
+	if s.Cfg.Adaptive {
+		lp.aw = s.pullWindowFor(lp.src)
+		want = lp.aw.Window()
+	}
+	for i := 0; i < want; i++ {
 		s.pullNextBlock(lp)
 	}
 }

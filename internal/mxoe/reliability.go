@@ -46,6 +46,11 @@ type mxUnacked struct {
 	seq   uint32
 	msgs  []*proto.Eager
 	loads [][]byte
+	// sentAt is the first transmission time (the send -> cumulative-ack
+	// round trip is an RTT sample); rtxed marks a retransmitted
+	// message, never sampled (Karn's rule).
+	sentAt sim.Time
+	rtxed  bool
 }
 
 // next issues the channel's next sequence (skipping the "no ack"
@@ -53,17 +58,18 @@ type mxUnacked struct {
 func (tc *mxTxChan) next() uint32 { return proto.NextSeq(&tc.nextSeq) }
 
 // applyCumulative advances the cumulative ack, drops covered messages
-// from the unacked list and resets the retransmission backoff. Stale
-// or duplicate acks change nothing.
-func (tc *mxTxChan) applyCumulative(ackSeq uint32) bool {
+// from the unacked list (returning them, oldest first, so the caller
+// can take RTT samples) and resets the retransmission backoff. Stale
+// or duplicate acks return nil and change nothing.
+func (tc *mxTxChan) applyCumulative(ackSeq uint32) []*mxUnacked {
 	if ackSeq == 0 || !proto.SeqAfter(ackSeq, tc.ackedSeq) {
-		return false
+		return nil
 	}
 	tc.ackedSeq = ackSeq
 	tc.attempts = 0
-	_, keep := proto.TrimAcked(tc.unacked, func(u *mxUnacked) uint32 { return u.seq }, ackSeq)
+	acked, keep := proto.TrimAcked(tc.unacked, func(u *mxUnacked) uint32 { return u.seq }, ackSeq)
 	tc.unacked = keep
-	return true
+	return acked
 }
 
 // mxRxChan is the firmware's per-(endpoint, peer) receive window:
@@ -109,12 +115,6 @@ func (ep *Endpoint) mxRx(src proto.Addr) *mxRxChan {
 	return c
 }
 
-// rtxTimeout is the backoff-scaled retransmission timeout after the
-// given number of consecutive unanswered attempts.
-func (s *Stack) rtxTimeout(attempts int) sim.Duration {
-	return proto.Backoff(s.Cfg.RetransmitTimeout, s.Cfg.RetransmitMax, s.Cfg.RetransmitBackoff, attempts)
-}
-
 // armEagerRtx (re)arms a channel's eager retransmission timer. On
 // expiry the firmware re-streams every unacked message from its
 // snapshot; receivers deduplicate.
@@ -123,14 +123,16 @@ func (ep *Endpoint) armEagerRtx(tc *mxTxChan) {
 		return
 	}
 	s := ep.S
-	tc.rtx = s.H.E.Schedule(s.rtxTimeout(tc.attempts), func() {
+	tc.rtx = s.H.E.Schedule(s.rtxTimeout(tc.dst, tc.attempts), func() {
 		tc.rtx = sim.Timer{}
 		if len(tc.unacked) == 0 {
 			return
 		}
 		tc.attempts++
 		s.Stats.EagerRetransmits++
+		s.traceRetransmit(tc.unacked[0].seq, -1, 0)
 		for _, u := range tc.unacked {
+			u.rtxed = true // Karn: never sample a retransmitted send
 			for i, m := range u.msgs {
 				// Same lane as the original fragment, so a lossy
 				// lane retries on itself and stays attributable.
@@ -145,13 +147,14 @@ func (ep *Endpoint) armEagerRtx(tc *mxTxChan) {
 // the last expiry it re-sends the request (the receiver deduplicates
 // and, if the transfer already finished, re-acks).
 func (s *Stack) armRndvRtx(ms *mxSend) {
-	ms.rtx = s.H.E.Schedule(s.rtxTimeout(ms.attempts), func() {
+	ms.rtx = s.H.E.Schedule(s.rtxTimeout(ms.dst, ms.attempts), func() {
 		if ms.finished {
 			return
 		}
 		if !ms.pulled {
 			ms.attempts++
 			s.Stats.RndvRetransmits++
+			s.traceRetransmit(ms.seq, -1, s.laneOf(ms.seq, 0))
 			s.transmitOn(s.laneOf(ms.seq, 0), ms.dst, &proto.RndvRequest{
 				Src: ms.ep.Addr(), Dst: ms.dst,
 				Match: ms.req.MatchInfo, Seq: ms.seq, MsgLen: ms.n,
@@ -175,18 +178,30 @@ type mxBlock struct {
 	asm       proto.Reassembly
 	timer     sim.Timer
 	attempts  int
+	// sentAt is the first request time (the request -> completion
+	// round trip is an RTT sample); rtxed marks a retried block, never
+	// sampled (Karn's rule).
+	sentAt sim.Time
+	rtxed  bool
 }
 
 // armBlockTimer (re)arms a pull block's retransmission timer: on
 // expiry the firmware re-requests the block's missing fragments.
 func (s *Stack) armBlockTimer(lp *mxPull, blk *mxBlock) {
 	blk.timer.Stop()
-	blk.timer = s.H.E.Schedule(s.rtxTimeout(blk.attempts), func() {
+	blk.timer = s.H.E.Schedule(s.rtxTimeout(lp.src, blk.attempts), func() {
 		if lp.done || blk.asm.Done() {
 			return
 		}
 		blk.attempts++
+		blk.rtxed = true
 		s.Stats.PullRetransmits++
+		s.traceRetransmit(lp.key.seq, blk.idx, s.laneOf(lp.key.seq, blk.idx))
+		if lp.aw != nil {
+			// The timeout is the loss signal: halve the window once per
+			// loss epoch (the next clean sample reopens the epoch).
+			lp.aw.OnLoss()
+		}
 		s.sendPull(lp, blk, blk.asm.Missing())
 	})
 }

@@ -149,14 +149,14 @@ func TestMxTxChanCumulativeAckWraparound(t *testing.T) {
 	}
 	// seqs = fffffffe, ffffffff, 1, 2. Ack the third: serial order
 	// must treat the pre-wrap seqs as covered too.
-	if !tc.applyCumulative(seqs[2]) {
-		t.Fatal("cumulative ack across wraparound rejected")
+	if acked := tc.applyCumulative(seqs[2]); len(acked) != 3 {
+		t.Fatalf("cumulative ack across wraparound released %d sends, want 3", len(acked))
 	}
 	if len(tc.unacked) != 1 || tc.unacked[0].seq != seqs[3] {
 		t.Fatalf("unacked after wrap ack: %+v", tc.unacked)
 	}
 	// Stale ack from before the wrap must be ignored.
-	if tc.applyCumulative(seqs[0]) {
+	if tc.applyCumulative(seqs[0]) != nil {
 		t.Fatal("stale pre-wrap ack advanced the channel")
 	}
 }

@@ -77,7 +77,10 @@ type NIC struct {
 	firmware FirmwareHandler
 	// IRQCore is the core that receives this NIC's interrupts and runs
 	// its bottom half (the paper: "the NIC may send interrupts to any
-	// core"; steering is fixed per run, the common production setup).
+	// core"). It is resolved at the start of each bottom-half run, so
+	// the adaptive transport tier may re-steer it between interrupts;
+	// without Config.Adaptive it stays fixed for the whole run, the
+	// common production setup.
 	IRQCore int
 
 	// Receive state (generic mode). pending is a head-cursor FIFO:

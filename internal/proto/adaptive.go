@@ -1,0 +1,181 @@
+package proto
+
+import "omxsim/sim"
+
+// Adaptive-transport state machines shared by the Open-MX driver
+// (internal/core) and the native MX firmware (internal/mxoe): a
+// Jacobson/Karels RTT estimator deriving retransmission timeouts from
+// measured per-peer round trips, and an AIMD controller sizing the
+// pull window from per-block round trips. Both are pure state — no
+// simulated time, no I/O, no randomness — so two identical input
+// traces produce identical trajectories on any peer, and the fuzz
+// target can drive them against a shadow model.
+
+// RTTEstimator tracks the smoothed round-trip time and its variance
+// for one peer (RFC 6298 / Jacobson-Karels, integer ns arithmetic).
+// The zero value is ready to use and reports no samples.
+type RTTEstimator struct {
+	srtt   sim.Duration
+	rttvar sim.Duration
+	n      int64 // samples observed
+}
+
+// Observe feeds one round-trip sample. Callers apply Karn's rule
+// themselves (never sample a retransmitted exchange).
+func (e *RTTEstimator) Observe(rtt sim.Duration) {
+	if rtt < 0 {
+		return
+	}
+	if e.n == 0 {
+		e.srtt = rtt
+		e.rttvar = rtt / 2
+	} else {
+		// rttvar = 3/4 rttvar + 1/4 |srtt - rtt|
+		dev := e.srtt - rtt
+		if dev < 0 {
+			dev = -dev
+		}
+		e.rttvar = (3*e.rttvar + dev) / 4
+		// srtt = 7/8 srtt + 1/8 rtt
+		e.srtt = (7*e.srtt + rtt) / 8
+	}
+	e.n++
+}
+
+// HasSample reports whether any round trip has been observed; before
+// the first sample RTO falls back to the caller's configured default.
+func (e *RTTEstimator) HasSample() bool { return e.n > 0 }
+
+// Samples returns the number of round trips observed.
+func (e *RTTEstimator) Samples() int64 { return e.n }
+
+// SRTT returns the smoothed round-trip time (0 before any sample).
+func (e *RTTEstimator) SRTT() sim.Duration { return e.srtt }
+
+// RTTVar returns the smoothed round-trip variance.
+func (e *RTTEstimator) RTTVar() sim.Duration { return e.rttvar }
+
+// RTO derives the retransmission timeout — srtt + 4·rttvar, with a
+// 2× safety margin for self-induced queueing on a loaded pull window
+// — clamped to [min, max]. Before the first sample it returns max
+// (the configured static default): a fresh channel must not time out
+// faster than an untuned one.
+func (e *RTTEstimator) RTO(min, max sim.Duration) sim.Duration {
+	if e.n == 0 {
+		return max
+	}
+	rto := 2 * (e.srtt + 4*e.rttvar)
+	if rto < min {
+		rto = min
+	}
+	if rto > max {
+		rto = max
+	}
+	return rto
+}
+
+// AIMDWindow sizes a pull window by additive increase, multiplicative
+// decrease. The window grows one block per window's worth of clean
+// samples while block round trips stay flat against the current
+// plateau's baseline, and halves — once per loss epoch — on a
+// retransmission timeout or on round-trip inflation beyond
+// InflationNum/InflationDen of that baseline. The window never leaves
+// [Min, Max].
+//
+// The baseline is scoped to the current window size: every window
+// change (either direction) starts a fresh plateau whose first sample
+// recalibrates it. A wider window queues more blocks behind each
+// other, so round trips legitimately lengthen as the window grows —
+// comparing against a global minimum would read that self-induced
+// queueing as congestion and pin the window at Min. Within one
+// plateau the queueing contribution is fixed, so a sample beyond
+// InflationNum/InflationDen of the plateau's best really is the
+// network pushing back.
+type AIMDWindow struct {
+	min, max int
+	win      int
+
+	base      sim.Duration // best block round trip at this window size
+	goodAcc   int          // clean samples since the last window change
+	lossEpoch bool         // a decrease already happened this epoch
+}
+
+// Inflation threshold: a block round trip beyond base·Num/Den of the
+// plateau baseline is congestion. Growing the window by one block
+// lengthens round trips by at most (win+1)/win ≤ 1.5×, so the 2×
+// threshold is never tripped by the controller's own probing.
+const (
+	InflationNum = 2
+	InflationDen = 1
+)
+
+// NewAIMDWindow returns a window bounded by [min, max], starting at
+// min (slow start is additive here: the window is small and blocks
+// are large). max below min is clamped to min.
+func NewAIMDWindow(min, max int) *AIMDWindow {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	return &AIMDWindow{min: min, max: max, win: min}
+}
+
+// Window returns the current window in blocks, always within
+// [Min, Max].
+func (w *AIMDWindow) Window() int { return w.win }
+
+// Min and Max report the configured bounds.
+func (w *AIMDWindow) Min() int { return w.min }
+func (w *AIMDWindow) Max() int { return w.max }
+
+// Baseline returns the best block round trip observed at the current
+// window size (0 if the plateau has no sample yet).
+func (w *AIMDWindow) Baseline() sim.Duration { return w.base }
+
+// OnSample feeds one completed block's round trip. A flat sample ends
+// any loss epoch and counts toward additive increase (one block per
+// window's worth of flat samples); an inflated sample is congestion
+// and triggers the epoch's multiplicative decrease. The first sample
+// of a plateau calibrates its baseline and always counts as flat.
+func (w *AIMDWindow) OnSample(rtt sim.Duration) {
+	if rtt < 0 {
+		return
+	}
+	if w.base == 0 {
+		w.base = rtt
+	} else if rtt*InflationDen > w.base*InflationNum {
+		w.decrease()
+		return
+	} else if rtt < w.base {
+		w.base = rtt
+	}
+	w.lossEpoch = false
+	w.goodAcc++
+	if w.goodAcc >= w.win && w.win < w.max {
+		w.win++
+		w.goodAcc = 0
+		w.base = 0 // new plateau: recalibrate on the next sample
+	}
+}
+
+// OnLoss reports a retransmission timeout. The first loss of an epoch
+// halves the window; further losses before the next clean sample are
+// the same epoch and change nothing.
+func (w *AIMDWindow) OnLoss() { w.decrease() }
+
+// decrease performs the epoch's multiplicative decrease (half, floor
+// Min) and opens a loss epoch that the next clean sample closes.
+func (w *AIMDWindow) decrease() {
+	w.goodAcc = 0
+	if w.lossEpoch {
+		return
+	}
+	w.lossEpoch = true
+	w.win /= 2
+	if w.win < w.min {
+		w.win = w.min
+	}
+	w.base = 0 // new plateau: recalibrate on the next sample
+}

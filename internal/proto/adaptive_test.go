@@ -1,0 +1,302 @@
+package proto
+
+import (
+	"testing"
+
+	"omxsim/sim"
+)
+
+// ---------------------------------------------------------------------
+// RTT estimator properties.
+// ---------------------------------------------------------------------
+
+func TestRTTEstimatorFirstSample(t *testing.T) {
+	var e RTTEstimator
+	if e.HasSample() {
+		t.Fatal("zero estimator reports a sample")
+	}
+	if got := e.RTO(sim.Millisecond, 50*sim.Millisecond); got != 50*sim.Millisecond {
+		t.Fatalf("RTO before first sample = %v, want the max (static default)", got)
+	}
+	e.Observe(400 * sim.Microsecond)
+	if e.SRTT() != 400*sim.Microsecond {
+		t.Fatalf("SRTT after first sample = %v, want 400µs", e.SRTT())
+	}
+	if e.RTTVar() != 200*sim.Microsecond {
+		t.Fatalf("RTTVAR after first sample = %v, want 200µs", e.RTTVar())
+	}
+}
+
+func TestRTTEstimatorConvergesOnSteadyLink(t *testing.T) {
+	var e RTTEstimator
+	const rtt = 500 * sim.Microsecond
+	for i := 0; i < 64; i++ {
+		e.Observe(rtt)
+	}
+	if e.SRTT() < rtt-sim.Microsecond || e.SRTT() > rtt+sim.Microsecond {
+		t.Fatalf("SRTT = %v after 64 steady samples, want ~%v", e.SRTT(), rtt)
+	}
+	// Variance decays toward zero; RTO settles near 2·srtt, well under
+	// the 50 ms static default.
+	rto := e.RTO(sim.Millisecond, 50*sim.Millisecond)
+	if rto >= 5*sim.Millisecond {
+		t.Fatalf("RTO = %v on a steady 500µs link, want well under 5ms", rto)
+	}
+	if rto < sim.Millisecond {
+		t.Fatalf("RTO = %v, below the floor", rto)
+	}
+}
+
+func TestRTTEstimatorRTOClamps(t *testing.T) {
+	var e RTTEstimator
+	e.Observe(10 * sim.Second) // absurd sample
+	if got := e.RTO(sim.Millisecond, 50*sim.Millisecond); got != 50*sim.Millisecond {
+		t.Fatalf("RTO = %v, want clamped to max", got)
+	}
+	var f RTTEstimator
+	f.Observe(1) // 1 ns
+	if got := f.RTO(sim.Millisecond, 50*sim.Millisecond); got != sim.Millisecond {
+		t.Fatalf("RTO = %v, want clamped to min", got)
+	}
+}
+
+func TestRTTEstimatorNegativeSampleIgnored(t *testing.T) {
+	var e RTTEstimator
+	e.Observe(-5)
+	if e.HasSample() {
+		t.Fatal("negative sample was recorded")
+	}
+}
+
+// ---------------------------------------------------------------------
+// AIMD window properties.
+// ---------------------------------------------------------------------
+
+func TestAIMDWindowConvergesOnCleanLink(t *testing.T) {
+	w := NewAIMDWindow(2, 16)
+	const rtt = 600 * sim.Microsecond
+	for i := 0; i < 400; i++ {
+		w.OnSample(rtt)
+	}
+	if w.Window() != 16 {
+		t.Fatalf("window = %d after 400 flat samples, want max 16", w.Window())
+	}
+}
+
+func TestAIMDWindowLossEpochHalvesOnce(t *testing.T) {
+	w := NewAIMDWindow(2, 16)
+	for i := 0; i < 400; i++ {
+		w.OnSample(500 * sim.Microsecond)
+	}
+	w.OnLoss()
+	if w.Window() != 8 {
+		t.Fatalf("window after loss = %d, want 8", w.Window())
+	}
+	// Same epoch: no further decrease until a clean sample closes it.
+	w.OnLoss()
+	w.OnLoss()
+	if w.Window() != 8 {
+		t.Fatalf("window after same-epoch losses = %d, want 8", w.Window())
+	}
+	w.OnSample(500 * sim.Microsecond) // closes the epoch
+	w.OnLoss()
+	if w.Window() != 4 {
+		t.Fatalf("window after next-epoch loss = %d, want 4", w.Window())
+	}
+}
+
+func TestAIMDWindowInflationBacksOff(t *testing.T) {
+	w := NewAIMDWindow(2, 16)
+	for i := 0; i < 400; i++ {
+		w.OnSample(500 * sim.Microsecond)
+	}
+	// >2× the 500µs baseline: congestion.
+	w.OnSample(1100 * sim.Microsecond)
+	if w.Window() != 8 {
+		t.Fatalf("window after inflated sample = %d, want 8", w.Window())
+	}
+}
+
+func TestAIMDWindowBoundsDegenerate(t *testing.T) {
+	w := NewAIMDWindow(0, -3) // clamps to [1, 1]
+	w.OnLoss()
+	w.OnSample(100)
+	if w.Window() != 1 || w.Min() != 1 || w.Max() != 1 {
+		t.Fatalf("degenerate bounds: window=%d min=%d max=%d, want all 1", w.Window(), w.Min(), w.Max())
+	}
+}
+
+// shadowAIMD is an independent reimplementation of the documented
+// AIMD contract, kept deliberately naive: the fuzz target cross-checks
+// every transition of the real controller against it.
+type shadowAIMD struct {
+	min, max, win int
+	base          sim.Duration
+	good          int
+	inEpoch       bool
+}
+
+func newShadowAIMD(min, max int) *shadowAIMD {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	return &shadowAIMD{min: min, max: max, win: min}
+}
+
+func (s *shadowAIMD) dec() {
+	s.good = 0
+	if s.inEpoch {
+		return
+	}
+	s.inEpoch = true
+	s.win /= 2
+	if s.win < s.min {
+		s.win = s.min
+	}
+	s.base = 0 // fresh plateau
+}
+
+func (s *shadowAIMD) step(loss bool, rtt sim.Duration) {
+	if loss {
+		s.dec()
+		return
+	}
+	if rtt < 0 {
+		return
+	}
+	if s.base == 0 {
+		s.base = rtt // plateau calibration: always flat
+	} else if rtt*InflationDen > s.base*InflationNum {
+		s.dec()
+		return
+	} else if rtt < s.base {
+		s.base = rtt
+	}
+	s.inEpoch = false
+	s.good++
+	if s.good >= s.win && s.win < s.max {
+		s.win++
+		s.good = 0
+		s.base = 0 // fresh plateau
+	}
+}
+
+// traceStep decodes one fuzz-trace byte: bit 7 selects loss, the rest
+// picks a round trip in [100µs, 12.8ms).
+func traceStep(b byte) (loss bool, rtt sim.Duration) {
+	if b&0x80 != 0 {
+		return true, 0
+	}
+	return false, sim.Duration(int64(b&0x7f)+1) * 100 * sim.Microsecond
+}
+
+// FuzzAdaptiveWindow drives the AIMD controller with arbitrary
+// ack/loss/RTT traces and asserts, at every step, that the window
+// never leaves its bounds, that the first loss of every epoch halves
+// it (multiplicative decrease), and that the controller agrees with
+// the shadow model transition for transition.
+func FuzzAdaptiveWindow(f *testing.F) {
+	f.Add([]byte{}, uint8(2), uint8(16))
+	f.Add([]byte{0x01, 0x01, 0x01, 0x01, 0x80, 0x01}, uint8(2), uint8(8))
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80}, uint8(2), uint8(16))
+	f.Add([]byte{0x01, 0x7f, 0x01, 0x7f}, uint8(1), uint8(4))
+	clean := make([]byte, 256)
+	for i := range clean {
+		clean[i] = 0x05
+	}
+	f.Add(clean, uint8(2), uint8(16))
+	f.Fuzz(func(t *testing.T, trace []byte, min8, max8 uint8) {
+		min, max := int(min8), int(max8)
+		w := NewAIMDWindow(min, max)
+		s := newShadowAIMD(min, max)
+		for i, b := range trace {
+			loss, rtt := traceStep(b)
+			before := w.Window()
+			epochOpen := w.lossEpoch
+			if loss {
+				w.OnLoss()
+			} else {
+				w.OnSample(rtt)
+			}
+			s.step(loss, rtt)
+			if w.Window() < w.Min() || w.Window() > w.Max() {
+				t.Fatalf("step %d: window %d outside [%d, %d]", i, w.Window(), w.Min(), w.Max())
+			}
+			if loss && !epochOpen {
+				want := before / 2
+				if want < w.Min() {
+					want = w.Min()
+				}
+				if w.Window() != want {
+					t.Fatalf("step %d: loss epoch decreased %d -> %d, want %d", i, before, w.Window(), want)
+				}
+			}
+			if w.Window() != s.win {
+				t.Fatalf("step %d: controller window %d != shadow %d", i, w.Window(), s.win)
+			}
+			if w.Baseline() != s.base {
+				t.Fatalf("step %d: controller baseline %v != shadow %v", i, w.Baseline(), s.base)
+			}
+		}
+		// Convergence on clean links: after the trace, a long run of
+		// flat samples must drive the window to its upper bound.
+		for i := 0; i < 2*(max+2)*(max+2); i++ {
+			w.OnSample(100 * sim.Microsecond)
+		}
+		if w.Window() != w.Max() {
+			t.Fatalf("window %d after clean flood, want max %d", w.Window(), w.Max())
+		}
+	})
+}
+
+// TestAdaptiveWindowDeterminism replays one pseudo-random trace twice
+// and requires bit-identical window trajectories — the controller has
+// no hidden nondeterminism.
+func TestAdaptiveWindowDeterminism(t *testing.T) {
+	run := func() []int {
+		w := NewAIMDWindow(2, 16)
+		var out []int
+		state := uint64(0x9E3779B97F4A7C15)
+		for i := 0; i < 4096; i++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			b := byte(state >> 56)
+			if loss, rtt := traceStep(b); loss {
+				w.OnLoss()
+			} else {
+				w.OnSample(rtt)
+			}
+			out = append(out, w.Window())
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trajectories diverge at step %d: %d != %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRTTEstimatorDeterminism does the same for the estimator.
+func TestRTTEstimatorDeterminism(t *testing.T) {
+	run := func() []sim.Duration {
+		var e RTTEstimator
+		var out []sim.Duration
+		state := uint64(12345)
+		for i := 0; i < 4096; i++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			e.Observe(sim.Duration(state%2_000_000) + 1)
+			out = append(out, e.RTO(sim.Millisecond, 50*sim.Millisecond))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("RTO trajectories diverge at step %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}

@@ -67,11 +67,15 @@ type PointResult struct {
 }
 
 // JobResult is a finished job's payload: a table plus per-stack
-// points for sweeps, rendered text for figure jobs.
+// points for sweeps, rendered text for figure jobs. Trace is the
+// job's Chrome trace_event document when the job produced one (the
+// timeline figure); it is served by the /trace endpoint, not embedded
+// in the /result JSON.
 type JobResult struct {
 	Table  *metrics.Table `json:"table,omitempty"`
 	Points []PointResult  `json:"points,omitempty"`
 	Figure string         `json:"figure,omitempty"`
+	Trace  []byte         `json:"-"`
 }
 
 // jobState is one job's record: immutable identity plus a mutex-held
@@ -352,16 +356,30 @@ func (s *Server) executeJob(j *jobState, topo TopologySpec) (*JobResult, error) 
 		if !ok {
 			return nil, fmt.Errorf("simd: unknown figure section %q", spec.Figure)
 		}
+		// figureVal is the cacheable value of a figure job: the
+		// rendered text plus, for the timeline section, the I/OAT
+		// receive timeline's Chrome trace_event export (both render
+		// from one deterministic capture, so caching stays sound).
+		type figureVal struct {
+			Text  string
+			Trace []byte
+		}
 		results := s.pool.RunWithProgress(sink, runner.Job{
 			Label: "figure/" + sec.Name,
 			Key:   runner.Key("simd-figure", sec.Name),
-			Run:   func() (any, error) { return sec.Render(false), nil },
+			Run: func() (any, error) {
+				v := figureVal{Text: sec.Render(false)}
+				if sec.Name == "timeline" {
+					v.Trace = figures.TimelineTraceJSON(true)
+				}
+				return v, nil
+			},
 		})
-		vals, err := runner.ValuesErr[string](results)
+		vals, err := runner.ValuesErr[figureVal](results)
 		if err != nil {
 			return nil, err
 		}
-		return &JobResult{Figure: vals[0]}, nil
+		return &JobResult{Figure: vals[0].Text, Trace: vals[0].Trace}, nil
 	}
 	iters := itersFunc(spec.Iters)
 	jobs := make([]runner.Job, len(spec.Stacks))

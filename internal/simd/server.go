@@ -23,6 +23,9 @@
 //	GET    /v1/tenants/{tenant}/jobs/{id}          job status
 //	GET    /v1/tenants/{tenant}/jobs/{id}/events   SSE progress stream
 //	GET    /v1/tenants/{tenant}/jobs/{id}/result   result (409 if running)
+//	GET    /v1/tenants/{tenant}/jobs/{id}/trace    Chrome trace_event JSON
+//	                                               (409 if running, 404 if
+//	                                               the job has no trace)
 package simd
 
 import (
@@ -122,6 +125,7 @@ func NewServer(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/tenants/{tenant}/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("GET /v1/tenants/{tenant}/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/tenants/{tenant}/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /v1/tenants/{tenant}/jobs/{id}/trace", s.handleJobTrace)
 	s.handler = s.withRequestLog(mux)
 	s.hs = &http.Server{Handler: s.handler}
 	return s
@@ -459,5 +463,27 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusConflict, "job %s failed: %s", j.ID, errMsg)
 	default:
 		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+// handleJobTrace serves a finished job's Chrome trace_event document
+// (chrome://tracing, Perfetto). Only jobs that capture a trace have
+// one — currently figure jobs of the timeline section.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	res, state, errMsg := j.snapshotResult()
+	switch {
+	case state == StateRunning:
+		s.error(w, http.StatusConflict, "job %s is still running", j.ID)
+	case state == StateFailed:
+		s.error(w, http.StatusConflict, "job %s failed: %s", j.ID, errMsg)
+	case len(res.Trace) == 0:
+		s.error(w, http.StatusNotFound, "job %s has no trace", j.ID)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(res.Trace)
 	}
 }

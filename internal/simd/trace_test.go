@@ -1,0 +1,80 @@
+package simd
+
+import (
+	"io"
+	"net/http"
+	"testing"
+
+	"omxsim/figures"
+	"omxsim/sim/trace"
+)
+
+// The per-job trace endpoint: a finished timeline figure job serves
+// the Chrome trace_event document (valid and bit-identical to the
+// direct figures export), a job without a trace 404s, and a running
+// job 409s.
+func TestJobTraceEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	base := ts.URL
+
+	get := func(id string) (int, []byte) {
+		resp, err := http.Get(base + "/v1/tenants/alice/jobs/" + id + "/trace")
+		if err != nil {
+			t.Fatalf("GET trace: %v", err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read trace: %v", err)
+		}
+		return resp.StatusCode, body
+	}
+
+	// A held job answers 409 while running.
+	gate := make(chan struct{})
+	s.testJobGate = func() { <-gate }
+	var held JobStatus
+	if code := doJSON(t, "POST", base+"/v1/tenants/alice/jobs", JobSpec{Kind: "figure", Figure: "timeline"}, &held); code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	if code, _ := get(held.ID); code != http.StatusConflict {
+		t.Errorf("trace of running job: %d, want 409", code)
+	}
+	// Closing the gate releases the held job and every later one (a
+	// receive from a closed channel returns immediately); the gate
+	// field itself stays put — rewriting it would race the job
+	// goroutines reading it.
+	close(gate)
+	if fin := waitJob(t, base, "alice", held.ID); fin.State != StateDone {
+		t.Fatalf("state %q (%s)", fin.State, fin.Error)
+	}
+
+	// Finished: the document validates and matches the direct export.
+	code, body := get(held.ID)
+	if code != http.StatusOK {
+		t.Fatalf("trace of finished job: %d", code)
+	}
+	if err := trace.Validate(body); err != nil {
+		t.Errorf("served trace invalid: %v", err)
+	}
+	if want := figures.TimelineTraceJSON(true); string(body) != string(want) {
+		t.Errorf("served trace differs from the direct export (%d vs %d bytes)", len(body), len(want))
+	}
+
+	// A figure job without a trace 404s.
+	var plain JobStatus
+	if code := doJSON(t, "POST", base+"/v1/tenants/alice/jobs", JobSpec{Kind: "figure", Figure: "micro"}, &plain); code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	if fin := waitJob(t, base, "alice", plain.ID); fin.State != StateDone {
+		t.Fatalf("state %q (%s)", fin.State, fin.Error)
+	}
+	if code, _ := get(plain.ID); code != http.StatusNotFound {
+		t.Errorf("trace of traceless job: %d, want 404", code)
+	}
+
+	// An unknown job 404s too.
+	if code, _ := get("job-999999"); code != http.StatusNotFound {
+		t.Errorf("trace of unknown job: %d, want 404", code)
+	}
+}

@@ -28,6 +28,13 @@ type Config struct {
 	RetransmitTimeout sim.Duration
 	RetransmitBackoff float64
 	RetransmitMax     sim.Duration
+	// Adaptive enables the firmware's self-tuning transport tier:
+	// retransmission timeouts derived from per-peer SRTT/RTTVAR
+	// (unless RetransmitTimeout is set explicitly) and an AIMD pull
+	// window bounded by [2, 4 x NICs] instead of the fixed two blocks
+	// per lane. Off (the default) keeps the static firmware behavior
+	// bit-identical.
+	Adaptive bool
 }
 
 // Stats re-exports the firmware protocol counters.
@@ -56,6 +63,7 @@ func Attach(h *cluster.Host, cfg Config) *Stack {
 		RetransmitTimeout: cfg.RetransmitTimeout,
 		RetransmitBackoff: cfg.RetransmitBackoff,
 		RetransmitMax:     cfg.RetransmitMax,
+		Adaptive:          cfg.Adaptive,
 	})}
 }
 
@@ -102,6 +110,10 @@ func (s *Stack) ResetCPUStats() { s.s.H.Sys.ResetAccounting() }
 
 // HostName implements openmx.Transport.
 func (s *Stack) HostName() string { return s.h.Name }
+
+// Inner exposes the internal firmware stack for in-module tooling
+// (trace capture); external callers should treat it as opaque.
+func (s *Stack) Inner() *mxoe.Stack { return s.s }
 
 // Open creates endpoint id bound to the given core.
 func (s *Stack) Open(id, coreID int) openmx.Endpoint {

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"omxsim/sim"
+)
+
+func us(n int64) sim.Time { return sim.Time(n) * 1000 }
+
+// TestRenderDeterministic: identical input produces byte-identical
+// output, regardless of insertion order races upstream (the builder
+// sorts internally).
+func TestRenderDeterministic(t *testing.T) {
+	build := func(order []int) []byte {
+		d := NewDoc()
+		p := d.Process(1, "host")
+		spans := []struct {
+			name     string
+			from, to int64
+		}{{"a", 0, 10}, {"b", 5, 15}, {"c", 10, 20}, {"d", 0, 3}}
+		for _, i := range order {
+			s := spans[i]
+			p.Span(s.name, "test", us(s.from), us(s.to), Int("i", i))
+		}
+		p.Counter("load", us(2), 0.5)
+		p.Counter("load", us(12), 1.5)
+		return d.Render()
+	}
+	a := build([]int{0, 1, 2, 3})
+	b := build([]int{3, 2, 1, 0})
+	if !bytes.Equal(a, b) {
+		t.Fatalf("render not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	if err := Validate(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOverlapColoring: overlapping spans land on distinct tids and
+// each tid's spans stay non-overlapping (Validate enforces balance
+// and monotonicity, which would fail on a shared track).
+func TestOverlapColoring(t *testing.T) {
+	d := NewDoc()
+	p := d.Process(1, "host")
+	p.Span("a", "t", us(0), us(100))
+	p.Span("b", "t", us(10), us(50)) // overlaps a
+	p.Span("c", "t", us(20), us(30)) // overlaps a and b
+	p.Span("d", "t", us(100), us(110))
+	out := d.Render()
+	if err := Validate(out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"tid":2`) {
+		t.Fatalf("triple overlap should use three tracks:\n%s", out)
+	}
+	if strings.Contains(string(out), `"tid":3`) {
+		t.Fatalf("four tracks used where three suffice:\n%s", out)
+	}
+}
+
+// TestInstantAndZeroSpan: zero-length spans degrade to instants and
+// still validate.
+func TestInstantAndZeroSpan(t *testing.T) {
+	d := NewDoc()
+	p := d.Process(7, "fw")
+	p.Span("retransmit", "t", us(5), us(5), Int("seq", 42))
+	p.Instant("mark", "t", us(5))
+	if err := Validate(d.Render()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(d.Render()), `"ph":"i"`) {
+		t.Fatal("zero-length span did not render as instant")
+	}
+}
+
+// TestValidateCatchesViolations: hand-built bad documents fail with
+// the right complaint.
+func TestValidateCatchesViolations(t *testing.T) {
+	cases := []struct {
+		doc  string
+		want string
+	}{
+		{`{}`, "missing traceEvents"},
+		{`{"traceEvents":[{"pid":1}]}`, "missing ph"},
+		{`{"traceEvents":[{"ph":"B","pid":1,"tid":0,"name":"x"}]}`, "missing ts"},
+		{`{"traceEvents":[{"ph":"B","ts":1,"pid":1,"tid":0,"name":"x"}]}`, "unbalanced B"},
+		{`{"traceEvents":[{"ph":"E","ts":1,"pid":1,"tid":0,"name":"x"}]}`, "without open B"},
+		{`{"traceEvents":[
+			{"ph":"B","ts":5,"pid":1,"tid":0,"name":"x"},
+			{"ph":"E","ts":3,"pid":1,"tid":0,"name":"x"}]}`, "before"},
+		{`{"traceEvents":[
+			{"ph":"B","ts":1,"pid":1,"tid":0,"name":"x"},
+			{"ph":"E","ts":2,"pid":1,"tid":0,"name":"y"}]}`, "closes open B"},
+		{`{"traceEvents":[{"ph":"C","ts":1,"pid":1,"tid":0,"name":"c","args":{}}]}`, "exactly one series"},
+	}
+	for _, c := range cases {
+		err := Validate([]byte(c.doc))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Validate(%s) = %v, want error containing %q", c.doc, err, c.want)
+		}
+	}
+}
+
+// TestTimestampPrecision: nanosecond sim times render as fixed
+// 3-decimal microseconds.
+func TestTimestampPrecision(t *testing.T) {
+	d := NewDoc()
+	p := d.Process(1, "host")
+	p.Span("s", "t", sim.Time(1234), sim.Time(5678901))
+	out := string(d.Render())
+	for _, want := range []string{`"ts":1.234`, `"ts":5678.901`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %s:\n%s", want, out)
+		}
+	}
+}

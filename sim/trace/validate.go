@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Validate checks a rendered document against the trace_event format
+// rules the exporter promises (and chrome://tracing assumes):
+//
+//   - the document is a JSON object with a traceEvents array;
+//   - every event carries ph and pid; every non-metadata event also
+//     carries a numeric ts and a tid;
+//   - per (pid, tid), timestamps are monotonically non-decreasing in
+//     array order;
+//   - per (pid, tid), B and E events balance: every E closes the
+//     matching B (same name), and no B is left open at the end;
+//   - counter events carry exactly one numeric series in args.
+//
+// The conformance tests run every exported trace through Validate.
+func Validate(data []byte) error {
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("trace: missing traceEvents array")
+	}
+	type track struct {
+		pid, tid int
+	}
+	lastTs := map[track]float64{}
+	open := map[track][]string{}
+	for i, ev := range doc.TraceEvents {
+		ph, ok := ev["ph"].(string)
+		if !ok || ph == "" {
+			return fmt.Errorf("trace: event %d: missing ph", i)
+		}
+		pid, ok := num(ev["pid"])
+		if !ok {
+			return fmt.Errorf("trace: event %d: missing pid", i)
+		}
+		if ph == "M" {
+			continue // metadata: no timeline position
+		}
+		ts, ok := num(ev["ts"])
+		if !ok {
+			return fmt.Errorf("trace: event %d (ph %s): missing ts", i, ph)
+		}
+		tid, ok := num(ev["tid"])
+		if !ok {
+			return fmt.Errorf("trace: event %d (ph %s): missing tid", i, ph)
+		}
+		tr := track{int(pid), int(tid)}
+		if prev, seen := lastTs[tr]; seen && ts < prev {
+			return fmt.Errorf("trace: event %d: ts %.3f before %.3f on pid %d tid %d",
+				i, ts, prev, tr.pid, tr.tid)
+		}
+		lastTs[tr] = ts
+		name, _ := ev["name"].(string)
+		switch ph {
+		case "B":
+			open[tr] = append(open[tr], name)
+		case "E":
+			stack := open[tr]
+			if len(stack) == 0 {
+				return fmt.Errorf("trace: event %d: E %q without open B on pid %d tid %d",
+					i, name, tr.pid, tr.tid)
+			}
+			top := stack[len(stack)-1]
+			if name != "" && top != name {
+				return fmt.Errorf("trace: event %d: E %q closes open B %q on pid %d tid %d",
+					i, name, top, tr.pid, tr.tid)
+			}
+			open[tr] = stack[:len(stack)-1]
+		case "C":
+			args, ok := ev["args"].(map[string]any)
+			if !ok || len(args) != 1 {
+				return fmt.Errorf("trace: event %d: counter %q needs exactly one series", i, name)
+			}
+			for k, v := range args {
+				if _, ok := num(v); !ok {
+					return fmt.Errorf("trace: event %d: counter series %q not numeric", i, k)
+				}
+			}
+		case "i", "X":
+			// Instants and complete events carry no stack obligations.
+		default:
+			return fmt.Errorf("trace: event %d: unsupported ph %q", i, ph)
+		}
+	}
+	for tr, stack := range open {
+		if len(stack) > 0 {
+			return fmt.Errorf("trace: unbalanced B %q on pid %d tid %d", stack[len(stack)-1], tr.pid, tr.tid)
+		}
+	}
+	return nil
+}
+
+// num extracts a float from a decoded JSON value.
+func num(v any) (float64, bool) {
+	f, ok := v.(float64)
+	return f, ok
+}
