@@ -10,7 +10,7 @@ STATICCHECK ?= $(GO) run honnef.co/go/tools/cmd/staticcheck@2024.1.1
 
 .PHONY: all build test test-short race fmt fmt-check vet lint bench bench-ci \
 	golden golden-check stress multinic fattree nicoll adaptive benchalloc simd \
-	examples linkcheck ci-fast ci-full
+	dca examples linkcheck ci-fast ci-full
 
 all: build
 
@@ -111,6 +111,15 @@ adaptive:
 		./cluster ./internal/core ./internal/mxoe ./internal/proto \
 		./internal/simd ./sim/trace ./figures
 
+# Memory-hierarchy battery: warmth-coverage and DMA/DCA ledger unit
+# tests, registration-cache churn, the copy-rate decision table, the
+# I/OAT engine (NUMA deposit costs included) and the dca figure
+# guardrails (warm-consumer acceptance + parallel==serial), under the
+# race detector.
+dca:
+	$(GO) test -race -count=1 ./internal/hostmem ./internal/memmodel ./internal/ioat
+	$(GO) test -race -count=1 -run 'DCA|GoldenCanary' ./figures
+
 # The omxsimd service battery: the multi-tenant HTTP job service
 # end to end under the race detector — concurrent tenants whose sweep
 # results must be bit-identical to direct figures calls, quota 429s,
@@ -145,4 +154,4 @@ linkcheck:
 
 ci-fast: build vet lint fmt-check examples linkcheck test-short
 
-ci-full: race stress multinic fattree nicoll adaptive benchalloc simd
+ci-full: race stress multinic fattree nicoll adaptive benchalloc simd dca

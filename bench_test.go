@@ -88,6 +88,27 @@ func BenchmarkFig8(b *testing.B) {
 	}
 }
 
+// BenchmarkDCA regenerates the memory-hierarchy sweep and reports the
+// 256 kB same-core goodput of the memcpy, I/OAT and DCA receive paths
+// (the warm-consumer cells the figure's acceptance test pins).
+func BenchmarkDCA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := figures.DCASweep()
+		for _, p := range pts {
+			if p.Place == "same-core" && p.Bytes == 256<<10 {
+				switch p.Mode {
+				case "memcpy":
+					b.ReportMetric(p.GoodputMiBps, "memcpy-MiB/s")
+				case "I/OAT":
+					b.ReportMetric(p.GoodputMiBps, "ioat-MiB/s")
+				case "DCA":
+					b.ReportMetric(p.GoodputMiBps, "dca-MiB/s")
+				}
+			}
+		}
+	}
+}
+
 // BenchmarkFig9 regenerates Figure 9 (receive-side CPU usage) and
 // reports the 16 MiB totals.
 func BenchmarkFig9(b *testing.B) {

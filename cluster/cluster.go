@@ -312,9 +312,18 @@ type Buffer struct {
 	b *hostmem.Buffer
 }
 
-// Alloc allocates a zeroed buffer of n bytes on the host.
+// Alloc allocates a zeroed buffer of n bytes on the host, homed on
+// the chipset's local NUMA node.
 func (h *Host) Alloc(n int) *Buffer {
 	return &Buffer{H: h, b: h.m.Alloc(n)}
+}
+
+// AllocOn allocates a zeroed buffer of n bytes homed on the given
+// NUMA node (socket). Device DMA into a remote-socket buffer pays the
+// platform's remote-deposit penalty, so placement matters to receive
+// paths.
+func (h *Host) AllocOn(n, socket int) *Buffer {
+	return &Buffer{H: h, b: h.m.AllocOn(n, socket)}
 }
 
 // Bytes gives direct access to the payload.

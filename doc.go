@@ -31,7 +31,17 @@
 //     whose NIC also runs whole collectives — barrier, bcast,
 //     allreduce, scan — as firmware-resident tree state machines with
 //     segment combining, posted as one descriptor and completed as
-//     one event). Both stacks share the adaptive-transport tier in
+//     one event). hostmem keeps the per-buffer memory-hierarchy
+//     ledgers — span coverage per L2 domain and L1, the DMA-cold and
+//     DCA-resident states, the NUMA home socket, and the per-stack
+//     LRU registration cache — which memmodel.RateFor prices into
+//     copy rates (DCA blend, wrong-socket and snoop penalties,
+//     cross-socket, L1/L2/half-warm); nic and ioat charge
+//     NUMA-distance deposit costs and mark every deposit
+//     (WrittenByDMA, or WrittenByDCA on a platform.ClovertownDCA
+//     machine, where the NIC pushes receive-ring lines into the
+//     interrupt core's LLC). Both stacks share the
+//     adaptive-transport tier in
 //     internal/proto (Config.Adaptive): per-peer Jacobson/Karels RTT
 //     estimation driving every retransmit timeout, AIMD pull windows
 //     bounded by the lane count, and load-based IRQ steering from CPU
@@ -111,7 +121,7 @@
 //
 // or one figure at a time (fig3, fig7 … fig12, micro, timeline,
 // nasis, coll, loss, avail, ablate, multinic, fattree, nicoll,
-// adaptive); add -progress for
+// adaptive, dca); add -progress for
 // live sweep progress and ETA, and -plot for ASCII plots. The
 // timeline figure also exports as Chrome trace_event JSON via
 //
@@ -140,7 +150,13 @@
 // (Config.Adaptive) against the hand-tuned static policies across
 // {0,1,5%} frame loss × {1,2,4} NICs × {memcpy, I/OAT} — adaptive
 // matches the best static everywhere and wins 1.3–2.5× wherever the
-// wire is lossy; and avail measures the paper's headline claim
+// wire is lossy; dca follows a received payload through the memory
+// hierarchy — a ping-pong whose receiver immediately consumes each
+// payload, sweeping {memcpy, I/OAT, DCA, I/OAT+warm} receive paths ×
+// consumer placement × size, showing the bottom-half copy doubling as
+// a prefetch, DCA extending that win, and the offload's goodput
+// advantage returning once the consumer sits cross-socket; and avail
+// measures the paper's headline claim
 // directly — a ping-pong with injected compute on the interrupt core,
 // reporting achieved overlap %, non-compute host CPU µs per MiB and
 // goodput for memcpy versus I/OAT receive paths, remote and local,
@@ -153,6 +169,6 @@
 // Start with package cluster to build a testbed, package openmx (or
 // mxoe) for endpoints, and package figures to regenerate the paper's
 // evaluation. See README.md for the CI gates and Makefile targets,
-// and docs/ARCHITECTURE.md for the layer diagram and six event-flow
+// and docs/ARCHITECTURE.md for the layer diagram and seven event-flow
 // walkthroughs naming the functions and costs on every hop.
 package omxsim

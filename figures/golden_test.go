@@ -46,8 +46,10 @@ func goldenSections(t *testing.T) map[string]string {
 // goldenCanarySections are the sections cheap enough to re-render in
 // the fast gate: the microbenchmark table and the 5-fragment receive
 // timelines together exercise the cost model, both copy engines and
-// the full trace-capture path in well under a second.
-func goldenCanarySections() []string { return []string{"micro", "timeline"} }
+// the full trace-capture path in well under a second; the dca sweep
+// adds the warmth-coverage, DCA-deposit, NUMA-placement and
+// registration-cache ledgers at the same cost.
+func goldenCanarySections() []string { return []string{"micro", "timeline", "dca"} }
 
 // TestGoldenCanary re-renders the cheap sections and requires them
 // bit-identical to the committed golden. `omxsim all` prints each

@@ -52,6 +52,7 @@ func Sections() []Section {
 		{"fattree", "fat-tree collectives at 64-512 ranks, I/OAT on/off, vs 1-switch", renderFatTreeSection},
 		{"nicoll", "NIC-offloaded collectives: firmware vs host algorithms, CPU and overlap", renderNICollSection},
 		{"adaptive", "adaptive vs static transport: goodput/p99/retransmits across loss x NICs", renderAdaptiveSection},
+		{"dca", "memory hierarchy: DCA-warmed rings vs DMA-cold payloads, NUMA placement, regcache", renderDCASection},
 	}
 }
 
@@ -165,6 +166,10 @@ func renderNICollSection(bool) string {
 
 func renderAdaptiveSection(bool) string {
 	return RenderAdaptive(AdaptiveSweep())
+}
+
+func renderDCASection(bool) string {
+	return RenderDCA(DCASweep())
 }
 
 func renderAblateSection(bool) string {

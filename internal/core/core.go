@@ -51,8 +51,23 @@ type Config struct {
 	// ShmIOATThreshold, busy-polling completion.
 	IOATShm bool
 	// RegCache enables the registration cache: pin once per buffer,
-	// defer unpinning (Figure 11's "regcache" curves).
+	// defer unpinning (Figure 11's "regcache" curves). The cache is
+	// per-stack (all endpoints share it, like the per-driver cache of
+	// the real implementation) and unbounded unless RegCacheEntries
+	// caps it.
 	RegCache bool
+	// RegCacheEntries bounds the registration cache to this many
+	// resident regions, evicting (and deregistering) least-recently
+	// used ones past the bound. 0 = unbounded, the classic Open-MX
+	// behaviour.
+	RegCacheEntries int
+	// DCATargetCore, on a platform with HasDCA, steers the NIC's
+	// Direct Cache Access deposits at this core's LLC. 0 (the default)
+	// follows the interrupt core, the chipset's own steering rule; set
+	// it to the consumer's core to model application-aware steering,
+	// or to a core on the wrong socket to reproduce the misdirected-DCA
+	// cliff. Ignored without HasDCA.
+	DCATargetCore int
 	// AutoTune replaces the hand-set thresholds with the adaptive
 	// autotuner: when the stack attaches (just before its first
 	// endpoint opens), ProbeThresholds probes the platform's memcpy
@@ -313,7 +328,20 @@ type Stack struct {
 	steerLastAt sim.Time     // time of the previous ledger sample
 	steerPrev   [][cpu.NumCategories]sim.Duration
 
+	// reg is the per-stack registration cache (Config.RegCache); nil
+	// when the cache is disabled and every post pins afresh.
+	reg *hostmem.RegCache
+
 	Stats Stats
+}
+
+// RegStats snapshots the registration cache's counters (zero value
+// when Config.RegCache is off).
+func (s *Stack) RegStats() hostmem.RegStats {
+	if s.reg == nil {
+		return hostmem.RegStats{}
+	}
+	return s.reg.Stats()
 }
 
 type rndvKey struct {
@@ -381,12 +409,18 @@ func Attach(h *host.Host, cfg Config) *Stack {
 			s.steerEvery = steerEpoch
 		}
 	}
+	if cfg.RegCache {
+		s.reg = hostmem.NewRegCache(cfg.RegCacheEntries)
+	}
 	s.Stats.NICTxFrames = make([]int64, s.lanes)
 	for i, n := range h.NICs {
 		lane := i
 		n.SetRxHandler(func(p *sim.Proc, core *cpu.Core, skb *nic.Skb) {
 			s.rxCallback(lane, p, core, skb)
 		})
+		if cfg.DCATargetCore > 0 {
+			n.DCATarget = cfg.DCATargetCore
+		}
 	}
 	return s
 }

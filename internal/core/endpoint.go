@@ -34,10 +34,6 @@ type Endpoint struct {
 	// Per-peer channels.
 	txChans map[proto.Addr]*txChan
 	rxChans map[proto.Addr]*rxChan
-
-	// Registration cache (when Config.RegCache): buffers pinned once,
-	// deregistration deferred.
-	regcache map[*hostmem.Buffer]bool
 }
 
 // Request is an in-flight send or receive operation.
@@ -175,14 +171,13 @@ func (s *Stack) OpenEndpoint(id, coreID int) *Endpoint {
 		panic(fmt.Sprintf("openmx: endpoint %d already open on %s", id, s.H.Name))
 	}
 	ep := &Endpoint{
-		S:        s,
-		ID:       id,
-		Core:     coreID,
-		ring:     s.H.Alloc(s.Cfg.RingSlots * proto.MediumFragSize),
-		evSig:    sim.NewSignal(),
-		txChans:  make(map[proto.Addr]*txChan),
-		rxChans:  make(map[proto.Addr]*rxChan),
-		regcache: make(map[*hostmem.Buffer]bool),
+		S:       s,
+		ID:      id,
+		Core:    coreID,
+		ring:    s.H.Alloc(s.Cfg.RingSlots * proto.MediumFragSize),
+		evSig:   sim.NewSignal(),
+		txChans: make(map[proto.Addr]*txChan),
+		rxChans: make(map[proto.Addr]*rxChan),
 	}
 	for i := s.Cfg.RingSlots - 1; i >= 0; i-- {
 		ep.freeSlots = append(ep.freeSlots, i)
@@ -251,16 +246,18 @@ func pagesSpanned(n, pageSize int) int64 {
 }
 
 // pinCost returns the driver time to pin the n-byte region of buf,
-// honouring the registration cache, and takes the pin reference.
+// honouring the stack's registration cache, and takes the pin
+// reference. A cache hit costs nothing; a miss pays PinPerPage over
+// the region, plus UnpinPerPage over any region the cache's LRU bound
+// forced out to make room.
 func (ep *Endpoint) pinCost(buf *hostmem.Buffer, n int) sim.Duration {
-	if ep.S.Cfg.RegCache && ep.regcache[buf] {
-		return 0 // cache hit: already pinned, deregistration deferred
+	p := ep.S.H.P
+	if ep.S.reg != nil {
+		pinned, evicted := ep.S.reg.Acquire(buf, n)
+		return sim.Duration(pinned*p.PinPerPage + evicted*p.UnpinPerPage)
 	}
 	buf.Pin()
-	if ep.S.Cfg.RegCache {
-		ep.regcache[buf] = true
-	}
-	return sim.Duration(pagesSpanned(n, ep.S.H.P.PageSize) * ep.S.H.P.PinPerPage)
+	return sim.Duration(pagesSpanned(n, p.PageSize) * p.PinPerPage)
 }
 
 // unpinCost returns the driver time to release the region after a

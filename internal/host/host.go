@@ -76,3 +76,6 @@ func (h *Host) Lanes() int { return len(h.NICs) }
 
 // Alloc allocates a buffer in this host's memory.
 func (h *Host) Alloc(size int) *hostmem.Buffer { return h.Mem.Alloc(size) }
+
+// AllocOn allocates a buffer homed on the given NUMA node (socket).
+func (h *Host) AllocOn(size, socket int) *hostmem.Buffer { return h.Mem.AllocOn(size, socket) }

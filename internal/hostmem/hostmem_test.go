@@ -137,3 +137,170 @@ func TestNegativeAllocPanics(t *testing.T) {
 	_, m := mem()
 	m.Alloc(-1)
 }
+
+// Regression (warmth granularity): a small fragment touch must not
+// make a whole multi-MB buffer warm for larger copies — coverage
+// extends only over the touched bytes, accumulating across touches.
+func TestWarmSpanGranularity(t *testing.T) {
+	_, m := mem()
+	b := m.Alloc(1 << 20)
+	b.Touch(0, 4096)
+	if !b.WarmL2(0) {
+		t.Fatal("residency lost by a touch")
+	}
+	if b.WarmSpanL2(0, b.Size()) {
+		t.Fatal("4 kiB touch reported as warming a 1 MiB copy")
+	}
+	if !b.WarmSpanL2(0, 4096) {
+		t.Fatal("touched prefix should be span-warm")
+	}
+	if b.WarmLen() != 4096 {
+		t.Fatalf("WarmLen = %d, want 4096", b.WarmLen())
+	}
+	// Chunked touches accumulate to full coverage.
+	for off := 4096; off < b.Size(); off += 4096 {
+		b.Touch(0, 4096)
+	}
+	if b.WarmLen() != b.Size() {
+		t.Fatalf("WarmLen = %d after full chunked pass, want %d", b.WarmLen(), b.Size())
+	}
+	// 1 MiB fits the 4 MiB L2 but streams past the touches above;
+	// span coverage is necessary, residency still decides.
+	if !b.WarmSpanL2(0, b.Size()) {
+		t.Fatal("fully covered resident buffer should be span-warm")
+	}
+}
+
+// Coverage is per L2 domain: another domain's touches neither grant
+// nor destroy this domain's accumulated coverage.
+func TestWarmSpanPerDomain(t *testing.T) {
+	_, m := mem()
+	b := m.Alloc(64 * 1024)
+	b.Touch(0, 32*1024) // domain 0
+	b.Touch(2, 4096)    // domain 1 interleaves
+	b.Touch(0, 32*1024) // domain 0 finishes its pass
+	if !b.WarmSpanL2(0, 64*1024) {
+		t.Fatal("interleaved foreign-domain touch destroyed accumulated coverage")
+	}
+	if b.WarmSpanL2(2, 64*1024) {
+		t.Fatal("domain 1 only touched 4 kiB but claims full coverage")
+	}
+}
+
+// Regression (L1 span): L1 coverage follows the single touching core
+// and resets when another core takes over.
+func TestWarmSpanL1(t *testing.T) {
+	_, m := mem()
+	b := m.Alloc(16 * 1024)
+	b.Touch(0, 8*1024)
+	b.Touch(0, 8*1024)
+	if !b.WarmSpanL1(0, 16*1024) {
+		t.Fatal("same-core touches should accumulate L1 coverage")
+	}
+	b.Touch(1, 4096) // other core takes over
+	b.Touch(0, 4096) // back: a fresh 4 kiB episode
+	if b.WarmSpanL1(0, 16*1024) {
+		t.Fatal("core switch should reset L1 coverage")
+	}
+	if !b.WarmSpanL1(0, 4096) {
+		t.Fatal("new episode's own span should be L1-warm")
+	}
+}
+
+// Regression (DMACold vs partial touch): reading a prefix of a device
+// deposit must not launder the snoop penalty off the untouched
+// remainder.
+func TestDMAColdPartialTouch(t *testing.T) {
+	_, m := mem()
+	b := m.Alloc(8192)
+	b.WrittenByDMA()
+	b.Touch(0, 4096)
+	if !b.DMACold() {
+		t.Fatal("prefix touch cleared DMA-cold for the whole buffer")
+	}
+	if b.DMAColdFor(4096) {
+		t.Fatal("already-snooped prefix still reported cold")
+	}
+	if !b.DMAColdFor(8192) {
+		t.Fatal("copy past the snooped prefix must still pay the snoop")
+	}
+	b.Touch(0, 4096)
+	if b.DMACold() || b.DMAColdFor(8192) {
+		t.Fatal("full coverage should retire the deposit")
+	}
+	// A fresh deposit restarts the ledger.
+	b.WrittenByDMA()
+	if !b.DMAColdFor(1) {
+		t.Fatal("fresh deposit not cold")
+	}
+}
+
+// DCA state machine: a pushed deposit is resident for the target
+// domain, wrong-socket for the other socket, and plain memory (no
+// snoop debt) once evicted by traffic.
+func TestDCAStates(t *testing.T) {
+	p, m := mem()
+	b := m.Alloc(64 * 1024)
+	b.WrittenByDCA(0, b.Size())
+	if b.DCALen() != b.Size() {
+		t.Fatalf("DCALen = %d, want %d", b.DCALen(), b.Size())
+	}
+	if !b.DCAResident(0) || !b.DCAResident(1) {
+		t.Fatal("deposit should be resident for the target L2 domain")
+	}
+	if b.DCAResident(2) {
+		t.Fatal("resident for a domain it was not pushed into")
+	}
+	if b.DCAWrongSocket(2) {
+		t.Fatal("core 2 shares the socket: not wrong-socket")
+	}
+	if !b.DCAWrongSocket(4) {
+		t.Fatal("core 4 is the other socket: should be wrong-socket")
+	}
+	if b.DMACold() {
+		t.Fatal("DCA deposit should not carry the plain snoop penalty")
+	}
+	// Stream traffic through the target domain until eviction.
+	tr := m.Alloc(int(p.L2Size))
+	tr.Touch(0, tr.Size())
+	if b.DCAResident(0) || b.DCAWrongSocket(4) {
+		t.Fatal("evicted deposit still reported pushed")
+	}
+	// A consumer touch retires the push into ordinary warmth.
+	b.WrittenByDCA(0, b.Size())
+	b.Touch(0, b.Size())
+	if b.DCADomain() != -1 {
+		t.Fatal("touch should consume the DCA push")
+	}
+}
+
+// The push is bounded by the platform's LLC budget.
+func TestDCABudget(t *testing.T) {
+	p := platform.ClovertownDCA()
+	m := New(p)
+	b := m.Alloc(int(p.DCALLCBudget) * 2)
+	b.WrittenByDCA(0, b.Size())
+	if int64(b.DCALen()) != p.DCALLCBudget {
+		t.Fatalf("DCALen = %d, want budget %d", b.DCALen(), p.DCALLCBudget)
+	}
+}
+
+func TestAllocOnHomeSocket(t *testing.T) {
+	_, m := mem()
+	if m.Alloc(10).HomeSocket() != 0 {
+		t.Fatal("default allocation not on the chipset socket")
+	}
+	if m.AllocOn(10, 1).HomeSocket() != 1 {
+		t.Fatal("AllocOn ignored the socket")
+	}
+}
+
+func TestAllocOnBadSocketPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	_, m := mem()
+	m.AllocOn(10, 2)
+}

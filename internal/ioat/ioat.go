@@ -167,8 +167,15 @@ func (c *Channel) startHead() {
 		return
 	}
 	d := c.queue[0]
-	c.eng.E.Schedule(sim.Duration(c.eng.P.IOATDescSetup), func() {
-		c.eng.arb.Start(float64(d.req.N), float64(c.eng.P.IOATEngineRate), func() {
+	p := c.eng.P
+	// NUMA: a destination homed on the remote socket costs extra per
+	// descriptor (the engine's writes traverse the FSB) and drains at a
+	// reduced rate. Local-socket destinations are unaffected.
+	home := d.req.Dst.HomeSocket()
+	setup := sim.Duration(p.IOATDescSetup + p.RemoteDMADescCost(home))
+	rate := float64(p.IOATEngineRate) / p.RemoteDMAFactor(home)
+	c.eng.E.Schedule(setup, func() {
+		c.eng.arb.Start(float64(d.req.N), rate, func() {
 			c.retire(d)
 		})
 	})

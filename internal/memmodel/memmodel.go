@@ -2,9 +2,10 @@
 //
 // A copy's rate depends on where its operands currently live (the
 // hostmem warmth tracker), on whether the source was just written by
-// device DMA (snoop penalty: no Direct Cache Access on the modelled
-// chipset), and on whether the data has to cross the front-side bus
-// between sockets. Rates are the calibrated platform constants.
+// device DMA (snoop penalty — unless the platform has Direct Cache
+// Access and the deposit was pushed into the consuming core's LLC),
+// and on whether the data has to cross the front-side bus between
+// sockets. Rates are the calibrated platform constants.
 //
 // Memcpy really moves the payload bytes, so every higher layer can be
 // integrity-checked end to end.
@@ -31,7 +32,24 @@ func New(p *platform.Platform) *Model { return &Model{P: p} }
 // any warmth update. Exposed for diagnostics and tests.
 func (m *Model) RateFor(dst, src *hostmem.Buffer, n, core int) platform.Rate {
 	p := m.P
-	if src.DMACold() {
+	if src.DCAResident(core) {
+		// Direct Cache Access pushed the deposit into this core's own
+		// LLC: the pushed fraction reads at L2 speed, the remainder
+		// (past the push fraction or the LLC budget) still pays the
+		// snoop-and-fetch path. Harmonic blend of the two segments.
+		warm := p.DCAPushFraction * float64(min(src.DCALen(), n)) / float64(n)
+		l2 := float64(p.MemcpyL2Rate)
+		snoop := float64(p.MemcpyColdRate) * p.DMAColdPenalty
+		return platform.Rate(1 / (warm/l2 + (1-warm)/snoop))
+	}
+	if src.DCAWrongSocket(core) {
+		// The deposit was pushed into a cache on the other socket: the
+		// consumer must snoop dirty lines out across the FSB, which is
+		// slower than fetching a plain memory-resident DMA deposit —
+		// DCA aimed at the wrong socket is worse than no DCA at all.
+		return platform.Rate(float64(p.MemcpyColdRate) * p.DCAWrongSocketPenalty)
+	}
+	if src.DMAColdFor(n) {
 		// Freshly device-DMA'd source: every line must be snooped and
 		// fetched from memory, which dominates the copy no matter how
 		// warm the destination is. This is the bottom-half receive
@@ -46,16 +64,22 @@ func (m *Model) RateFor(dst, src *hostmem.Buffer, n, core int) platform.Rate {
 	case src.RemoteSocket(core):
 		// Data lives on the other socket: coherence traffic over the
 		// FSB dominates; Clovertown has no fast cache-to-cache path.
-		if !big && src.WarmL2(src.LastCore()) {
+		// Only the source side is consulted here — deliberately
+		// asymmetric with the local branches: the cross-socket cost is
+		// snooping the producer's dirty lines over the FSB, so what
+		// matters is whether they are still in the remote cache.
+		// Destination write-allocate traffic is local to this socket
+		// and already folded into the calibrated CrossSocket rates.
+		if !big && src.WarmSpanL2(src.LastCore(), n) {
 			rate = p.MemcpyCrossSocketWarm
 		} else {
 			rate = p.MemcpyCrossSocketCold
 		}
-	case !big && src.WarmL1(core) && dst.WarmL1(core):
+	case !big && src.WarmSpanL1(core, n) && dst.WarmSpanL1(core, n):
 		rate = p.MemcpyL1Rate
-	case !big && src.WarmL2(core) && dst.WarmL2(core):
+	case !big && src.WarmSpanL2(core, n) && dst.WarmSpanL2(core, n):
 		rate = p.MemcpyL2Rate
-	case !big && (src.WarmL2(core) || dst.WarmL2(core)):
+	case !big && (src.WarmSpanL2(core, n) || dst.WarmSpanL2(core, n)):
 		rate = p.MemcpyHalfWarmRate
 	default:
 		rate = p.MemcpyColdRate

@@ -246,3 +246,158 @@ func TestPropertyCopyIntegrity(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Decision table over every (src warmth, dst warmth, placement)
+// combination for a small same-size copy, pinning the deliberate
+// cross-socket asymmetry: the remote branch consults only the
+// source's residency in the producer's cache (the FSB snoop of dirty
+// lines is the cost), never the destination — destination
+// write-allocate traffic is local and folded into the calibrated
+// CrossSocket constants.
+func TestRateDecisionTable(t *testing.T) {
+	p, _, _ := setup()
+	const n = 8192
+	// Warmth preparations. "warm" touches the full buffer from the
+	// producing core; "cold" leaves it untouched; "partial" touches
+	// one page of it (resident but without span coverage for n).
+	prep := map[string]func(mem *hostmem.Memory, b *hostmem.Buffer, core int){
+		"cold":    func(mem *hostmem.Memory, b *hostmem.Buffer, core int) {},
+		"partial": func(mem *hostmem.Memory, b *hostmem.Buffer, core int) { b.Touch(core, 4096) },
+		"warm":    func(mem *hostmem.Memory, b *hostmem.Buffer, core int) { b.Touch(core, b.Size()) },
+		// Touched by the producer but since evicted by streaming
+		// traffic: still owned by that core (lastCore sticks), no
+		// longer resident in its cache.
+		"evicted": func(mem *hostmem.Memory, b *hostmem.Buffer, core int) {
+			b.Touch(core, b.Size())
+			tr := mem.Alloc(int(p.L2Size))
+			tr.Touch(core, tr.Size())
+		},
+	}
+	cases := []struct {
+		src, dst string
+		producer int // core that prepared the buffers
+		consumer int // core running the copy
+		want     func() platform.Rate
+	}{
+		// Local, same core: both fully warm -> L1 (buffers fit L1).
+		{"warm", "warm", 0, 0, func() platform.Rate { return p.MemcpyL1Rate }},
+		// Same L2 domain, other core: L2.
+		{"warm", "warm", 0, 1, func() platform.Rate { return p.MemcpyL2Rate }},
+		{"warm", "cold", 0, 1, func() platform.Rate { return p.MemcpyHalfWarmRate }},
+		{"cold", "warm", 0, 1, func() platform.Rate { return p.MemcpyHalfWarmRate }},
+		{"cold", "cold", 0, 1, func() platform.Rate { return p.MemcpyColdRate }},
+		// Partial coverage never upgrades past its span.
+		{"partial", "warm", 0, 1, func() platform.Rate { return p.MemcpyHalfWarmRate }},
+		{"partial", "partial", 0, 1, func() platform.Rate { return p.MemcpyColdRate }},
+		// Other subchip, same socket: residency is per L2 domain.
+		{"warm", "warm", 0, 2, func() platform.Rate { return p.MemcpyColdRate }},
+		// Cross socket: src warmth in the PRODUCER's cache decides.
+		{"warm", "warm", 0, 4, func() platform.Rate { return p.MemcpyCrossSocketWarm }},
+		{"warm", "cold", 0, 4, func() platform.Rate { return p.MemcpyCrossSocketWarm }},
+		// ... and dst warmth is deliberately ignored (the asymmetry):
+		{"evicted", "warm", 0, 4, func() platform.Rate { return p.MemcpyCrossSocketCold }},
+		{"evicted", "cold", 0, 4, func() platform.Rate { return p.MemcpyCrossSocketCold }},
+		// Partial src coverage falls back to the cold FSB path.
+		{"partial", "warm", 0, 4, func() platform.Rate { return p.MemcpyCrossSocketCold }},
+		// An UNTOUCHED src has no owner (LastCore is -1), so there is
+		// no producer cache to snoop: the copy is plain cold, not
+		// cross-socket, wherever the consumer runs.
+		{"cold", "warm", 0, 4, func() platform.Rate { return p.MemcpyColdRate }},
+		{"cold", "cold", 0, 4, func() platform.Rate { return p.MemcpyColdRate }},
+	}
+	for _, tc := range cases {
+		name := tc.src + "/" + tc.dst
+		mem := hostmem.New(p)
+		src, dst := mem.Alloc(n), mem.Alloc(n)
+		prep[tc.src](mem, src, tc.producer)
+		prep[tc.dst](mem, dst, tc.producer)
+		model := New(p)
+		if got, want := model.RateFor(dst, src, n, tc.consumer), tc.want(); got != want {
+			t.Errorf("%s on core %d: rate = %v, want %v", name, tc.consumer, got, want)
+		}
+	}
+}
+
+// Regression (warmth granularity): a rendezvous-sized buffer touched
+// by one small fragment must not copy out at a warm rate.
+func TestPartialTouchDoesNotWarmLargeCopy(t *testing.T) {
+	p, mem, m := setup()
+	src, dst := mem.Alloc(1<<20), mem.Alloc(1<<20)
+	src.Touch(0, 4096)
+	dst.Touch(0, dst.Size())
+	if got := m.RateFor(dst, src, 1<<20, 0); got != p.MemcpyHalfWarmRate {
+		t.Fatalf("rate = %v, want half-warm %v (dst only)", got, p.MemcpyHalfWarmRate)
+	}
+	dst2 := mem.Alloc(1 << 20)
+	if got := m.RateFor(dst2, src, 1<<20, 0); got != p.MemcpyColdRate {
+		t.Fatalf("rate = %v, want cold %v", got, p.MemcpyColdRate)
+	}
+}
+
+// Regression (DMACold vs partial touch): a prefix read does not skip
+// the snoop penalty for the untouched remainder.
+func TestDMAPenaltyAfterPartialTouch(t *testing.T) {
+	p, mem, m := setup()
+	src, dst := mem.Alloc(8192), mem.Alloc(8192)
+	src.WrittenByDMA()
+	src.Touch(0, 4096)
+	want := platform.Rate(float64(p.MemcpyColdRate) * p.DMAColdPenalty)
+	if got := m.RateFor(dst, src, 8192, 0); got != want {
+		t.Fatalf("suffix copy rate = %v, want snoop %v", got, want)
+	}
+	// The snooped prefix itself is past the penalty.
+	if got := m.RateFor(dst, src, 4096, 0); got == want {
+		t.Fatal("snooped prefix still paying the snoop penalty")
+	}
+}
+
+// DCA branch: a deposit pushed at the consumer's domain beats the
+// snoop path; pushed at the wrong socket it is WORSE than no DCA at
+// all; evicted it degrades to a plain cold copy.
+func TestDCARates(t *testing.T) {
+	p := platform.ClovertownDCA()
+	mem := hostmem.New(p)
+	m := New(p)
+	n := 64 * 1024
+	snoop := platform.Rate(float64(p.MemcpyColdRate) * p.DMAColdPenalty)
+
+	src, dst := mem.Alloc(n), mem.Alloc(n)
+	src.WrittenByDCA(0, n)
+	right := m.RateFor(dst, src, n, 0)
+	if right <= snoop {
+		t.Fatalf("DCA-resident rate %v not better than snoop %v", right, snoop)
+	}
+	if right >= p.MemcpyL2Rate {
+		t.Fatalf("DCA-resident rate %v should stay below pure L2 %v (partial push)", right, p.MemcpyL2Rate)
+	}
+	// Consumer on the other socket: the misdirected-DCA cliff.
+	wrong := m.RateFor(dst, src, n, 4)
+	wantWrong := platform.Rate(float64(p.MemcpyColdRate) * p.DCAWrongSocketPenalty)
+	if wrong != wantWrong {
+		t.Fatalf("wrong-socket rate = %v, want %v", wrong, wantWrong)
+	}
+	if wrong >= snoop {
+		t.Fatalf("wrong-socket DCA %v must be worse than no DCA %v", wrong, snoop)
+	}
+	// Evict the push: back to a plain cold copy, no snoop debt.
+	tr := mem.Alloc(int(p.L2Size))
+	tr.Touch(0, tr.Size())
+	if got := m.RateFor(dst, src, n, 0); got != p.MemcpyColdRate {
+		t.Fatalf("evicted-DCA rate = %v, want plain cold %v", got, p.MemcpyColdRate)
+	}
+}
+
+// Without HasDCA nothing changes: WrittenByDMA still pays the classic
+// snoop penalty and WrittenByDCA is never called by the stacks.
+func TestNoDCADefaultUnchanged(t *testing.T) {
+	p, mem, m := setup()
+	if p.HasDCA {
+		t.Fatal("Clovertown default must not have DCA")
+	}
+	src, dst := mem.Alloc(8192), mem.Alloc(8192)
+	src.WrittenByDMA()
+	want := platform.Rate(float64(p.MemcpyColdRate) * p.DMAColdPenalty)
+	if got := m.RateFor(dst, src, 8192, 0); got != want {
+		t.Fatalf("default snoop rate = %v, want %v", got, want)
+	}
+}

@@ -2,6 +2,7 @@ package mxoe
 
 import (
 	"omxsim/internal/core"
+	"omxsim/internal/hostmem"
 	"omxsim/internal/proto"
 	"omxsim/internal/wire"
 	"omxsim/sim"
@@ -45,6 +46,33 @@ func (s *Stack) firmwareRx(lane int, f *wire.Frame) {
 // dmaDelay is the NIC-to-host deposit time for n payload bytes.
 func (s *Stack) dmaDelay(n int) sim.Duration {
 	return sim.Duration(s.H.P.NICFixedLatency) + sim.Duration(float64(n)/float64(s.H.P.NICDMARate))
+}
+
+// dmaDelayTo is dmaDelay against a specific destination buffer: a
+// deposit into pages homed on the remote socket pays the platform's
+// extra descriptor cost and drains at the reduced cross-socket rate.
+func (s *Stack) dmaDelayTo(buf *hostmem.Buffer, n int) sim.Duration {
+	p := s.H.P
+	home := buf.HomeSocket()
+	rate := float64(p.NICDMARate) / p.RemoteDMAFactor(home)
+	return sim.Duration(p.NICFixedLatency+p.RemoteDMADescCost(home)) + sim.Duration(float64(n)/rate)
+}
+
+// deposit records a firmware DMA write into buf: pushed into the DCA
+// target's LLC on a DCA-capable platform, plain cache-cold memory
+// otherwise. ep is the consuming endpoint — native firmware knows the
+// consumer and steers at its core unless Config.DCATargetCore
+// overrides it.
+func (s *Stack) deposit(ep *Endpoint, buf *hostmem.Buffer, n int) {
+	if !s.H.P.HasDCA {
+		buf.WrittenByDMA()
+		return
+	}
+	target := ep.Core
+	if s.Cfg.DCATargetCore > 0 {
+		target = s.Cfg.DCATargetCore
+	}
+	buf.WrittenByDCA(target, n)
 }
 
 // fwAck applies a (cumulative) transport ack to the sending
@@ -129,10 +157,10 @@ func (s *Stack) fwEager(f *wire.Frame, m *proto.Eager) {
 	ep.freeSlots = ep.freeSlots[:len(ep.freeSlots)-1]
 	n := len(f.Data)
 	firmwareMatch := sim.Duration(s.H.P.MXFirmwareMatchCost)
-	s.H.E.Schedule(firmwareMatch+s.dmaDelay(n), func() {
+	s.H.E.Schedule(firmwareMatch+s.dmaDelayTo(ep.ring, n), func() {
 		off := ep.slotOff(slot)
 		copy(ep.ring.Data[off:off+n], f.Data)
-		ep.ring.WrittenByDMA()
+		s.deposit(ep, ep.ring, n)
 		ep.pushEvent(&event{
 			kind: evEagerFrag, src: m.Src, match: m.Match, seq: m.Seq,
 			msgLen: m.MsgLen, fragID: m.FragID, fragCnt: m.FragCount,
@@ -286,10 +314,10 @@ func (s *Stack) fwLargeFrag(f *wire.Frame, m *proto.LargeFrag) {
 		}
 	}
 	n := len(f.Data)
-	s.H.E.Schedule(s.dmaDelay(n), func() {
+	s.H.E.Schedule(s.dmaDelayTo(lp.buf, n), func() {
 		dstOff := lp.off + m.Offset
 		copy(lp.buf.Data[dstOff:dstOff+n], f.Data)
-		lp.buf.WrittenByDMA()
+		s.deposit(lp.ep, lp.buf, n)
 		lp.arrived++
 		// When another block's worth of fragments has landed, ask for
 		// the next outstanding block (two are pipelined). Adaptive

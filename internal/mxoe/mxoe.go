@@ -44,8 +44,18 @@ import (
 
 // Config for the native stack.
 type Config struct {
-	// RegCache enables the registration cache.
+	// RegCache enables the registration cache: per-stack, unbounded
+	// unless RegCacheEntries caps it.
 	RegCache bool
+	// RegCacheEntries bounds the registration cache to this many
+	// resident regions (LRU eviction past the bound); 0 = unbounded.
+	RegCacheEntries int
+	// DCATargetCore, on a platform with HasDCA, steers the firmware's
+	// DMA deposits at this core's LLC. 0 (the default) targets the
+	// receiving endpoint's own core — native MX firmware knows the
+	// consumer, unlike the generic driver which can only follow the
+	// interrupt. Ignored without HasDCA.
+	DCATargetCore int
 	// RingSlots is the eager receive queue capacity (4 kiB slots).
 	RingSlots int
 	// RetransmitTimeout is the firmware's base retransmission timeout
@@ -125,7 +135,20 @@ type Stack struct {
 	// host stack's TraceEvent format, for the Chrome trace exporter.
 	Trace func(core.TraceEvent)
 
+	// reg is the per-stack registration cache (Config.RegCache); nil
+	// when disabled.
+	reg *hostmem.RegCache
+
 	Stats Stats
+}
+
+// RegStats snapshots the registration cache's counters (zero value
+// when Config.RegCache is off).
+func (s *Stack) RegStats() hostmem.RegStats {
+	if s.reg == nil {
+		return hostmem.RegStats{}
+	}
+	return s.reg.Stats()
 }
 
 // Attach builds a native MX stack on h, switching the NIC to firmware
@@ -164,6 +187,9 @@ func Attach(h *host.Host, cfg Config) *Stack {
 		s.rtt = make(map[proto.Addr]*proto.RTTEstimator)
 		s.pullWin = make(map[proto.Addr]*proto.AIMDWindow)
 	}
+	if cfg.RegCache {
+		s.reg = hostmem.NewRegCache(cfg.RegCacheEntries)
+	}
 	s.Stats.NICTxFrames = make([]int64, s.lanes)
 	for i, n := range h.NICs {
 		lane := i
@@ -201,8 +227,6 @@ type Endpoint struct {
 	// Firmware reliability state, per peer.
 	tx map[proto.Addr]*mxTxChan
 	rx map[proto.Addr]*mxRxChan
-
-	regcache map[*hostmem.Buffer]bool
 }
 
 // Request is an in-flight MX operation.
@@ -332,12 +356,11 @@ func (s *Stack) OpenEndpoint(id, coreID int) *Endpoint {
 	}
 	ep := &Endpoint{
 		S: s, ID: id, Core: coreID,
-		ring:     s.H.Alloc(s.Cfg.RingSlots * proto.MediumFragSize),
-		evSig:    sim.NewSignal(),
-		asm:      make(map[asmKey]*assembly),
-		tx:       make(map[proto.Addr]*mxTxChan),
-		rx:       make(map[proto.Addr]*mxRxChan),
-		regcache: make(map[*hostmem.Buffer]bool),
+		ring:  s.H.Alloc(s.Cfg.RingSlots * proto.MediumFragSize),
+		evSig: sim.NewSignal(),
+		asm:   make(map[asmKey]*assembly),
+		tx:    make(map[proto.Addr]*mxTxChan),
+		rx:    make(map[proto.Addr]*mxRxChan),
 	}
 	for i := s.Cfg.RingSlots - 1; i >= 0; i-- {
 		ep.freeSlots = append(ep.freeSlots, i)
@@ -360,15 +383,14 @@ func (ep *Endpoint) pushEvent(ev *event) {
 // including the NIC translation-table update, amortized by the
 // registration cache.
 func (ep *Endpoint) pinCost(buf *hostmem.Buffer, n int) sim.Duration {
-	if ep.S.Cfg.RegCache && ep.regcache[buf] {
-		return 0
+	p := ep.S.H.P
+	if ep.S.reg != nil {
+		pinned, evicted := ep.S.reg.Acquire(buf, n)
+		return sim.Duration(pinned*p.MXPinPerPage + evicted*p.UnpinPerPage)
 	}
 	buf.Pin()
-	if ep.S.Cfg.RegCache {
-		ep.regcache[buf] = true
-	}
-	pages := int64((max(n, 1) + ep.S.H.P.PageSize - 1) / ep.S.H.P.PageSize)
-	return sim.Duration(pages * ep.S.H.P.MXPinPerPage)
+	pages := int64((max(n, 1) + p.PageSize - 1) / p.PageSize)
+	return sim.Duration(pages * p.MXPinPerPage)
 }
 
 func (ep *Endpoint) unpinCost(buf *hostmem.Buffer, n int) sim.Duration {

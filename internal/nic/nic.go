@@ -82,6 +82,11 @@ type NIC struct {
 	// without Config.Adaptive it stays fixed for the whole run, the
 	// common production setup.
 	IRQCore int
+	// DCATarget, on platforms with HasDCA, is the core whose LLC the
+	// NIC's DMA deposits are pushed into (the DCA tag in the TLP
+	// header). Negative means follow IRQCore — the chipset default of
+	// steering toward the interrupted core.
+	DCATarget int
 
 	// Receive state (generic mode). pending is a head-cursor FIFO:
 	// popping advances pendingHead instead of reslicing, so the backing
@@ -109,7 +114,7 @@ type NIC struct {
 
 // New returns a NIC attached to the given host resources.
 func New(e *sim.Engine, p *platform.Platform, sys *cpu.System, mem *hostmem.Memory, name string) *NIC {
-	n := &NIC{E: e, P: p, Sys: sys, Mem: mem, Name: name, bhSig: sim.NewSignal()}
+	n := &NIC{E: e, P: p, Sys: sys, Mem: mem, Name: name, DCATarget: -1, bhSig: sim.NewSignal()}
 	e.GoDaemon("bh:"+name, n.bhLoop)
 	return n
 }
@@ -192,18 +197,37 @@ func (n *NIC) Arrive(f *wire.Frame) {
 		return
 	}
 	n.inflight++
+	// Ring skbuffs are kernel allocations on the chipset's home socket,
+	// so the deposit itself never pays the remote-DMA penalty here (the
+	// firmware personality, which deposits into user-placed buffers,
+	// does; see mxoe).
 	dma := sim.Duration(n.P.NICFixedLatency) + sim.Duration(float64(f.WireLen)/float64(n.P.NICDMARate))
 	n.E.Schedule(dma, func() {
 		n.inflight--
 		n.RxFrames++
 		buf := n.Mem.Alloc(len(f.Data))
 		copy(buf.Data, f.Data)
-		buf.WrittenByDMA()
+		if n.P.HasDCA {
+			// Direct Cache Access: the deposit is pushed into the DCA
+			// target core's LLC instead of landing cold in memory.
+			buf.WrittenByDCA(n.DCATargetCore(), len(f.Data))
+		} else {
+			buf.WrittenByDMA()
+		}
 		n.SkbsAlloc++
 		n.skbsLive++
 		n.pending = append(n.pending, &Skb{Buf: buf, Frame: f, nic: n})
 		n.bhSig.Broadcast()
 	})
+}
+
+// DCATargetCore resolves the core whose cache DCA deposits are pushed
+// toward: the configured target, or the interrupted core by default.
+func (n *NIC) DCATargetCore() int {
+	if n.DCATarget >= 0 {
+		return n.DCATarget
+	}
+	return n.IRQCore
 }
 
 // pendingLen reports the number of skbuffs waiting for the bottom half.

@@ -8,6 +8,7 @@ package mxoe
 import (
 	"omxsim/cluster"
 	"omxsim/internal/cpu"
+	"omxsim/internal/hostmem"
 	"omxsim/internal/mxoe"
 	"omxsim/internal/proto"
 	"omxsim/openmx"
@@ -20,6 +21,15 @@ type Config struct {
 	// than in Open-MX: MX registration updates NIC translation
 	// tables).
 	RegCache bool
+	// RegCacheEntries bounds the registration cache to this many
+	// resident regions (LRU eviction deregisters the coldest past the
+	// bound); 0 keeps it unbounded.
+	RegCacheEntries int
+	// DCATargetCore, on a platform with HasDCA (e.g.
+	// platform.ClovertownDCA), steers the firmware's DMA deposits at
+	// this core's LLC. 0 (the default) targets each receiving
+	// endpoint's own core. Ignored without HasDCA.
+	DCATargetCore int
 	// RetransmitTimeout is the firmware's base retransmission
 	// timeout (default 50 ms); RetransmitBackoff multiplies it per
 	// consecutive unanswered attempt (default 2), capped at
@@ -60,6 +70,8 @@ type Stack struct {
 func Attach(h *cluster.Host, cfg Config) *Stack {
 	return &Stack{h: h, s: mxoe.Attach(h.Machine(), mxoe.Config{
 		RegCache:          cfg.RegCache,
+		RegCacheEntries:   cfg.RegCacheEntries,
+		DCATargetCore:     cfg.DCATargetCore,
 		RetransmitTimeout: cfg.RetransmitTimeout,
 		RetransmitBackoff: cfg.RetransmitBackoff,
 		RetransmitMax:     cfg.RetransmitMax,
@@ -74,6 +86,10 @@ func Attach(h *cluster.Host, cfg Config) *Stack {
 // link's NICs (cluster.MultiNIC) with two pull blocks in flight per
 // NIC; NICTxFrames reports the resulting balance.
 func (s *Stack) Stats() Stats { return s.s.Stats }
+
+// RegStats snapshots the stack's registration-cache counters (zero
+// value when Config.RegCache is off).
+func (s *Stack) RegStats() hostmem.RegStats { return s.s.RegStats() }
 
 // CPUStats re-exports the deterministic per-core CPU ledger snapshot
 // (see openmx.CPUStats). Native MX leaves the receive path to NIC

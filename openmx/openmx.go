@@ -27,6 +27,7 @@ import (
 	"omxsim/cluster"
 	"omxsim/internal/core"
 	"omxsim/internal/cpu"
+	"omxsim/internal/hostmem"
 	"omxsim/internal/proto"
 	"omxsim/platform"
 	"omxsim/sim"
@@ -203,6 +204,16 @@ func (s *Stack) CPUStats() CPUStats { return s.s.H.Sys.Snapshot() }
 // ResetCPUStats zeroes the host's CPU ledgers and starts a new
 // accounting window (e.g. after a warm-up phase).
 func (s *Stack) ResetCPUStats() { s.s.H.Sys.ResetAccounting() }
+
+// RegStats is a snapshot of the stack's registration-cache counters:
+// hits and misses (which sum to the posts that consulted the cache),
+// LRU evictions, and the currently resident regions with their pinned
+// pages.
+type RegStats = hostmem.RegStats
+
+// RegStats snapshots the registration cache (zero value when
+// Config.RegCache is off).
+func (s *Stack) RegStats() RegStats { return s.s.RegStats() }
 
 // Inner exposes the internal stack for in-module tooling (timeline
 // tracing); external callers should treat it as opaque.

@@ -91,6 +91,31 @@ type Platform struct {
 	// rate that yields the paper's ≈800 MiB/s Open-MX plateau.
 	DMAColdPenalty float64
 
+	// ---- Direct Cache Access ----
+
+	// HasDCA enables Direct Cache Access, the Section V frontier
+	// beyond I/OAT: receive-ring DMA writes push their lines directly
+	// into the L2 cache of a target core instead of leaving them
+	// cache-cold, removing the DMAColdPenalty snoop path for a
+	// consumer that shares that cache. Clovertown() leaves it off
+	// (the paper's chipset has no DCA); ClovertownDCA() turns it on.
+	HasDCA bool
+	// DCAPushFraction is the fraction of deposited lines that land in
+	// the target cache; the remainder go to memory exactly as without
+	// DCA (real DCA engines push tagged descriptors only).
+	DCAPushFraction float64
+	// DCALLCBudget caps the bytes one deposit may push into the target
+	// cache, so a burst cannot flush the consumer's whole working set;
+	// lines beyond the budget go to memory.
+	DCALLCBudget int64
+	// DCAWrongSocketPenalty scales the cold copy rate when a core on a
+	// different socket than the DCA target reads the pushed lines:
+	// they are dirty in the target socket's cache and must be snooped
+	// out across the FSB — worse than the plain snoop-from-memory
+	// DMAColdPenalty path ("DCA to the wrong socket is worse than no
+	// DCA at all").
+	DCAWrongSocketPenalty float64
+
 	// ---- I/OAT DMA engine ----
 
 	// IOATChannels is the number of independent DMA channels (4 on
@@ -183,6 +208,23 @@ type Platform struct {
 	// calibrates MX's 1140 MiB/s versus the 1186 MiB/s line rate.
 	MXControlOverhead float64
 
+	// ---- NUMA / chipset placement ----
+
+	// DMAHomeSocket is the socket whose memory controller hosts the
+	// chipset DMA engines and the NIC; device deposits into buffers
+	// homed on another socket cross the inter-socket interconnect.
+	// (Clovertown is FSB/UMA, but the myri10ge driver still allocates
+	// its rings node-local, and the model keeps the distinction so
+	// NUMA placement can be swept.)
+	DMAHomeSocket int
+	// DMARemoteSocketPenalty divides the device DMA deposit rate
+	// (NICDMARate, IOATEngineRate) when the target buffer's home
+	// socket is not DMAHomeSocket; 1 disables the effect.
+	DMARemoteSocketPenalty float64
+	// DMARemoteDescCost is the extra fixed latency per descriptor (or
+	// per frame deposit) for the same remote-socket case.
+	DMARemoteDescCost int64
+
 	// ---- Misc ----
 
 	// PageSize is the virtual memory page size.
@@ -251,11 +293,31 @@ func Clovertown() *Platform {
 		MXFirmwareMatchCost: 400,
 		MXControlOverhead:   0.04,
 
+		DMAHomeSocket:          0,
+		DMARemoteSocketPenalty: 1.35,
+		DMARemoteDescCost:      120,
+
 		PageSize:          4096,
 		RetransmitTimeout: 50 * 1000 * 1000, // 50 ms
 		ReduceRate:        GiBps(1.5),
 		NICReduceRate:     GiBps(0.8),
 	}
+}
+
+// ClovertownDCA returns the Clovertown parameter set with Direct
+// Cache Access enabled — the Section V "what if the chipset had DCA"
+// variant the dca figure sweeps. The push fraction and budget follow
+// the I/OAT-generation DCA literature (most, not all, lines land in
+// cache; bursts are capped well below the 4 MiB L2); the wrong-socket
+// penalty makes mis-steered DCA slower than no DCA at all, since the
+// pushed lines are dirty in the remote cache.
+func ClovertownDCA() *Platform {
+	p := Clovertown()
+	p.HasDCA = true
+	p.DCAPushFraction = 0.9
+	p.DCALLCBudget = 512 * 1024
+	p.DCAWrongSocketPenalty = 0.55
+	return p
 }
 
 // NumCores reports the total core count.
@@ -279,6 +341,30 @@ func (p *Platform) SameL2(a, b int) bool { return p.L2DomainOf(a) == p.L2DomainO
 
 // SameSocket reports whether two cores are on the same socket.
 func (p *Platform) SameSocket(a, b int) bool { return p.SocketOf(a) == p.SocketOf(b) }
+
+// SocketOfL2Domain maps an L2 cache domain to its socket.
+func (p *Platform) SocketOfL2Domain(dom int) int {
+	return p.SocketOf(dom * CoresPerL2)
+}
+
+// RemoteDMAFactor reports the rate divisor for a device DMA deposit
+// into a buffer homed on the given socket: 1 for the chipset's local
+// socket, DMARemoteSocketPenalty otherwise.
+func (p *Platform) RemoteDMAFactor(home int) float64 {
+	if home == p.DMAHomeSocket || p.DMARemoteSocketPenalty <= 1 {
+		return 1
+	}
+	return p.DMARemoteSocketPenalty
+}
+
+// RemoteDMADescCost reports the extra per-descriptor latency of a
+// deposit into a buffer homed on the given socket (0 when local).
+func (p *Platform) RemoteDMADescCost(home int) int64 {
+	if home == p.DMAHomeSocket {
+		return 0
+	}
+	return p.DMARemoteDescCost
+}
 
 // LineRateMiBps reports the achievable payload rate in MiB/s for the
 // given payload size per frame, accounting for Ethernet framing and the
